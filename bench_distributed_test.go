@@ -1,0 +1,62 @@
+package grefar_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"grefar"
+	"grefar/internal/agent"
+	"grefar/internal/controller"
+	"grefar/internal/transport"
+)
+
+// BenchmarkDistributedSlot measures one full control-loop round over real
+// loopback TCP: state gathering from three agents, the GreFar decision, and
+// allocation dispatch — the number that bounds how fast slots can tick in a
+// live deployment.
+func BenchmarkDistributedSlot(b *testing.B) {
+	inputs, err := grefar.ReferenceInputs(2012, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := inputs.Cluster
+	conns := make([]controller.AgentConn, c.N())
+	for i := 0; i < c.N(); i++ {
+		a, err := agent.New(agent.Config{
+			Cluster:      c,
+			DataCenter:   i,
+			Price:        inputs.Prices[i],
+			Availability: inputs.Availability,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := a.Serve(lis)
+		defer srv.Close()
+		cli, err := transport.Dial(srv.Addr(), 5*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cli.Close()
+		conns[i] = cli
+	}
+	g, err := grefar.New(c, grefar.Config{V: 7.5, Beta: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct, err := controller.New(c, g, conns)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, _, _, err := ct.RunSlot(n%4096, inputs.Workload.Arrivals(n%4096)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

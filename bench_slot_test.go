@@ -1,0 +1,55 @@
+package grefar_test
+
+import (
+	"testing"
+
+	"grefar"
+	"grefar/internal/queue"
+)
+
+// benchmarkSlotDecision times a single Decide call on a realistic backlog.
+func benchmarkSlotDecision(b *testing.B, beta float64) {
+	inputs, err := grefar.ReferenceInputs(2012, 48)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := inputs.Cluster
+	g, err := grefar.New(c, grefar.Config{V: 7.5, Beta: beta})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := buildState(inputs, 12)
+	lengths := queue.Lengths{
+		Central: make([]float64, c.J()),
+		Local:   make([][]float64, c.N()),
+	}
+	for j := range lengths.Central {
+		lengths.Central[j] = float64(3 + j)
+	}
+	for i := range lengths.Local {
+		lengths.Local[i] = make([]float64, c.J())
+		for j := range lengths.Local[i] {
+			lengths.Local[i][j] = float64((i*7 + j*3) % 20)
+		}
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := g.Decide(n, st, lengths); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func buildState(in grefar.SimInputs, t int) *grefar.State {
+	c := in.Cluster
+	st := &grefar.State{
+		Avail: make([][]float64, c.N()),
+		Price: make([]float64, c.N()),
+	}
+	avail := in.Availability.At(t)
+	for i := 0; i < c.N(); i++ {
+		st.Avail[i] = append([]float64(nil), avail[i]...)
+		st.Price[i] = in.Prices[i].At(t)
+	}
+	return st
+}

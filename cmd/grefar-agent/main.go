@@ -1,0 +1,90 @@
+// Command grefar-agent runs one data-center agent of the distributed GreFar
+// deployment: it serves the site's state (availability, electricity price,
+// local queues) to the controller and executes the allocations it receives.
+//
+// Usage:
+//
+//	grefar-agent -dc 0 -listen 127.0.0.1:7001 [-seed 2012] [-slots 4096]
+//
+// The agent simulates its local environment (prices and availability) from
+// the reference processes; -dc selects which site of the reference cluster
+// it embodies, and the seed must match the controller's so every node sees
+// the same world.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"grefar/internal/agent"
+	"grefar/internal/availability"
+	"grefar/internal/model"
+	"grefar/internal/price"
+	"grefar/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "grefar-agent:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	srv, name, err := serve(args)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("grefar-agent: serving data center %s on %s\n", name, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("grefar-agent: shutting down")
+	return srv.Close()
+}
+
+// serve parses flags, builds the agent, and starts its server; main blocks
+// on signals afterwards, and tests drive the returned server directly.
+func serve(args []string) (*transport.Server, string, error) {
+	fs := flag.NewFlagSet("grefar-agent", flag.ContinueOnError)
+	dc := fs.Int("dc", 0, "data center index this agent serves")
+	listen := fs.String("listen", "127.0.0.1:0", "address to listen on")
+	seed := fs.Int64("seed", 2012, "environment seed (must match the controller)")
+	slots := fs.Int("slots", 4096, "length of the materialized local environment")
+	if err := fs.Parse(args); err != nil {
+		return nil, "", err
+	}
+
+	c := model.NewReferenceCluster()
+	prices, err := price.NewReferenceSources(*seed, *slots)
+	if err != nil {
+		return nil, "", fmt.Errorf("prices: %w", err)
+	}
+	if *dc < 0 || *dc >= len(prices) {
+		return nil, "", fmt.Errorf("data center %d out of range [0,%d)", *dc, len(prices))
+	}
+	avail, err := availability.NewReferenceAvailability(*seed+2, c, *slots)
+	if err != nil {
+		return nil, "", fmt.Errorf("availability: %w", err)
+	}
+	a, err := agent.New(agent.Config{
+		Cluster:      c,
+		DataCenter:   *dc,
+		Price:        prices[*dc],
+		Availability: avail,
+	})
+	if err != nil {
+		return nil, "", err
+	}
+
+	lis, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return nil, "", err
+	}
+	return a.Serve(lis), c.DataCenters[*dc].Name, nil
+}

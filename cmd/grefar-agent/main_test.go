@@ -1,0 +1,51 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"grefar/internal/transport"
+)
+
+func TestServeAndPing(t *testing.T) {
+	srv, name, err := serve([]string{"-dc", "1", "-listen", "127.0.0.1:0", "-slots", "64"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if name != "dc2" {
+		t.Errorf("name = %q, want dc2", name)
+	}
+	cli, err := transport.Dial(srv.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	var pong transport.Ping
+	if err := cli.Call(transport.KindPing, transport.Ping{Nonce: 3}, &pong); err != nil {
+		t.Fatal(err)
+	}
+	if pong.Nonce != 3 {
+		t.Errorf("Nonce = %d", pong.Nonce)
+	}
+	// State requests answer with the right site.
+	var rep transport.StateReport
+	if err := cli.Call(transport.KindState, transport.StateRequest{Slot: 0}, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.DataCenter != 1 {
+		t.Errorf("DataCenter = %d, want 1", rep.DataCenter)
+	}
+}
+
+func TestServeValidation(t *testing.T) {
+	if _, _, err := serve([]string{"-dc", "9"}); err == nil {
+		t.Error("out-of-range dc accepted")
+	}
+	if _, _, err := serve([]string{"-listen", "999.999.999.999:1"}); err == nil {
+		t.Error("bad listen address accepted")
+	}
+	if _, _, err := serve([]string{"-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

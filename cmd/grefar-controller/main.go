@@ -1,0 +1,104 @@
+// Command grefar-controller runs the central scheduler of the distributed
+// GreFar deployment: it connects to one agent per data center, drives the
+// per-slot control loop for the requested horizon, and prints the run's
+// metrics.
+//
+// Usage:
+//
+//	grefar-controller -agents 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 \
+//	                  [-V 7.5] [-beta 100] [-slots 2000] [-seed 2012] [-policy grefar|always]
+//
+// The seed must match the agents' so the controller's workload lines up with
+// the world the agents simulate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"grefar/internal/controller"
+	"grefar/internal/core"
+	"grefar/internal/model"
+	"grefar/internal/sched"
+	"grefar/internal/transport"
+	"grefar/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "grefar-controller:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("grefar-controller", flag.ContinueOnError)
+	agents := fs.String("agents", "", "comma-separated agent addresses, one per data center, in site order")
+	v := fs.Float64("V", 7.5, "cost-delay parameter")
+	beta := fs.Float64("beta", 100, "energy-fairness parameter")
+	slots := fs.Int("slots", 2000, "horizon in hourly slots")
+	seed := fs.Int64("seed", 2012, "workload seed (must match the agents)")
+	policy := fs.String("policy", "grefar", "scheduling policy: grefar or always")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-RPC timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	c := model.NewReferenceCluster()
+	addrs := strings.Split(*agents, ",")
+	if *agents == "" || len(addrs) != c.N() {
+		return fmt.Errorf("need exactly %d agent addresses via -agents, got %q", c.N(), *agents)
+	}
+	conns := make([]controller.AgentConn, len(addrs))
+	for i, addr := range addrs {
+		cli, err := transport.Dial(strings.TrimSpace(addr), *timeout)
+		if err != nil {
+			return fmt.Errorf("agent %d: %w", i, err)
+		}
+		defer cli.Close()
+		var pong transport.Ping
+		if err := cli.Call(transport.KindPing, transport.Ping{Nonce: uint64(i)}, &pong); err != nil {
+			return fmt.Errorf("agent %d ping: %w", i, err)
+		}
+		conns[i] = cli
+	}
+
+	var s sched.Scheduler
+	var err error
+	switch *policy {
+	case "grefar":
+		s, err = core.New(c, core.Config{V: *v, Beta: *beta})
+	case "always":
+		s, err = sched.NewAlways(c)
+	default:
+		err = fmt.Errorf("unknown policy %q", *policy)
+	}
+	if err != nil {
+		return err
+	}
+
+	wl, err := workload.NewReferenceWorkload(*seed+1, c, *slots)
+	if err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	ct, err := controller.New(c, s, conns)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := ct.Run(*slots, wl)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("policy %s over %d slots in %v\n", res.SchedulerName, res.Slots, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  avg energy cost      %.3f\n", res.AvgEnergy)
+	fmt.Printf("  avg fairness score   %.4f\n", res.AvgFairness)
+	for i, d := range res.AvgLocalDelay {
+		fmt.Printf("  avg delay %-10s %.3f slots (%.2f work/slot)\n", c.DataCenters[i].Name, d, res.AvgWorkPerDC[i])
+	}
+	fmt.Printf("  jobs arrived/processed %.0f / %.0f\n", res.TotalArrived, res.TotalProcessed)
+	return nil
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"grefar/internal/agent"
+	"grefar/internal/availability"
+	"grefar/internal/model"
+	"grefar/internal/price"
+)
+
+// startAgents spins up the three reference agents exactly as the
+// grefar-agent binary would, returning their addresses.
+func startAgents(t *testing.T, seed int64, slots int) string {
+	t.Helper()
+	c := model.NewReferenceCluster()
+	prices, err := price.NewReferenceSources(seed, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avail, err := availability.NewReferenceAvailability(seed+2, c, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]string, c.N())
+	for i := 0; i < c.N(); i++ {
+		a, err := agent.New(agent.Config{
+			Cluster:      c,
+			DataCenter:   i,
+			Price:        prices[i],
+			Availability: avail,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := a.Serve(lis)
+		t.Cleanup(func() { srv.Close() })
+		addrs[i] = srv.Addr()
+	}
+	return strings.Join(addrs, ",")
+}
+
+func TestControllerMainEndToEnd(t *testing.T) {
+	agents := startAgents(t, 2012, 256)
+	err := run([]string{
+		"-agents", agents,
+		"-slots", "96",
+		"-V", "7.5",
+		"-beta", "0",
+		"-seed", "2012",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControllerMainAlwaysPolicy(t *testing.T) {
+	agents := startAgents(t, 7, 128)
+	if err := run([]string{"-agents", agents, "-slots", "48", "-policy", "always", "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControllerMainValidation(t *testing.T) {
+	if err := run([]string{"-agents", ""}); err == nil {
+		t.Error("missing agents accepted")
+	}
+	if err := run([]string{"-agents", "a,b"}); err == nil {
+		t.Error("wrong agent count accepted")
+	}
+	if err := run([]string{"-agents", "127.0.0.1:1,127.0.0.1:1,127.0.0.1:1", "-timeout", "200ms"}); err == nil {
+		t.Error("unreachable agents accepted")
+	}
+	agents := startAgents(t, 7, 64)
+	if err := run([]string{"-agents", agents, "-policy", "nope"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

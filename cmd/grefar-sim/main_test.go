@@ -1,0 +1,129 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return sb.String()
+}
+
+func TestRunTable1(t *testing.T) {
+	out := runCLI(t, "-experiment", "table1", "-slots", "200")
+	for _, want := range []string{"DC", "dc1", "dc2", "dc3", "Avg Price"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig1WithCSV(t *testing.T) {
+	csvPath := filepath.Join(t.TempDir(), "fig1.csv")
+	out := runCLI(t, "-experiment", "fig1", "-slots", "100", "-csv", csvPath)
+	if !strings.Contains(out, "Fig 1") {
+		t.Errorf("missing chart title:\n%s", out)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "price_dc1,price_dc2,price_dc3,work_org1") {
+		t.Errorf("csv header wrong: %q", strings.SplitN(string(data), "\n", 2)[0])
+	}
+}
+
+func TestRunFig2(t *testing.T) {
+	out := runCLI(t, "-experiment", "fig2", "-slots", "240")
+	for _, want := range []string{"Fig 2a", "Fig 2b", "Fig 2c", "V=0.1", "V=20", "Avg Energy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunFig3(t *testing.T) {
+	out := runCLI(t, "-experiment", "fig3", "-slots", "240")
+	for _, want := range []string{"Fig 3a", "Fig 3b", "beta=100", "Avg Fairness"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunFig4(t *testing.T) {
+	out := runCLI(t, "-experiment", "fig4", "-slots", "240")
+	for _, want := range []string{"Fig 4a", "always", "grefar", "Work/slot per DC"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunFig5(t *testing.T) {
+	out := runCLI(t, "-experiment", "fig5", "-slots", "480", "-day", "5")
+	for _, want := range []string{"Fig 5", "price paid per unit work", "GreFar", "Always"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunWorkshareAndTheorem(t *testing.T) {
+	out := runCLI(t, "-experiment", "workshare", "-slots", "240")
+	if !strings.Contains(out, "paper: 33.967") {
+		t.Errorf("workshare output missing paper reference:\n%s", out)
+	}
+	out = runCLI(t, "-experiment", "theorem1", "-slots", "120")
+	if !strings.Contains(out, "Max Queue") || !strings.Contains(out, "lookahead benchmark") {
+		t.Errorf("theorem1 output wrong:\n%s", out)
+	}
+}
+
+func TestRunAblation(t *testing.T) {
+	out := runCLI(t, "-experiment", "ablation", "-slots", "120")
+	if !strings.Contains(out, "greedy vs LP") || !strings.Contains(out, "frank-wolfe iters") {
+		t.Errorf("ablation output wrong:\n%s", out)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "nope"}, &sb); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &sb); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunRobustness(t *testing.T) {
+	out := runCLI(t, "-experiment", "robustness", "-slots", "120")
+	if !strings.Contains(out, "energy gap") || !strings.Contains(out, "ordering violations") {
+		t.Errorf("robustness output wrong:\n%s", out)
+	}
+}
+
+func TestRunAllClampsSnapshotDay(t *testing.T) {
+	// A short horizon must not break the all-experiments sweep on the
+	// default fig5 day; this exercises the clamp, not the full sweep.
+	out := runCLI(t, "-experiment", "fig5", "-slots", "480", "-day", "10")
+	if !strings.Contains(out, "Fig 5") {
+		t.Errorf("fig5 output wrong:\n%s", out)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "fig5", "-slots", "480", "-day", "30"}, &sb); err == nil {
+		t.Error("explicit out-of-range day accepted for a single experiment")
+	}
+}

@@ -1,0 +1,103 @@
+// Command tracegen materializes the synthetic input traces (electricity
+// prices, job arrivals, server availability) as CSV files for inspection or
+// external tooling.
+//
+// Usage:
+//
+//	tracegen -kind prices|workload|availability [-slots 2000] [-seed 2012] [-out trace.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"grefar/internal/availability"
+	"grefar/internal/model"
+	"grefar/internal/price"
+	"grefar/internal/report"
+	"grefar/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	kind := fs.String("kind", "prices", "which trace to generate: prices, workload, or availability")
+	slots := fs.Int("slots", 2000, "trace length in hourly slots")
+	seed := fs.Int64("seed", 2012, "generator seed")
+	outPath := fs.String("out", "", "output CSV path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+
+	c := model.NewReferenceCluster()
+	switch *kind {
+	case "prices":
+		traces, err := price.NewReferenceSources(*seed, *slots)
+		if err != nil {
+			return err
+		}
+		headers := make([]string, len(traces))
+		cols := make([][]float64, len(traces))
+		for i, tr := range traces {
+			headers[i] = "price_dc" + strconv.Itoa(i+1)
+			cols[i] = tr.Values
+		}
+		return report.WriteCSV(out, headers, cols)
+	case "workload":
+		tr, err := workload.NewReferenceWorkload(*seed, c, *slots)
+		if err != nil {
+			return err
+		}
+		headers := make([]string, c.J())
+		cols := make([][]float64, c.J())
+		for j := 0; j < c.J(); j++ {
+			headers[j] = "arrivals_" + c.JobTypes[j].Name
+			cols[j] = make([]float64, tr.Len())
+		}
+		for t := 0; t < tr.Len(); t++ {
+			for j, a := range tr.Arrivals(t) {
+				cols[j][t] = float64(a)
+			}
+		}
+		return report.WriteCSV(out, headers, cols)
+	case "availability":
+		tr, err := availability.NewReferenceAvailability(*seed, c, *slots)
+		if err != nil {
+			return err
+		}
+		var headers []string
+		var cols [][]float64
+		for i := 0; i < c.N(); i++ {
+			for k := 0; k < c.K(i); k++ {
+				headers = append(headers, fmt.Sprintf("avail_%s_%s", c.DataCenters[i].Name, c.DataCenters[i].Servers[k].Name))
+				col := make([]float64, tr.Len())
+				for t := 0; t < tr.Len(); t++ {
+					col[t] = tr.At(t)[i][k]
+				}
+				cols = append(cols, col)
+			}
+		}
+		return report.WriteCSV(out, headers, cols)
+	default:
+		return fmt.Errorf("unknown trace kind %q", *kind)
+	}
+}

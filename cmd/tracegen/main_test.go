@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTracegenPrices(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-kind", "prices", "-slots", "48"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "price_dc1,price_dc2,price_dc3" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 49 {
+		t.Errorf("got %d lines, want 49", len(lines))
+	}
+}
+
+func TestTracegenWorkloadToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wl.csv")
+	var sb strings.Builder
+	if err := run([]string{"-kind", "workload", "-slots", "24", "-out", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "arrivals_org1-short") {
+		t.Errorf("csv missing job type column: %q", strings.SplitN(string(data), "\n", 2)[0])
+	}
+}
+
+func TestTracegenAvailability(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-kind", "availability", "-slots", "24"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "avail_dc1_") {
+		t.Errorf("header wrong: %q", strings.SplitN(sb.String(), "\n", 2)[0])
+	}
+}
+
+func TestTracegenUnknownKind(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-kind", "nope"}, &sb); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestTracegenRoundTripsThroughReaders(t *testing.T) {
+	// The generated CSVs must parse with the corresponding readers.
+	var prices strings.Builder
+	if err := run([]string{"-kind", "prices", "-slots", "24"}, &prices); err != nil {
+		t.Fatal(err)
+	}
+	var wl strings.Builder
+	if err := run([]string{"-kind", "workload", "-slots", "24"}, &wl); err != nil {
+		t.Fatal(err)
+	}
+	checkPrices(t, prices.String())
+	checkWorkload(t, wl.String())
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"grefar/internal/price"
+	"grefar/internal/workload"
+)
+
+func checkPrices(t *testing.T, csv string) {
+	t.Helper()
+	names, traces, err := price.ReadCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatalf("price.ReadCSV on tracegen output: %v", err)
+	}
+	if len(names) != 3 || len(traces) != 3 {
+		t.Errorf("got %d locations, want 3", len(names))
+	}
+	for i, tr := range traces {
+		if len(tr.Values) != 24 {
+			t.Errorf("location %d has %d slots, want 24", i, len(tr.Values))
+		}
+	}
+}
+
+func checkWorkload(t *testing.T, csv string) {
+	t.Helper()
+	names, tr, err := workload.ReadCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatalf("workload.ReadCSV on tracegen output: %v", err)
+	}
+	if len(names) != 8 {
+		t.Errorf("got %d job types, want 8", len(names))
+	}
+	if tr.Len() != 24 {
+		t.Errorf("trace has %d slots, want 24", tr.Len())
+	}
+}

@@ -1,0 +1,60 @@
+package grefar_test
+
+import (
+	"fmt"
+
+	"grefar"
+)
+
+// ExampleSimulate runs GreFar on the paper's reference system for one
+// simulated day and reports whether any work was processed. Deterministic
+// seeds make the output stable.
+func ExampleSimulate() {
+	inputs, err := grefar.ReferenceInputs(2012, 24)
+	if err != nil {
+		panic(err)
+	}
+	scheduler, err := grefar.New(inputs.Cluster, grefar.Config{V: 7.5, Beta: 100})
+	if err != nil {
+		panic(err)
+	}
+	res, err := grefar.Simulate(inputs, scheduler, grefar.SimOptions{Slots: 24})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.SchedulerName, res.TotalProcessed > 0)
+	// Output: grefar(V=7.5,beta=100) true
+}
+
+// ExampleNew shows the two control knobs of Algorithm 1: the cost-delay
+// parameter V and the energy-fairness parameter beta.
+func ExampleNew() {
+	cluster := grefar.ReferenceCluster()
+	aggressive, _ := grefar.New(cluster, grefar.Config{V: 20})       // chase cheap power
+	fair, _ := grefar.New(cluster, grefar.Config{V: 7.5, Beta: 100}) // balance fairness
+	fmt.Println(aggressive.Name())
+	fmt.Println(fair.Name())
+	// Output:
+	// grefar(V=20,beta=0)
+	// grefar(V=7.5,beta=100)
+}
+
+// ExampleNewAlways contrasts the myopic baseline with GreFar on the same
+// trace: Always pays more for energy.
+func ExampleNewAlways() {
+	inputs, _ := grefar.ReferenceInputs(2012, 24*30)
+	always, _ := grefar.NewAlways(inputs.Cluster)
+	gre, _ := grefar.New(inputs.Cluster, grefar.Config{V: 7.5})
+	ra, _ := grefar.Simulate(inputs, always, grefar.SimOptions{Slots: 24 * 30})
+	rg, _ := grefar.Simulate(inputs, gre, grefar.SimOptions{Slots: 24 * 30})
+	fmt.Println("grefar cheaper:", rg.AvgEnergy < ra.AvgEnergy)
+	// Output: grefar cheaper: true
+}
+
+// ExampleNewQuadraticTariff prices a site's energy draw under a convex
+// demand-charge tariff (the paper's section III-A2 extension).
+func ExampleNewQuadraticTariff() {
+	trf, _ := grefar.NewQuadraticTariff(100)
+	fmt.Printf("%.1f %.1f\n", trf.Cost(0.5, 100), trf.Marginal(0.5, 100))
+	// Output: 75.0 1.0
+}

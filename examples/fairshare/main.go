@@ -1,0 +1,37 @@
+// Fair sharing: sweep the energy-fairness parameter beta at fixed V and
+// watch the fairness score climb toward 0 (ideal) while the energy cost
+// rises only marginally — the paper's Fig. 3 story. The reference workload
+// deliberately over-submits from org1 and under-submits from org2 relative
+// to the 40/30/15/15 targets, so fairness-blind scheduling realizes an
+// unfair allocation that beta corrects.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"grefar"
+)
+
+func main() {
+	const slots = 24 * 45
+
+	fmt.Println("beta    avgEnergy  avgFairness  delayDC1")
+	for _, beta := range []float64{0, 10, 50, 100, 300} {
+		inputs, err := grefar.ReferenceInputs(2012, slots)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := grefar.New(inputs.Cluster, grefar.Config{V: 7.5, Beta: beta})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := grefar.Simulate(inputs, s, grefar.SimOptions{Slots: slots})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-7g %-10.3f %-12.4f %.2f\n", beta, res.AvgEnergy, res.AvgFairness, res.AvgLocalDelay[0])
+	}
+	fmt.Println("\nFairness (0 is ideal) improves sharply with beta at a marginal energy premium,")
+	fmt.Println("and delay *drops* because the fairness term encourages using resources (section VI-B2).")
+}

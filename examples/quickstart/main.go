@@ -1,0 +1,38 @@
+// Quickstart: build the paper's reference system, run GreFar for two
+// simulated weeks, and print the headline metrics next to the Always
+// baseline. This is the smallest complete use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"grefar"
+)
+
+func main() {
+	const slots = 24 * 14 // two weeks of hourly slots
+
+	inputs, err := grefar.ReferenceInputs(2012, slots)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	scheduler, err := grefar.New(inputs.Cluster, grefar.Config{V: 7.5, Beta: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline, err := grefar.NewAlways(inputs.Cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, s := range []grefar.Scheduler{scheduler, baseline} {
+		res, err := grefar.Simulate(inputs, s, grefar.SimOptions{Slots: slots, ValidateActions: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s energy=%.3f fairness=%.4f delayDC1=%.2f slots\n",
+			res.SchedulerName, res.AvgEnergy, res.AvgFairness, res.AvgLocalDelay[0])
+	}
+}

@@ -1,0 +1,102 @@
+package grefar_test
+
+import (
+	"testing"
+
+	"grefar"
+)
+
+// TestFacadeExtensions exercises every extension constructor through the
+// public API end to end: alpha-fairness, a convex tariff, admission control,
+// and the local-greedy baseline, all in one simulation.
+func TestFacadeExtensions(t *testing.T) {
+	const slots = 24 * 5
+	inputs, err := grefar.ReferenceInputs(11, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	weights := make([]float64, inputs.Cluster.M())
+	for m, a := range inputs.Cluster.Accounts {
+		weights[m] = a.Weight
+	}
+	af, err := grefar.NewAlphaFairness(1, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trf, err := grefar.NewQuadraticTariff(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adm, err := grefar.NewThresholdAdmission(make([]float64, inputs.Cluster.J()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := grefar.New(inputs.Cluster, grefar.Config{
+		V:        7.5,
+		Beta:     25,
+		Fairness: af,
+		Tariff:   trf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := inputs
+	in.Tariff = trf
+	res, err := grefar.Simulate(in, s, grefar.SimOptions{
+		Slots:           slots,
+		ValidateActions: true,
+		Admission:       adm, // zero limits mean no caps
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalProcessed <= 0 {
+		t.Error("nothing processed")
+	}
+	if res.TotalDropped != 0 {
+		t.Errorf("unlimited admission dropped %v jobs", res.TotalDropped)
+	}
+}
+
+func TestFacadeLocalGreedy(t *testing.T) {
+	inputs, err := grefar.ReferenceInputs(11, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, err := grefar.NewLocalGreedy(inputs.Cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := grefar.Simulate(inputs, lg, grefar.SimOptions{Slots: 48, ValidateActions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SchedulerName != "local-greedy" {
+		t.Errorf("SchedulerName = %q", res.SchedulerName)
+	}
+}
+
+func TestFacadeTieredTariff(t *testing.T) {
+	trf, err := grefar.NewTieredTariff([]float64{50}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trf.Cost(1, 60) != 70 { // 50*1 + 10*2
+		t.Errorf("Cost = %v, want 70", trf.Cost(1, 60))
+	}
+	if _, err := grefar.NewTieredTariff([]float64{50}, []float64{2, 1}); err == nil {
+		t.Error("non-convex tariff accepted")
+	}
+}
+
+func TestFacadeQuadraticFairness(t *testing.T) {
+	q, err := grefar.NewQuadraticFairness([]float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Score([]float64{50, 50}, 100) != 0 {
+		t.Error("ideal allocation should score 0")
+	}
+}

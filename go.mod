@@ -1,0 +1,3 @@
+module grefar
+
+go 1.22

@@ -1,0 +1,56 @@
+package grefar_test
+
+import (
+	"testing"
+
+	"grefar"
+)
+
+// TestPublicAPIEndToEnd exercises the facade exactly as the quickstart
+// example does.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	inputs, err := grefar.ReferenceInputs(7, 24*10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheduler, err := grefar.New(inputs.Cluster, grefar.Config{V: 7.5, Beta: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := grefar.Simulate(inputs, scheduler, grefar.SimOptions{Slots: 24 * 10, ValidateActions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgEnergy <= 0 {
+		t.Errorf("AvgEnergy = %v, want positive", res.AvgEnergy)
+	}
+	if res.TotalProcessed <= 0 {
+		t.Error("nothing processed")
+	}
+
+	always, err := grefar.NewAlways(inputs.Cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := grefar.Simulate(inputs, always, grefar.SimOptions{Slots: 24}); err != nil {
+		t.Fatal(err)
+	}
+
+	planner, err := grefar.NewLookaheadPlanner(inputs.Cluster, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planner.T() != 12 {
+		t.Errorf("T = %d", planner.T())
+	}
+}
+
+func TestReferenceClusterStandsAlone(t *testing.T) {
+	c := grefar.ReferenceCluster()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 3 || c.M() != 4 {
+		t.Errorf("unexpected shape N=%d M=%d", c.N(), c.M())
+	}
+}

@@ -1,0 +1,187 @@
+// Package agent implements the per-data-center agent of the distributed
+// GreFar deployment. An agent owns one site: it observes its local
+// environment (server availability and electricity price), holds the site's
+// local job queues q_{i,j}, and executes the allocation decisions the
+// central controller sends each slot. The central scheduler never touches
+// jobs directly; it only sees the agent's state reports — exactly the
+// information structure the paper's model assumes.
+package agent
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"grefar/internal/availability"
+	"grefar/internal/model"
+	"grefar/internal/price"
+	"grefar/internal/queue"
+	"grefar/internal/transport"
+)
+
+// Config describes one agent.
+type Config struct {
+	// Cluster is the shared system description.
+	Cluster *model.Cluster
+	// DataCenter is this agent's site index i.
+	DataCenter int
+	// Price is the local electricity price source.
+	Price price.Source
+	// Availability is the local server availability process. Only this
+	// site's row is consulted.
+	Availability availability.Process
+}
+
+// Agent is the running site daemon. It is safe for concurrent RPCs, though
+// the controller drives it with one request at a time.
+type Agent struct {
+	cfg Config
+
+	mu      sync.Mutex
+	ledgers []queue.Ledger // local FIFO per job type
+}
+
+// New validates the configuration and builds an agent.
+func New(cfg Config) (*Agent, error) {
+	if cfg.Cluster == nil {
+		return nil, fmt.Errorf("nil cluster")
+	}
+	if err := cfg.Cluster.Validate(); err != nil {
+		return nil, fmt.Errorf("invalid cluster: %w", err)
+	}
+	if cfg.DataCenter < 0 || cfg.DataCenter >= cfg.Cluster.N() {
+		return nil, fmt.Errorf("data center %d out of range [0,%d)", cfg.DataCenter, cfg.Cluster.N())
+	}
+	if cfg.Price == nil || cfg.Availability == nil {
+		return nil, fmt.Errorf("price and availability sources are required")
+	}
+	return &Agent{
+		cfg:     cfg,
+		ledgers: make([]queue.Ledger, cfg.Cluster.J()),
+	}, nil
+}
+
+// Handle implements transport.Handler dispatch for this agent.
+func (a *Agent) Handle(kind string, body []byte) (any, error) {
+	switch kind {
+	case transport.KindPing:
+		var p transport.Ping
+		if err := transport.Unmarshal(body, &p); err != nil {
+			return nil, err
+		}
+		return p, nil
+	case transport.KindState:
+		var req transport.StateRequest
+		if err := transport.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		return a.state(req.Slot), nil
+	case transport.KindAllocate:
+		var req transport.Allocate
+		if err := transport.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		return a.allocate(req)
+	default:
+		return nil, fmt.Errorf("unknown message kind %q", kind)
+	}
+}
+
+// state builds the slot report.
+func (a *Agent) state(slot int) transport.StateReport {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c := a.cfg.Cluster
+	rep := transport.StateReport{
+		Slot:       slot,
+		DataCenter: a.cfg.DataCenter,
+		Price:      a.cfg.Price.At(slot),
+		Avail:      append([]float64(nil), a.cfg.Availability.At(slot)[a.cfg.DataCenter]...),
+		QueueLens:  make([]float64, c.J()),
+	}
+	for j := range a.ledgers {
+		rep.QueueLens[j] = a.ledgers[j].Len()
+	}
+	return rep
+}
+
+// allocate executes a slot decision: it processes queued jobs first (capped
+// at queue content, matching the paper's queue dynamics where jobs routed in
+// a slot are not processable until the next), then admits the routed jobs,
+// and reports energy, processed counts and delay sums.
+func (a *Agent) allocate(req transport.Allocate) (transport.AllocateAck, error) {
+	c := a.cfg.Cluster
+	if len(req.Process) != c.J() || len(req.Route) != c.J() {
+		return transport.AllocateAck{}, fmt.Errorf("allocation has wrong job dimension")
+	}
+	if len(req.Busy) != c.K(a.cfg.DataCenter) {
+		return transport.AllocateAck{}, fmt.Errorf("allocation has wrong server dimension")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	ack := transport.AllocateAck{
+		Slot:      req.Slot,
+		Processed: make([]float64, c.J()),
+		DelaySum:  make([]float64, c.J()),
+	}
+	for j := 0; j < c.J(); j++ {
+		if req.Process[j] < 0 || req.Route[j] < 0 {
+			return transport.AllocateAck{}, fmt.Errorf("negative allocation for job type %d", j)
+		}
+		popped, delay := a.ledgers[j].Pop(req.Slot, req.Process[j])
+		ack.Processed[j] = popped
+		ack.DelaySum[j] = delay
+		ack.Work += popped * c.JobTypes[j].Demand
+		a.ledgers[j].Push(req.Slot, float64(req.Route[j]))
+	}
+	priceNow := a.cfg.Price.At(req.Slot)
+	for k, b := range req.Busy {
+		if b < 0 {
+			return transport.AllocateAck{}, fmt.Errorf("negative busy count for server type %d", k)
+		}
+		ack.Energy += priceNow * b * c.DataCenters[a.cfg.DataCenter].Servers[k].Power
+	}
+	return ack, nil
+}
+
+// QueueLens returns the current local backlog per job type (for tests and
+// diagnostics).
+func (a *Agent) QueueLens() []float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]float64, len(a.ledgers))
+	for j := range a.ledgers {
+		out[j] = a.ledgers[j].Len()
+	}
+	return out
+}
+
+// Snapshot serializes the agent's local queue state (cohorts with arrival
+// slots), so a restarted agent process can resume with exact backlogs and
+// delay accounting via Restore.
+func (a *Agent) Snapshot() ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return queue.SnapshotLedgers(a.ledgers)
+}
+
+// Restore replaces the agent's local queue state from a Snapshot taken by an
+// agent of the same cluster and site.
+func (a *Agent) Restore(snapshot []byte) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return queue.RestoreLedgers(a.ledgers, snapshot)
+}
+
+// Serve starts a transport server for the agent on the listener. It returns
+// the server; call Close on it to stop.
+func (a *Agent) Serve(lis net.Listener) *transport.Server {
+	srv := transport.NewServer(lis, a.Handle)
+	go func() {
+		// Serve exits on Close; an unexpected accept error leaves the
+		// controller to notice via failed calls.
+		_ = srv.Serve()
+	}()
+	return srv
+}

@@ -1,0 +1,247 @@
+package agent
+
+import (
+	"math"
+	"testing"
+
+	"grefar/internal/availability"
+	"grefar/internal/model"
+	"grefar/internal/price"
+	"grefar/internal/transport"
+)
+
+func testAgent(t *testing.T) (*Agent, *model.Cluster) {
+	t.Helper()
+	c := model.NewReferenceCluster()
+	avail, err := availability.NewReferenceAvailability(1, c, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(Config{
+		Cluster:      c,
+		DataCenter:   1,
+		Price:        price.Constant(0.5),
+		Availability: avail,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, c
+}
+
+func TestNewValidation(t *testing.T) {
+	c := model.NewReferenceCluster()
+	avail, _ := availability.NewReferenceAvailability(1, c, 10)
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := New(Config{Cluster: c, DataCenter: 9, Price: price.Constant(1), Availability: avail}); err == nil {
+		t.Error("out-of-range site accepted")
+	}
+	if _, err := New(Config{Cluster: c, DataCenter: 0, Availability: avail}); err == nil {
+		t.Error("nil price accepted")
+	}
+	bad := model.NewReferenceCluster()
+	bad.JobTypes[0].Demand = 0
+	if _, err := New(Config{Cluster: bad, DataCenter: 0, Price: price.Constant(1), Availability: avail}); err == nil {
+		t.Error("invalid cluster accepted")
+	}
+}
+
+func call(t *testing.T, a *Agent, kind string, req, resp any) error {
+	t.Helper()
+	body, err := transport.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := a.Handle(kind, body)
+	if err != nil {
+		return err
+	}
+	if resp == nil {
+		return nil
+	}
+	data, err := transport.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return transport.Unmarshal(data, resp)
+}
+
+func TestHandlePing(t *testing.T) {
+	a, _ := testAgent(t)
+	var resp transport.Ping
+	if err := call(t, a, transport.KindPing, transport.Ping{Nonce: 9}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Nonce != 9 {
+		t.Errorf("Nonce = %d", resp.Nonce)
+	}
+}
+
+func TestHandleUnknownKind(t *testing.T) {
+	a, _ := testAgent(t)
+	if _, err := a.Handle("wat", nil); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestStateReport(t *testing.T) {
+	a, c := testAgent(t)
+	var rep transport.StateReport
+	if err := call(t, a, transport.KindState, transport.StateRequest{Slot: 5}, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.DataCenter != 1 || rep.Slot != 5 {
+		t.Errorf("report header wrong: %+v", rep)
+	}
+	if rep.Price != 0.5 {
+		t.Errorf("price = %v", rep.Price)
+	}
+	if len(rep.Avail) != c.K(1) || len(rep.QueueLens) != c.J() {
+		t.Errorf("report dimensions wrong")
+	}
+}
+
+func TestAllocateLifecycle(t *testing.T) {
+	a, c := testAgent(t)
+
+	// Slot 0: route 4 jobs of type 0; nothing to process yet.
+	alloc := transport.Allocate{
+		Slot:    0,
+		Route:   make([]int, c.J()),
+		Process: make([]float64, c.J()),
+		Busy:    make([]float64, c.K(1)),
+	}
+	alloc.Route[0] = 4
+	var ack transport.AllocateAck
+	if err := call(t, a, transport.KindAllocate, alloc, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Processed[0] != 0 {
+		t.Errorf("processed before anything queued: %v", ack.Processed[0])
+	}
+	if got := a.QueueLens()[0]; got != 4 {
+		t.Errorf("queue = %v, want 4", got)
+	}
+
+	// Slot 1: process 3; delay must be one slot each; energy billed from
+	// busy servers.
+	alloc = transport.Allocate{
+		Slot:    1,
+		Route:   make([]int, c.J()),
+		Process: make([]float64, c.J()),
+		Busy:    make([]float64, c.K(1)),
+	}
+	alloc.Process[0] = 3
+	alloc.Busy[0] = 4 // speed 0.75 covers 3 work units
+	if err := call(t, a, transport.KindAllocate, alloc, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Processed[0] != 3 || ack.DelaySum[0] != 3 {
+		t.Errorf("processed %v delay %v, want 3 and 3", ack.Processed[0], ack.DelaySum[0])
+	}
+	// Energy: price 0.5 * 4 busy * power 0.60 = 1.2.
+	if math.Abs(ack.Energy-1.2) > 1e-12 {
+		t.Errorf("energy = %v, want 1.2", ack.Energy)
+	}
+	if math.Abs(ack.Work-3) > 1e-12 {
+		t.Errorf("work = %v, want 3", ack.Work)
+	}
+	if got := a.QueueLens()[0]; got != 1 {
+		t.Errorf("queue = %v, want 1", got)
+	}
+}
+
+func TestAllocateSameSlotRouteNotProcessable(t *testing.T) {
+	a, c := testAgent(t)
+	alloc := transport.Allocate{
+		Slot:    0,
+		Route:   make([]int, c.J()),
+		Process: make([]float64, c.J()),
+		Busy:    make([]float64, c.K(1)),
+	}
+	alloc.Route[0] = 2
+	alloc.Process[0] = 2
+	var ack transport.AllocateAck
+	if err := call(t, a, transport.KindAllocate, alloc, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Processed[0] != 0 {
+		t.Errorf("same-slot routed jobs processed: %v", ack.Processed[0])
+	}
+}
+
+func TestAllocateRejectsMalformed(t *testing.T) {
+	a, c := testAgent(t)
+	bad := transport.Allocate{Route: []int{1}, Process: []float64{1}, Busy: []float64{1}}
+	if err := call(t, a, transport.KindAllocate, bad, nil); err == nil {
+		t.Error("wrong dimensions accepted")
+	}
+	alloc := transport.Allocate{
+		Route:   make([]int, c.J()),
+		Process: make([]float64, c.J()),
+		Busy:    make([]float64, c.K(1)),
+	}
+	alloc.Process[0] = -1
+	if err := call(t, a, transport.KindAllocate, alloc, nil); err == nil {
+		t.Error("negative process accepted")
+	}
+	alloc.Process[0] = 0
+	alloc.Busy[0] = -1
+	if err := call(t, a, transport.KindAllocate, alloc, nil); err == nil {
+		t.Error("negative busy accepted")
+	}
+}
+
+func TestAgentSnapshotRestore(t *testing.T) {
+	a, c := testAgent(t)
+	alloc := transport.Allocate{
+		Slot:    0,
+		Route:   make([]int, c.J()),
+		Process: make([]float64, c.J()),
+		Busy:    make([]float64, c.K(1)),
+	}
+	alloc.Route[0] = 5
+	alloc.Route[3] = 2
+	if err := call(t, a, transport.KindAllocate, alloc, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := testAgent(t)
+	if err := fresh.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	want := a.QueueLens()
+	got := fresh.QueueLens()
+	for j := range want {
+		if want[j] != got[j] {
+			t.Errorf("queue[%d] = %v, want %v", j, got[j], want[j])
+		}
+	}
+
+	// Delay accounting survives: process on the restored agent at slot 4
+	// and expect 4-slot delays.
+	proc := transport.Allocate{
+		Slot:    4,
+		Route:   make([]int, c.J()),
+		Process: make([]float64, c.J()),
+		Busy:    make([]float64, c.K(1)),
+	}
+	proc.Process[0] = 5
+	var ack transport.AllocateAck
+	if err := call(t, fresh, transport.KindAllocate, proc, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.DelaySum[0] != 20 { // 5 jobs * 4 slots
+		t.Errorf("delay sum = %v, want 20", ack.DelaySum[0])
+	}
+
+	if err := fresh.Restore([]byte("junk")); err == nil {
+		t.Error("junk snapshot accepted")
+	}
+}

@@ -1,0 +1,57 @@
+package availability
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"grefar/internal/model"
+)
+
+// ReadCSV loads an availability trace from CSV: one column per (data center,
+// server type) pair in cluster order, one row per slot, with a header row.
+// It is the inverse of the tracegen tool's output and the hook for replaying
+// recorded fleet capacity instead of the synthetic process.
+func ReadCSV(r io.Reader, c *model.Cluster) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("read csv: %w", err)
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("csv needs a header and at least one data row, got %d rows", len(rows))
+	}
+	want := 0
+	for i := 0; i < c.N(); i++ {
+		want += c.K(i)
+	}
+	if len(rows[0]) != want {
+		return nil, fmt.Errorf("csv has %d columns, cluster needs %d (one per data center and server type)", len(rows[0]), want)
+	}
+	values := make([][][]float64, 0, len(rows)-1)
+	for rIdx, rowCells := range rows[1:] {
+		if len(rowCells) != want {
+			return nil, fmt.Errorf("row %d has %d fields, want %d", rIdx+2, len(rowCells), want)
+		}
+		slot := make([][]float64, c.N())
+		col := 0
+		for i := 0; i < c.N(); i++ {
+			slot[i] = make([]float64, c.K(i))
+			for k := 0; k < c.K(i); k++ {
+				v, err := strconv.ParseFloat(rowCells[col], 64)
+				if err != nil {
+					return nil, fmt.Errorf("row %d column %d: %w", rIdx+2, col+1, err)
+				}
+				if v < 0 {
+					return nil, fmt.Errorf("row %d column %d: negative availability %v", rIdx+2, col+1, v)
+				}
+				slot[i][k] = v
+				col++
+			}
+		}
+		values = append(values, slot)
+	}
+	return &Trace{Values: values}, nil
+}

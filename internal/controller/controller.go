@@ -1,0 +1,264 @@
+// Package controller implements the central scheduler node of the
+// distributed GreFar deployment. Each slot it polls every data-center agent
+// for its state report, assembles the global view x(t) and the queue
+// backlogs Theta(t), runs any sched.Scheduler (normally GreFar), and pushes
+// the per-site allocation decisions back to the agents. The controller owns
+// only the central queues Q_j; the local queues q_{i,j} live on the agents.
+package controller
+
+import (
+	"fmt"
+	"sync"
+
+	"grefar/internal/fairness"
+	"grefar/internal/metrics"
+	"grefar/internal/model"
+	"grefar/internal/queue"
+	"grefar/internal/sched"
+	"grefar/internal/sim"
+	"grefar/internal/transport"
+	"grefar/internal/workload"
+)
+
+// AgentConn abstracts the RPC connection to one agent, enabling in-process
+// fakes in tests.
+type AgentConn interface {
+	Call(kind string, reqBody, respBody any) error
+}
+
+var _ AgentConn = (*transport.Client)(nil)
+
+// Controller drives the distributed control loop.
+type Controller struct {
+	cluster *model.Cluster
+	sch     sched.Scheduler
+	agents  []AgentConn // index i is data center i
+	fair    fairness.Function
+
+	central []queue.Ledger
+}
+
+// New builds a controller. agents[i] must be connected to the agent serving
+// data center i.
+func New(c *model.Cluster, sch sched.Scheduler, agents []AgentConn) (*Controller, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("invalid cluster: %w", err)
+	}
+	if sch == nil {
+		return nil, fmt.Errorf("nil scheduler")
+	}
+	if len(agents) != c.N() {
+		return nil, fmt.Errorf("got %d agents, cluster has %d data centers", len(agents), c.N())
+	}
+	weights := make([]float64, c.M())
+	for m, a := range c.Accounts {
+		weights[m] = a.Weight
+	}
+	fair, err := fairness.NewQuadratic(weights)
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{
+		cluster: c,
+		sch:     sch,
+		agents:  agents,
+		fair:    fair,
+		central: make([]queue.Ledger, c.J()),
+	}, nil
+}
+
+// CentralLens returns the central backlog per job type.
+func (ct *Controller) CentralLens() []float64 {
+	out := make([]float64, len(ct.central))
+	for j := range ct.central {
+		out[j] = ct.central[j].Len()
+	}
+	return out
+}
+
+// Snapshot serializes the controller's central queue state so a restarted
+// controller can resume exactly where the previous one stopped; pair it with
+// agent.Agent.Snapshot for whole-system checkpoints.
+func (ct *Controller) Snapshot() ([]byte, error) {
+	return queue.SnapshotLedgers(ct.central)
+}
+
+// Restore replaces the central queue state from a Snapshot of a controller
+// for the same cluster.
+func (ct *Controller) Restore(snapshot []byte) error {
+	return queue.RestoreLedgers(ct.central, snapshot)
+}
+
+// gatherStates polls all agents concurrently for their slot reports.
+func (ct *Controller) gatherStates(t int) ([]transport.StateReport, error) {
+	reports := make([]transport.StateReport, len(ct.agents))
+	errs := make([]error, len(ct.agents))
+	var wg sync.WaitGroup
+	for i, a := range ct.agents {
+		wg.Add(1)
+		go func(i int, a AgentConn) {
+			defer wg.Done()
+			errs[i] = a.Call(transport.KindState, transport.StateRequest{Slot: t}, &reports[i])
+		}(i, a)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("agent %d state: %w", i, err)
+		}
+		if reports[i].DataCenter != i {
+			return nil, fmt.Errorf("agent %d reported site %d", i, reports[i].DataCenter)
+		}
+	}
+	return reports, nil
+}
+
+// RunSlot executes one slot of the control loop: gather, decide, allocate,
+// then admit the slot's new arrivals into the central queues. It returns the
+// acks for metric aggregation along with the decided action and state.
+func (ct *Controller) RunSlot(t int, arrivals []int) (*model.Action, *model.State, []transport.AllocateAck, error) {
+	c := ct.cluster
+	if len(arrivals) != c.J() {
+		return nil, nil, nil, fmt.Errorf("got %d arrival counts, want %d", len(arrivals), c.J())
+	}
+	reports, err := ct.gatherStates(t)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	st := model.NewState(c)
+	lengths := queue.Lengths{
+		Central: ct.CentralLens(),
+		Local:   make([][]float64, c.N()),
+	}
+	for i, rep := range reports {
+		if len(rep.Avail) != c.K(i) || len(rep.QueueLens) != c.J() {
+			return nil, nil, nil, fmt.Errorf("agent %d report has wrong dimensions", i)
+		}
+		copy(st.Avail[i], rep.Avail)
+		st.Price[i] = rep.Price
+		lengths.Local[i] = rep.QueueLens
+	}
+	if err := st.Validate(c); err != nil {
+		return nil, nil, nil, fmt.Errorf("slot %d: bad assembled state: %w", t, err)
+	}
+
+	act, err := ct.sch.Decide(t, st, lengths)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("slot %d: %s: %w", t, ct.sch.Name(), err)
+	}
+	if err := act.Validate(c, st); err != nil {
+		return nil, nil, nil, fmt.Errorf("slot %d: infeasible action: %w", t, err)
+	}
+
+	// Dispatch jobs from the central queues, capped at queue content,
+	// consumed in data-center order exactly like queue.Set.Apply so the
+	// distributed run is bit-identical to the single-process simulator.
+	routed := make([][]int, c.N())
+	for i := range routed {
+		routed[i] = make([]int, c.J())
+	}
+	for j := 0; j < c.J(); j++ {
+		for i := 0; i < c.N(); i++ {
+			r := act.Route[i][j]
+			if r <= 0 {
+				continue
+			}
+			popped, _ := ct.central[j].Pop(t, float64(r))
+			routed[i][j] = int(popped)
+		}
+	}
+
+	acks := make([]transport.AllocateAck, c.N())
+	errsA := make([]error, c.N())
+	var wg sync.WaitGroup
+	for i, a := range ct.agents {
+		wg.Add(1)
+		go func(i int, a AgentConn) {
+			defer wg.Done()
+			errsA[i] = a.Call(transport.KindAllocate, transport.Allocate{
+				Slot:    t,
+				Route:   routed[i],
+				Process: act.Process[i],
+				Busy:    act.Busy[i],
+			}, &acks[i])
+		}(i, a)
+	}
+	wg.Wait()
+	for i, err := range errsA {
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("agent %d allocate: %w", i, err)
+		}
+	}
+
+	for j, a := range arrivals {
+		if a < 0 {
+			return nil, nil, nil, fmt.Errorf("negative arrivals for job type %d", j)
+		}
+		ct.central[j].Push(t, float64(a))
+	}
+	return act, st, acks, nil
+}
+
+// Run drives the loop for the given horizon and aggregates the same metrics
+// as the single-process simulator, so results are directly comparable.
+func (ct *Controller) Run(slots int, wl workload.Generator) (*sim.Result, error) {
+	if slots <= 0 {
+		return nil, fmt.Errorf("horizon %d is not positive", slots)
+	}
+	if wl == nil {
+		return nil, fmt.Errorf("nil workload")
+	}
+	c := ct.cluster
+	energy := metrics.NewRunning(false)
+	fairScore := metrics.NewRunning(false)
+	localDelay := make([]*metrics.Ratio, c.N())
+	workAvg := make([]*metrics.Running, c.N())
+	for i := range localDelay {
+		localDelay[i] = metrics.NewRatio(false)
+		workAvg[i] = metrics.NewRunning(false)
+	}
+
+	res := &sim.Result{SchedulerName: ct.sch.Name(), Slots: slots}
+	for t := 0; t < slots; t++ {
+		arrivals := wl.Arrivals(t)
+		act, st, acks, err := ct.RunSlot(t, arrivals)
+		if err != nil {
+			return nil, err
+		}
+		var e float64
+		alloc := make([]float64, c.M())
+		for i, ack := range acks {
+			e += ack.Energy
+			var dSum, dCount float64
+			for j := 0; j < c.J(); j++ {
+				dSum += ack.DelaySum[j]
+				dCount += ack.Processed[j]
+				alloc[c.JobTypes[j].Account] += ack.Processed[j] * c.JobTypes[j].Demand
+				res.TotalProcessed += ack.Processed[j]
+			}
+			localDelay[i].Add(dSum, dCount)
+			workAvg[i].Add(ack.Work)
+		}
+		energy.Add(e)
+		fairScore.Add(ct.fair.Score(alloc, st.TotalResource(c)))
+		for _, a := range arrivals {
+			res.TotalArrived += float64(a)
+		}
+		_ = act
+	}
+	res.AvgEnergy = energy.Mean()
+	res.AvgFairness = fairScore.Mean()
+	res.AvgLocalDelay = make([]float64, c.N())
+	res.AvgWorkPerDC = make([]float64, c.N())
+	for i := 0; i < c.N(); i++ {
+		res.AvgLocalDelay[i] = localDelay[i].Value()
+		res.AvgWorkPerDC[i] = workAvg[i].Mean()
+	}
+	var backlog float64
+	for j := range ct.central {
+		backlog += ct.central[j].Len()
+	}
+	res.FinalBacklog = backlog // central only; agents hold the rest
+	return res, nil
+}

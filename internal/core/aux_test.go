@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"grefar/internal/model"
+	"grefar/internal/queue"
+	"grefar/internal/solve"
+)
+
+// auxCluster builds a one-site cluster with a memory-like auxiliary
+// resource: plenty of CPU capacity but scarce memory, shared by a
+// memory-hungry and a memory-light job type.
+func auxCluster() *model.Cluster {
+	return &model.Cluster{
+		DataCenters: []model.DataCenter{
+			{
+				Name:        "dc",
+				Servers:     []model.ServerType{{Name: "s", Speed: 1, Power: 1}},
+				AuxCapacity: []float64{100}, // memory units
+			},
+		},
+		JobTypes: []model.JobType{
+			// Memory-hungry: 20 memory per processing job.
+			{Name: "hungry", Demand: 1, Eligible: []int{0}, Account: 0, MaxProcess: 1000, AuxDemand: []float64{20}},
+			// Memory-light: 1 memory per job.
+			{Name: "light", Demand: 1, Eligible: []int{0}, Account: 0, MaxProcess: 1000, AuxDemand: []float64{1}},
+		},
+		Accounts: []model.Account{{Name: "a", Weight: 1}},
+	}
+}
+
+func TestAuxValidation(t *testing.T) {
+	c := auxCluster()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Aux() != 1 {
+		t.Fatalf("Aux = %d", c.Aux())
+	}
+	bad := auxCluster()
+	bad.JobTypes[0].AuxDemand = []float64{1, 2}
+	if err := bad.Validate(); err == nil {
+		t.Error("mismatched aux dimensions accepted")
+	}
+	bad = auxCluster()
+	bad.JobTypes[0].AuxDemand = []float64{-1}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative aux demand accepted")
+	}
+	bad = auxCluster()
+	bad.DataCenters[0].AuxCapacity = []float64{-5}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative aux capacity accepted")
+	}
+}
+
+func TestAuxActionValidate(t *testing.T) {
+	c := auxCluster()
+	st := model.NewState(c)
+	st.Avail[0][0] = 1000
+	st.Price[0] = 0.4
+	act := model.NewAction(c)
+	act.Process[0][0] = 6 // 120 memory > 100 capacity
+	act.Busy[0][0] = 6
+	if err := act.Validate(c, st); err == nil {
+		t.Error("aux over-capacity action accepted")
+	}
+	act.Process[0][0] = 5 // exactly at capacity
+	act.Busy[0][0] = 5
+	if err := act.Validate(c, st); err != nil {
+		t.Errorf("feasible action rejected: %v", err)
+	}
+}
+
+func TestAuxConstrainedSlotRespectsMemory(t *testing.T) {
+	// CPU is abundant (1000 units); memory allows at most 5 hungry jobs.
+	// With equal backlogs and V=0, the optimizer must fill memory with
+	// light jobs instead of starving throughput.
+	c := auxCluster()
+	g, err := New(c, Config{V: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := model.NewState(c)
+	st.Avail[0][0] = 1000
+	st.Price[0] = 0.4
+	q := queue.Lengths{Central: []float64{0, 0}, Local: [][]float64{{50, 50}}}
+	act, err := g.Decide(0, st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := act.Validate(c, st); err != nil {
+		t.Fatalf("infeasible action: %v", err)
+	}
+	// All 50 light jobs fit in 50 memory; the remaining 50 memory carries
+	// at most 2.5 hungry jobs. Total processed should be ~52.5, certainly
+	// not capped at 5 (hungry-only) nor above the memory bound.
+	totalMem := act.Process[0][0]*20 + act.Process[0][1]*1
+	if totalMem > 100+1e-6 {
+		t.Errorf("memory used %v exceeds 100", totalMem)
+	}
+	if act.Process[0][1] < 50-1e-6 {
+		t.Errorf("light jobs processed %v, want all 50", act.Process[0][1])
+	}
+}
+
+func TestAuxConstrainedSlotPrefersBackloggedHungry(t *testing.T) {
+	// When the hungry type has far more backlog pressure, memory should go
+	// to it even though light jobs are more memory-efficient.
+	c := auxCluster()
+	g, err := New(c, Config{V: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := model.NewState(c)
+	st.Avail[0][0] = 1000
+	st.Price[0] = 0.01 // prices negligible
+	q := queue.Lengths{Central: []float64{0, 0}, Local: [][]float64{{100, 1}}}
+	act, err := g.Decide(0, st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 light job takes 1 memory; the rest goes to hungry: (100-1)/20 = 4.95.
+	if act.Process[0][0] < 4.9-1e-6 {
+		t.Errorf("hungry processed %v, want ~4.95", act.Process[0][0])
+	}
+}
+
+func TestAuxWithFairnessFrankWolfe(t *testing.T) {
+	// Two accounts competing for memory under beta > 0: the FW path with
+	// the LP oracle must produce feasible actions that spread memory.
+	c := auxCluster()
+	c.JobTypes[1].Account = 1
+	c.Accounts = []model.Account{{Name: "a", Weight: 0.5}, {Name: "b", Weight: 0.5}}
+	g, err := New(c, Config{V: 1, Beta: 500, FW: solve.FWOptions{MaxIters: 300}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := model.NewState(c)
+	st.Avail[0][0] = 1000
+	st.Price[0] = 0.4
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 8; trial++ {
+		q := queue.Lengths{
+			Central: []float64{0, 0},
+			Local:   [][]float64{{float64(rng.Intn(80)), float64(rng.Intn(80))}},
+		}
+		act, err := g.Decide(trial, st, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := act.Validate(c, st); err != nil {
+			t.Fatalf("trial %d: infeasible action: %v", trial, err)
+		}
+	}
+}
+
+// TestAuxLPMatchesBruteForce cross-checks the aux-constrained slot LP
+// against a fine grid search on the two-variable problem.
+func TestAuxLPMatchesBruteForce(t *testing.T) {
+	c := auxCluster()
+	st := model.NewState(c)
+	st.Avail[0][0] = 30 // CPU now binding too: h0 + h1 <= 30
+	st.Price[0] = 0.5
+	cfg := Config{V: 3}
+	q := queue.Lengths{Central: []float64{0, 0}, Local: [][]float64{{40, 25}}}
+	process, _, obj, err := SolveSlotLP(c, cfg, st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute force over h0, h1 grids.
+	best := math.Inf(1)
+	for g0 := 0; g0 <= 200; g0++ {
+		for g1 := 0; g1 <= 200; g1++ {
+			h0 := float64(g0) * 5 / 200 // up to 5 (memory bound)
+			h1 := float64(g1) * 25 / 200
+			if 20*h0+h1 > 100 || h0+h1 > 30 {
+				continue
+			}
+			if h0 > 40 || h1 > 25 {
+				continue
+			}
+			v := -40*h0 - 25*h1 + cfg.V*0.5*(h0+h1) // energy: speed 1, power 1
+			if v < best {
+				best = v
+			}
+		}
+	}
+	if obj > best+1e-3*(1+math.Abs(best)) {
+		t.Errorf("LP objective %v worse than brute force %v (process %v)", obj, best, process)
+	}
+	if obj < best-0.5 {
+		t.Errorf("LP objective %v implausibly below grid %v", obj, best)
+	}
+}

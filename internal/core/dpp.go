@@ -1,0 +1,76 @@
+package core
+
+import (
+	"grefar/internal/model"
+	"grefar/internal/queue"
+	"grefar/internal/tariff"
+)
+
+// EnergyCost returns the money billed for an action's energy draw under the
+// given tariff (nil means the paper's baseline linear pricing), counting
+// only the increment the batch load adds on top of any base load. It is a
+// convenience alias for model.Action.BilledCost.
+func EnergyCost(c *model.Cluster, st *model.State, act *model.Action, trf tariff.Tariff) float64 {
+	return act.BilledCost(c, st, trf)
+}
+
+// EnergyFairnessCost returns g(t) = e(t) - beta*f(t) for an action under a
+// state (paper eq. 6), with the paper's quadratic fairness function (eq. 3)
+// evaluated at the account target shares gamma and baseline linear pricing.
+func EnergyFairnessCost(c *model.Cluster, st *model.State, act *model.Action, beta float64, gamma []float64) float64 {
+	e := act.Energy(c, st)
+	if beta == 0 {
+		return e
+	}
+	return e - beta*quadraticFairness(c, st, act, gamma)
+}
+
+// quadraticFairness evaluates the paper's fairness score f(t) (eq. 3) for an
+// action's realized allocation.
+func quadraticFairness(c *model.Cluster, st *model.State, act *model.Action, gamma []float64) float64 {
+	total := st.TotalResource(c)
+	alloc := act.AccountWork(c)
+	var f float64
+	for m, w := range gamma {
+		share := 0.0
+		if total > 0 {
+			share = alloc[m] / total
+		}
+		d := share - w
+		f -= d * d
+	}
+	return f
+}
+
+// DriftPlusPenalty evaluates the full expression GreFar minimizes each slot
+// (paper eq. 14):
+//
+//	V*g(t) - sum_j Q_j * [sum_{i in D_j} r_{i,j}]
+//	       + sum_j sum_{i in D_j} q_{i,j} * [r_{i,j} - h_{i,j}]
+//
+// It is used by tests to verify that GreFar's action is no worse than any
+// alternative feasible action, and by the ablation benchmarks.
+func DriftPlusPenalty(c *model.Cluster, cfg Config, st *model.State, q queue.Lengths, act *model.Action, gamma []float64) float64 {
+	g := EnergyCost(c, st, act, cfg.Tariff)
+	if cfg.Beta != 0 {
+		g -= cfg.Beta * quadraticFairness(c, st, act, gamma)
+	}
+	v := cfg.V * g
+	for j := 0; j < c.J(); j++ {
+		for _, i := range c.JobTypes[j].Eligible {
+			r := float64(act.Route[i][j])
+			v -= q.Central[j] * r
+			v += q.Local[i][j] * (r - act.Process[i][j])
+		}
+	}
+	return v
+}
+
+// AccountWeights extracts the gamma vector from a cluster's accounts.
+func AccountWeights(c *model.Cluster) []float64 {
+	out := make([]float64, c.M())
+	for m, a := range c.Accounts {
+		out[m] = a.Weight
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"grefar/internal/fairness"
+	"grefar/internal/model"
+	"grefar/internal/queue"
+	"grefar/internal/solve"
+)
+
+func TestSlotObjectiveMatchesExplicitQuadratic(t *testing.T) {
+	// The composite objective with the paper's quadratic term must agree
+	// exactly (value, gradient, curvature) with an explicitly constructed
+	// solve.Quadratic.
+	c := refCluster(t)
+	rng := rand.New(rand.NewSource(4))
+	weights := AccountWeights(c)
+	quad, err := fairness.NewQuadratic(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hVars := c.N() * c.J()
+	totalVars := hVars
+	for i := 0; i < c.N(); i++ {
+		totalVars += c.K(i)
+	}
+	linear := make([]float64, totalVars)
+	for j := range linear {
+		linear[j] = rng.Float64()*4 - 2
+	}
+	const vbeta, totalRes = 750.0, 180.0
+
+	so := wrapSlotObjective(newSlotObjective(c, linear, vbeta, totalRes, quad))
+
+	// Explicit quadratic: V*beta * sum_m (sum d_j h / R - gamma_m)^2.
+	explicit := &solve.Quadratic{Linear: append([]float64(nil), linear...)}
+	for m := 0; m < c.M(); m++ {
+		var idx []int
+		var coef []float64
+		for i := 0; i < c.N(); i++ {
+			for j := 0; j < c.J(); j++ {
+				if c.JobTypes[j].Account == m {
+					idx = append(idx, i*c.J()+j)
+					coef = append(coef, c.JobTypes[j].Demand/totalRes)
+				}
+			}
+		}
+		explicit.Squares = append(explicit.Squares, solve.AffineSquare{
+			Weight: vbeta, Index: idx, Coef: coef, Offset: -weights[m],
+		})
+	}
+
+	for trial := 0; trial < 20; trial++ {
+		x := make([]float64, totalVars)
+		d := make([]float64, totalVars)
+		for j := range x {
+			x[j] = rng.Float64() * 5
+			d[j] = rng.Float64()*2 - 1
+		}
+		// Both forms include the full square with its offset, so values
+		// agree exactly, not merely up to a constant.
+		if a, b := so.Value(x), explicit.Value(x); math.Abs(a-b) > 1e-9*(1+math.Abs(b)) {
+			t.Fatalf("Value %v != explicit %v", a, b)
+		}
+		g1 := make([]float64, totalVars)
+		g2 := make([]float64, totalVars)
+		so.Grad(x, g1)
+		explicit.Grad(x, g2)
+		for j := range g1 {
+			if math.Abs(g1[j]-g2[j]) > 1e-9*(1+math.Abs(g2[j])) {
+				t.Fatalf("Grad[%d] %v != explicit %v", j, g1[j], g2[j])
+			}
+		}
+		ca := so.(solve.CurvatureAlong).CurvatureAlong(x, d)
+		cb := explicit.CurvatureAlong(x, d)
+		if math.Abs(ca-cb) > 1e-9*(1+math.Abs(cb)) {
+			t.Fatalf("Curvature %v != explicit %v", ca, cb)
+		}
+	}
+}
+
+func TestAlphaFairObjectiveHasNoCurvature(t *testing.T) {
+	c := refCluster(t)
+	af, err := fairness.NewAlphaFair(2, AccountWeights(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := c.N()*c.J() + 3
+	so := wrapSlotObjective(newSlotObjective(c, make([]float64, total), 100, 150, af))
+	if _, ok := so.(solve.CurvatureAlong); ok {
+		t.Error("alpha-fair objective must not claim exact curvature")
+	}
+}
+
+func TestGreFarWithAlphaFairness(t *testing.T) {
+	// The scheduler runs end-to-end with a non-quadratic fairness term and
+	// still produces feasible actions; with a strongly fairness-weighted
+	// alpha term the starved account (org2) receives a larger share than
+	// under beta=0.
+	c := refCluster(t)
+	af, err := fairness.NewAlphaFair(1, AccountWeights(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(c, Config{V: 7.5, Beta: 50, Fairness: af, FW: solve.FWOptions{MaxIters: 300}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := stateWith(c, 40, []float64{0.39, 0.43, 0.55})
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 10; trial++ {
+		q := randomLengths(rng, c, 30)
+		act, err := g.Decide(trial, st, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := act.Validate(c, st); err != nil {
+			t.Fatalf("trial %d: infeasible action: %v", trial, err)
+		}
+	}
+}
+
+func TestGreFarAlphaFairAllocatesToStarvedAccount(t *testing.T) {
+	// One job type per account queued at the same site with equal backlog;
+	// the log-utility term must spread processing across accounts rather
+	// than starve any of them when capacity is tight.
+	c := refCluster(t)
+	af, err := fairness.NewAlphaFair(1, AccountWeights(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(c, Config{V: 1, Beta: 200, Fairness: af, FW: solve.FWOptions{MaxIters: 400}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tight capacity at a single site.
+	st := stateWith(c, 0, []float64{0.4, 0.4, 0.4})
+	st.Avail[0][0] = 20 // 20 work units at dc1 only
+	q := queueWithEqualShortBacklogs(c, 30)
+	act, err := g.Decide(0, st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := act.AccountWork(c)
+	for m, w := range alloc {
+		if w <= 0 {
+			t.Errorf("account %d starved under alpha-fairness: alloc %v", m, alloc)
+		}
+	}
+}
+
+// queueWithEqualShortBacklogs queues n short jobs of each org's short type
+// at data center 0.
+func queueWithEqualShortBacklogs(c *model.Cluster, n float64) queue.Lengths {
+	q := queue.Lengths{
+		Central: make([]float64, c.J()),
+		Local:   make([][]float64, c.N()),
+	}
+	for i := range q.Local {
+		q.Local[i] = make([]float64, c.J())
+	}
+	// Short job types of the reference cluster are at indices 0,2,4,6.
+	for _, j := range []int{0, 2, 4, 6} {
+		q.Local[0][j] = n
+	}
+	return q
+}

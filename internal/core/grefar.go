@@ -1,0 +1,390 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"grefar/internal/fairness"
+	"grefar/internal/model"
+	"grefar/internal/queue"
+	"grefar/internal/sched"
+	"grefar/internal/solve"
+	"grefar/internal/tariff"
+)
+
+// Config carries GreFar's two control knobs (paper section IV-B).
+type Config struct {
+	// V >= 0 is the cost-delay parameter: larger V weighs the
+	// energy-fairness cost more heavily against queue drift, reducing cost
+	// at the expense of O(V) queue backlog (Theorem 1).
+	V float64
+	// Beta >= 0 is the energy-fairness parameter: 0 ignores fairness
+	// entirely; large values prioritize fairness over energy cost.
+	Beta float64
+	// Fairness selects the fairness function whose penalty enters the slot
+	// objective (paper footnote 5 allows any). Nil selects the paper's
+	// quadratic deviation function (eq. 3) with the cluster's account
+	// weights.
+	Fairness FairnessTerm
+	// Tariff maps each site's energy draw to cost (paper section III-A2
+	// allows increasing convex functions). Nil selects the paper's baseline
+	// linear pricing cost = phi * energy, for which the closed-form greedy
+	// slot solver applies.
+	Tariff tariff.Tariff
+	// FW tunes the Frank-Wolfe solver used when Beta > 0. Zero values select
+	// defaults.
+	FW solve.FWOptions
+	// Routing selects how routing ties are broken (sites with equal local
+	// backlog have identical coefficients in (14), so the minimizer is not
+	// unique). The default SplitTies emulates the uncapped paper algorithm,
+	// which routes r_max to every tied site; FirstSiteWins is the naive
+	// alternative kept for the DESIGN.md ablation.
+	Routing RoutingRule
+}
+
+// RoutingRule selects the tie-breaking behavior of the routing step.
+type RoutingRule int
+
+const (
+	// SplitTies divides the available jobs evenly across sites whose
+	// backlogs tie (the default, matching the uncapped paper algorithm).
+	SplitTies RoutingRule = iota
+	// FirstSiteWins gives the whole remaining budget to the lowest-index
+	// site of a tie group. At small V this hides expensive sites by
+	// accident of ordering; the ablation quantifies the distortion.
+	FirstSiteWins
+)
+
+// GreFar is the paper's online scheduling algorithm. It implements
+// sched.Scheduler using only per-slot observable information: no statistics
+// of arrivals, prices, or availability are ever used.
+type GreFar struct {
+	cluster *model.Cluster
+	cfg     Config
+	weights []float64 // account target shares gamma_m
+}
+
+var _ sched.Scheduler = (*GreFar)(nil)
+
+// New builds a GreFar scheduler for the cluster.
+func New(c *model.Cluster, cfg Config) (*GreFar, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("invalid cluster: %w", err)
+	}
+	if cfg.V < 0 {
+		return nil, fmt.Errorf("cost-delay parameter V = %v is negative", cfg.V)
+	}
+	if cfg.Beta < 0 {
+		return nil, fmt.Errorf("energy-fairness parameter beta = %v is negative", cfg.Beta)
+	}
+	weights := make([]float64, c.M())
+	for m, a := range c.Accounts {
+		weights[m] = a.Weight
+	}
+	if cfg.Fairness == nil {
+		quad, err := fairness.NewQuadratic(weights)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Fairness = quad
+	}
+	return &GreFar{cluster: c, cfg: cfg, weights: weights}, nil
+}
+
+// Name implements sched.Scheduler.
+func (g *GreFar) Name() string {
+	return fmt.Sprintf("grefar(V=%g,beta=%g)", g.cfg.V, g.cfg.Beta)
+}
+
+// Decide implements sched.Scheduler: it minimizes the drift-plus-penalty
+// expression (14) for slot t.
+func (g *GreFar) Decide(t int, st *model.State, q queue.Lengths) (*model.Action, error) {
+	act := model.NewAction(g.cluster)
+	g.decideRouting(q, act)
+	if err := g.decideProcessing(st, q, act); err != nil {
+		return nil, err
+	}
+	return act, nil
+}
+
+// decideRouting solves the routing part of (14). The routing terms are
+//
+//	sum_j sum_{i in D_j} (q_{i,j} - Q_j) * r_{i,j},
+//
+// linear and separable, so the paper's minimizer routes r_max to every
+// eligible site whose local backlog is below the central backlog. Because
+// this simulator moves real jobs, the total routed per type is additionally
+// capped at the central queue content, spent on the most-negative
+// coefficients (the least-backlogged sites) first.
+func (g *GreFar) decideRouting(q queue.Lengths, act *model.Action) {
+	c := g.cluster
+	for j := 0; j < c.J(); j++ {
+		jt := c.JobTypes[j]
+		qj := q.Central[j]
+		available := int(qj)
+		if available <= 0 {
+			continue
+		}
+		// Eligible sites with negative routing coefficient, most negative
+		// (smallest local backlog) first.
+		order := make([]int, 0, len(jt.Eligible))
+		for _, i := range jt.Eligible {
+			if q.Local[i][j] < qj {
+				order = append(order, i)
+			}
+		}
+		sort.Slice(order, func(a, b int) bool {
+			qa, qb := q.Local[order[a]][j], q.Local[order[b]][j]
+			if qa != qb {
+				return qa < qb
+			}
+			return order[a] < order[b]
+		})
+		// Fill strictly better (smaller-backlog) sites first; sites whose
+		// backlogs tie have identical coefficients in (14), and the
+		// uncapped paper algorithm routes r_max to each of them, so the
+		// capped emulation splits the remaining jobs evenly across the tie
+		// group instead of privileging the lowest index.
+		budget := routeBudgetFor(jt)
+		for a := 0; a < len(order) && available > 0; {
+			b := a + 1
+			for b < len(order) && q.Local[order[b]][j] == q.Local[order[a]][j] {
+				b++
+			}
+			group := order[a:b]
+			if g.cfg.Routing == FirstSiteWins {
+				group = group[:1]
+			}
+			for g, remaining := 0, available; g < len(group); g++ {
+				share := remaining / len(group)
+				if g < remaining%len(group) {
+					share++
+				}
+				if share > budget {
+					share = budget
+				}
+				act.Route[group[g]][j] = share
+				available -= share
+			}
+			a = b
+		}
+	}
+}
+
+func routeBudgetFor(jt model.JobType) int {
+	if jt.MaxRoute > 0 {
+		return jt.MaxRoute
+	}
+	return 1 << 30
+}
+
+// decideProcessing solves the processing part of (14):
+//
+//	minimize  V*e(t) + V*beta * sum_m (r_m/R - gamma_m)^2 - sum_{i,j} q_{i,j} h_{i,j}
+//
+// over the capacity polytope (11). With beta = 0 the problem is linear and
+// the greedy exchange solves it exactly, realizing the paper's threshold
+// rule: process type j at site i only while q_{i,j}/d_j > V * phi_i * p_k/s_k.
+// With beta > 0 it is a convex QP solved by Frank-Wolfe with the greedy as
+// its linear oracle and exact line search.
+func (g *GreFar) decideProcessing(st *model.State, q queue.Lengths, act *model.Action) error {
+	c := g.cluster
+
+	// Per-pair processing caps: physical queue content and h_max.
+	hCap := make([][]float64, c.N())
+	for i := range hCap {
+		hCap[i] = make([]float64, c.J())
+		for j := 0; j < c.J(); j++ {
+			if !c.JobTypes[j].EligibleSet(i) {
+				continue
+			}
+			hCap[i][j] = processBudgetFor(c.JobTypes[j], q.Local[i][j])
+		}
+	}
+
+	// Linear coefficients shared by both paths.
+	cH := make([][]float64, c.N())
+	cB := make([][]float64, c.N())
+	for i := 0; i < c.N(); i++ {
+		cH[i] = make([]float64, c.J())
+		cB[i] = make([]float64, c.K(i))
+		for j := 0; j < c.J(); j++ {
+			cH[i][j] = -q.Local[i][j]
+		}
+		for k, stype := range c.DataCenters[i].Servers {
+			cB[i][k] = g.cfg.V * st.Price[i] * stype.Power
+		}
+	}
+
+	var process [][]float64
+	switch {
+	case g.linearSlot() && c.Aux() == 0:
+		la, err := solveLinearSlot(c, st, cH, cB, hCap)
+		if err != nil {
+			return err
+		}
+		process = la.process
+	case g.linearSlot():
+		// Auxiliary resource constraints (footnote 3) break the
+		// single-constraint greedy; the simplex solves the linear slot
+		// problem exactly.
+		p, _, _, err := solveSlotLPGeneral(c, st, cH, cB, hCap)
+		if err != nil {
+			return err
+		}
+		process = p
+	default:
+		var err error
+		process, err = g.solveQuadraticSlot(st, cH, cB, hCap)
+		if err != nil {
+			return err
+		}
+	}
+
+	// Provision the cheapest busy-server mix for the chosen work; this is
+	// optimal given h because b enters the objective linearly with
+	// non-negative cost.
+	for i := 0; i < c.N(); i++ {
+		copy(act.Process[i], process[i])
+		busy, _, err := model.Provision(c.DataCenters[i], st.Avail[i], act.WorkAt(c, i))
+		if err != nil {
+			return fmt.Errorf("data center %d: %w", i, err)
+		}
+		act.Busy[i] = busy
+	}
+	return nil
+}
+
+func processBudgetFor(jt model.JobType, queued float64) float64 {
+	b := queued
+	if jt.MaxProcess > 0 && jt.MaxProcess < b {
+		b = jt.MaxProcess
+	}
+	return b
+}
+
+// linearSlot reports whether the slot problem is linear, i.e. exactly
+// solvable by the greedy exchange: no fairness term in play and a linear
+// (or absent) tariff.
+func (g *GreFar) linearSlot() bool {
+	if g.cfg.V == 0 {
+		return true // cost is irrelevant; greedy processes everything queued
+	}
+	if g.cfg.Beta != 0 {
+		return false
+	}
+	if g.cfg.Tariff == nil {
+		return true
+	}
+	_, linear := g.cfg.Tariff.(tariff.Linear)
+	return linear
+}
+
+// solveQuadraticSlot handles beta > 0 by Frank-Wolfe over the concatenated
+// (h, b) variables. The fairness penalty V*beta*P(alloc(h)) couples job
+// types of the same account across sites; everything else is linear. With
+// the paper's quadratic fairness the program is a QP solved with exact line
+// search; other convex penalties (alpha-fair) use diminishing steps.
+func (g *GreFar) solveQuadraticSlot(st *model.State, cH, cB, hCap [][]float64) ([][]float64, error) {
+	c := g.cluster
+	hVars := c.N() * c.J()
+	bOffset := make([]int, c.N())
+	total := hVars
+	for i := 0; i < c.N(); i++ {
+		bOffset[i] = total
+		total += c.K(i)
+	}
+	hIndex := func(i, j int) int { return i*c.J() + j }
+
+	// Non-linear tariffs move the energy cost out of the linear part and
+	// into the convex tariff term.
+	nonlinearTariff := false
+	if g.cfg.Tariff != nil {
+		_, isLinear := g.cfg.Tariff.(tariff.Linear)
+		nonlinearTariff = !isLinear
+	}
+	linear := make([]float64, total)
+	for i := 0; i < c.N(); i++ {
+		for j := 0; j < c.J(); j++ {
+			linear[hIndex(i, j)] = cH[i][j]
+		}
+		if !nonlinearTariff {
+			for k := 0; k < c.K(i); k++ {
+				linear[bOffset[i]+k] = cB[i][k]
+			}
+		}
+	}
+	so := newSlotObjective(c, linear, g.cfg.V*g.cfg.Beta, st.TotalResource(c), g.cfg.Fairness)
+	if nonlinearTariff {
+		so.attachTariff(c, st, g.cfg.Tariff, g.cfg.V)
+	}
+	obj := wrapSlotObjective(so)
+
+	gradH := make([][]float64, c.N())
+	gradB := make([][]float64, c.N())
+	for i := range gradH {
+		gradH[i] = make([]float64, c.J())
+		gradB[i] = make([]float64, c.K(i))
+	}
+	oracle := func(grad []float64, out []float64) {
+		for i := 0; i < c.N(); i++ {
+			for j := 0; j < c.J(); j++ {
+				gradH[i][j] = grad[hIndex(i, j)]
+			}
+			for k := 0; k < c.K(i); k++ {
+				v := grad[bOffset[i]+k]
+				if v < 0 {
+					v = 0 // b only enters with non-negative marginal cost; guard roundoff
+				}
+				gradB[i][k] = v
+			}
+		}
+		var pr, bu [][]float64
+		if c.Aux() > 0 {
+			var err error
+			pr, bu, _, err = solveSlotLPGeneral(c, st, gradH, gradB, hCap)
+			if err != nil {
+				return // zero vertex fallback
+			}
+		} else {
+			la, err := solveLinearSlot(c, st, gradH, gradB, hCap)
+			if err != nil {
+				return // unreachable given the clamp; zero vertex fallback
+			}
+			pr, bu = la.process, la.busy
+		}
+		for i := 0; i < c.N(); i++ {
+			for j := 0; j < c.J(); j++ {
+				out[hIndex(i, j)] = pr[i][j]
+			}
+			for k := 0; k < c.K(i); k++ {
+				out[bOffset[i]+k] = bu[i][k]
+			}
+		}
+	}
+
+	opts := g.cfg.FW
+	if opts.MaxIters <= 0 {
+		opts.MaxIters = 150
+	}
+	res, err := solve.FrankWolfe(obj, solve.LinearOracle(oracle), make([]float64, total), opts)
+	if err != nil {
+		return nil, fmt.Errorf("frank-wolfe: %w", err)
+	}
+
+	process := make([][]float64, c.N())
+	for i := range process {
+		process[i] = make([]float64, c.J())
+		for j := 0; j < c.J(); j++ {
+			h := res.X[hIndex(i, j)]
+			if h < 0 {
+				h = 0
+			}
+			if h > hCap[i][j] {
+				h = hCap[i][j]
+			}
+			process[i][j] = h
+		}
+	}
+	return process, nil
+}

@@ -1,0 +1,133 @@
+// Package core implements GreFar, the paper's online drift-plus-penalty
+// scheduling algorithm (Algorithm 1). At each slot it observes only the
+// current data center state x(t) and queue backlogs Theta(t) and minimizes
+//
+//	V*g(t) - sum_j Q_j(t) * [sum_{i in D_j} r_{i,j}(t)]
+//	       + sum_j sum_{i in D_j} q_{i,j}(t) * [r_{i,j}(t) - h_{i,j}(t)]   (14)
+//
+// over the feasible actions, where g(t) = e(t) - beta*f(t) is the
+// energy-fairness cost. The routing part is linear and separable and is
+// solved in closed form; the processing part is solved exactly by a greedy
+// exchange when beta = 0 and by Frank-Wolfe (whose linear oracle is that same
+// greedy) when beta > 0.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"grefar/internal/model"
+)
+
+// linearAssignment is the solution of one linear slot subproblem.
+type linearAssignment struct {
+	process [][]float64 // h_{i,j}
+	busy    [][]float64 // b_{i,k}
+	value   float64     // objective value achieved
+}
+
+// segment is one server-type capacity tranche with a linear activation cost.
+type segment struct {
+	serverType int
+	cap        float64 // work units available
+	density    float64 // cost per unit work, cB/s
+	speed      float64
+}
+
+// jobDemand is one job type's processable work with a linear reward.
+type jobDemand struct {
+	job     int
+	work    float64 // d_j * processable jobs
+	density float64 // reward per unit work, -cH/d
+	demand  float64
+}
+
+// solveLinearSlot minimizes
+//
+//	sum_{i,j} cH[i][j]*h_{i,j} + sum_{i,k} cB[i][k]*b_{i,k}
+//
+// subject to the per-data-center capacity coupling (paper eq. 11),
+// 0 <= b_{i,k} <= avail[i][k] and 0 <= h_{i,j} <= hCap[i][j]. All cB must be
+// non-negative (true for GreFar, where cB = V*phi*p); the problem then
+// decomposes per data center and is solved exactly by matching job types in
+// decreasing reward density with capacity segments in increasing cost
+// density while the exchange is profitable.
+//
+// This routine doubles as the Frank-Wolfe linear oracle for the beta > 0
+// case, because the gradient of the quadratic slot objective with respect to
+// b is exactly the constant cB.
+func solveLinearSlot(c *model.Cluster, st *model.State, cH, cB, hCap [][]float64) (*linearAssignment, error) {
+	out := &linearAssignment{
+		process: make([][]float64, c.N()),
+		busy:    make([][]float64, c.N()),
+	}
+	for i := 0; i < c.N(); i++ {
+		out.process[i] = make([]float64, c.J())
+		out.busy[i] = make([]float64, c.K(i))
+
+		// Build capacity segments sorted by cost density.
+		dc := c.DataCenters[i]
+		segs := make([]segment, 0, c.K(i))
+		for k, stype := range dc.Servers {
+			if cB[i][k] < 0 {
+				return nil, fmt.Errorf("data center %d server type %d: negative capacity cost %v", i, k, cB[i][k])
+			}
+			capWork := st.Avail[i][k] * stype.Speed
+			if capWork <= 0 {
+				continue
+			}
+			segs = append(segs, segment{
+				serverType: k,
+				cap:        capWork,
+				density:    cB[i][k] / stype.Speed,
+				speed:      stype.Speed,
+			})
+		}
+		sort.Slice(segs, func(a, b int) bool { return segs[a].density < segs[b].density })
+
+		// Build job demands sorted by reward density.
+		jobs := make([]jobDemand, 0, c.J())
+		for j := 0; j < c.J(); j++ {
+			if cH[i][j] >= 0 || hCap[i][j] <= 0 {
+				continue // processing this type here cannot reduce the objective
+			}
+			d := c.JobTypes[j].Demand
+			jobs = append(jobs, jobDemand{
+				job:     j,
+				work:    hCap[i][j] * d,
+				density: -cH[i][j] / d,
+				demand:  d,
+			})
+		}
+		sort.Slice(jobs, func(a, b int) bool { return jobs[a].density > jobs[b].density })
+
+		// Exchange: highest-reward work onto cheapest capacity, while the
+		// reward strictly exceeds the cost.
+		seg := 0
+		for _, jd := range jobs {
+			remaining := jd.work
+			for remaining > 1e-15 && seg < len(segs) {
+				s := &segs[seg]
+				if jd.density <= s.density {
+					break // this and all costlier segments are unprofitable
+				}
+				take := remaining
+				if take > s.cap {
+					take = s.cap
+				}
+				out.process[i][jd.job] += take / jd.demand
+				out.busy[i][s.serverType] += take / s.speed
+				out.value += take * (s.density - jd.density)
+				s.cap -= take
+				remaining -= take
+				if s.cap <= 1e-15 {
+					seg++
+				}
+			}
+			if seg >= len(segs) {
+				break
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+
+	"grefar/internal/lp"
+	"grefar/internal/model"
+	"grefar/internal/queue"
+)
+
+// SolveSlotLP solves the beta = 0 processing subproblem of one GreFar slot
+// as an explicit linear program:
+//
+//	minimize  V * sum_{i,k} phi_i p_k b_{i,k} - sum_{i,j} q_{i,j} h_{i,j}
+//	s.t.      sum_j d_j h_{i,j} <= sum_k s_k b_{i,k}   for every i
+//	          0 <= b_{i,k} <= n_{i,k},  0 <= h_{i,j} <= hCap_{i,j}
+//
+// It exists to cross-validate the closed-form greedy in solveLinearSlot: the
+// two must agree on the objective value to solver tolerance. The ablation
+// benchmark also uses it to quantify how much faster the greedy is.
+func SolveSlotLP(c *model.Cluster, cfg Config, st *model.State, q queue.Lengths) (process, busy [][]float64, objective float64, err error) {
+	if cfg.Beta != 0 {
+		return nil, nil, 0, fmt.Errorf("slot LP handles beta = 0 only, got %v", cfg.Beta)
+	}
+	cH := make([][]float64, c.N())
+	cB := make([][]float64, c.N())
+	hCap := make([][]float64, c.N())
+	for i := 0; i < c.N(); i++ {
+		cH[i] = make([]float64, c.J())
+		cB[i] = make([]float64, c.K(i))
+		hCap[i] = make([]float64, c.J())
+		for j := 0; j < c.J(); j++ {
+			cH[i][j] = -q.Local[i][j]
+			if c.JobTypes[j].EligibleSet(i) {
+				hCap[i][j] = processBudgetFor(c.JobTypes[j], q.Local[i][j])
+			}
+		}
+		for k, stype := range c.DataCenters[i].Servers {
+			cB[i][k] = cfg.V * st.Price[i] * stype.Power
+		}
+	}
+	return solveSlotLPGeneral(c, st, cH, cB, hCap)
+}
+
+// SolveSlotGreedy solves the same beta = 0 processing subproblem as
+// SolveSlotLP with the closed-form greedy exchange, exposed so ablations can
+// time the two solvers head to head.
+func SolveSlotGreedy(c *model.Cluster, cfg Config, st *model.State, q queue.Lengths) (process, busy [][]float64, objective float64, err error) {
+	if cfg.Beta != 0 {
+		return nil, nil, 0, fmt.Errorf("greedy slot solver handles beta = 0 only, got %v", cfg.Beta)
+	}
+	cH := make([][]float64, c.N())
+	cB := make([][]float64, c.N())
+	hCap := make([][]float64, c.N())
+	for i := 0; i < c.N(); i++ {
+		cH[i] = make([]float64, c.J())
+		cB[i] = make([]float64, c.K(i))
+		hCap[i] = make([]float64, c.J())
+		for j := 0; j < c.J(); j++ {
+			cH[i][j] = -q.Local[i][j]
+			if c.JobTypes[j].EligibleSet(i) {
+				hCap[i][j] = processBudgetFor(c.JobTypes[j], q.Local[i][j])
+			}
+		}
+		for k, stype := range c.DataCenters[i].Servers {
+			cB[i][k] = cfg.V * st.Price[i] * stype.Power
+		}
+	}
+	la, err := solveLinearSlot(c, st, cH, cB, hCap)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return la.process, la.busy, la.value, nil
+}
+
+// solveSlotLPGeneral solves the linear slot problem with arbitrary
+// coefficients, including the footnote-3 auxiliary resource constraints
+// sum_j h_{i,j} * aux_{j,r} <= AuxCapacity_{i,r}. It is both the production
+// path for clusters with auxiliary resources (where the single-constraint
+// greedy does not apply) and the Frank-Wolfe linear oracle for such
+// clusters.
+func solveSlotLPGeneral(c *model.Cluster, st *model.State, cH, cB, hCap [][]float64) (process, busy [][]float64, objective float64, err error) {
+	nH := c.N() * c.J()
+	bOffset := make([]int, c.N())
+	total := nH
+	for i := 0; i < c.N(); i++ {
+		bOffset[i] = total
+		total += c.K(i)
+	}
+	hIndex := func(i, j int) int { return i*c.J() + j }
+
+	prob := lp.NewProblem(total)
+	costs := make([]float64, total)
+	for i := 0; i < c.N(); i++ {
+		for j := 0; j < c.J(); j++ {
+			costs[hIndex(i, j)] = cH[i][j]
+		}
+		for k := 0; k < c.K(i); k++ {
+			costs[bOffset[i]+k] = cB[i][k]
+		}
+	}
+	if err := prob.SetObjective(costs); err != nil {
+		return nil, nil, 0, err
+	}
+
+	for i := 0; i < c.N(); i++ {
+		// Capacity coupling: sum_j d_j h - sum_k s_k b <= 0.
+		idx := make([]int, 0, c.J()+c.K(i))
+		coef := make([]float64, 0, c.J()+c.K(i))
+		for j := 0; j < c.J(); j++ {
+			idx = append(idx, hIndex(i, j))
+			coef = append(coef, c.JobTypes[j].Demand)
+		}
+		for k, stype := range c.DataCenters[i].Servers {
+			idx = append(idx, bOffset[i]+k)
+			coef = append(coef, -stype.Speed)
+		}
+		if err := prob.AddSparseConstraint(idx, coef, lp.LE, 0); err != nil {
+			return nil, nil, 0, err
+		}
+		// Auxiliary resource constraints (footnote 3 vector demands).
+		for r := 0; r < c.Aux(); r++ {
+			var aIdx []int
+			var aCoef []float64
+			for j := 0; j < c.J(); j++ {
+				if r < len(c.JobTypes[j].AuxDemand) && c.JobTypes[j].AuxDemand[r] > 0 {
+					aIdx = append(aIdx, hIndex(i, j))
+					aCoef = append(aCoef, c.JobTypes[j].AuxDemand[r])
+				}
+			}
+			if len(aIdx) == 0 {
+				continue
+			}
+			if err := prob.AddSparseConstraint(aIdx, aCoef, lp.LE, c.DataCenters[i].AuxCapacity[r]); err != nil {
+				return nil, nil, 0, err
+			}
+		}
+		for j := 0; j < c.J(); j++ {
+			if err := prob.AddUpperBound(hIndex(i, j), hCap[i][j]); err != nil {
+				return nil, nil, 0, err
+			}
+		}
+		for k := 0; k < c.K(i); k++ {
+			if err := prob.AddUpperBound(bOffset[i]+k, st.Avail[i][k]); err != nil {
+				return nil, nil, 0, err
+			}
+		}
+	}
+
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, nil, 0, fmt.Errorf("slot LP is %v, want optimal", sol.Status)
+	}
+
+	process = make([][]float64, c.N())
+	busy = make([][]float64, c.N())
+	for i := 0; i < c.N(); i++ {
+		process[i] = make([]float64, c.J())
+		busy[i] = make([]float64, c.K(i))
+		for j := 0; j < c.J(); j++ {
+			process[i][j] = sol.X[hIndex(i, j)]
+		}
+		for k := 0; k < c.K(i); k++ {
+			busy[i][k] = sol.X[bOffset[i]+k]
+		}
+	}
+	return process, busy, sol.Objective, nil
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"grefar/internal/model"
+	"grefar/internal/queue"
+)
+
+// TestParallelismConstraint exercises the paper's section III-B adaptation:
+// "we need to add a constraint on the scheduling decisions such that the
+// maximum number of servers that can be used to process a job simultaneously
+// is upper bounded." In this model the bound is expressed through
+// MaxProcess = h_max_{i,j}: a job type whose jobs can use at most P servers
+// of speed s processes at most P*s/d jobs per slot per site, no matter how
+// much backlog or capacity exists.
+func TestParallelismConstraint(t *testing.T) {
+	c := &model.Cluster{
+		DataCenters: []model.DataCenter{
+			{Name: "dc", Servers: []model.ServerType{{Name: "s", Speed: 1, Power: 1}}},
+		},
+		JobTypes: []model.JobType{
+			// A long job (demand 8) that may use at most 16 servers in
+			// parallel: at speed 1 that is 16 work/slot, i.e. h_max = 2.
+			{Name: "limited", Demand: 8, Eligible: []int{0}, Account: 0, MaxProcess: 2},
+			// An unconstrained short type for contrast.
+			{Name: "free", Demand: 1, Eligible: []int{0}, Account: 0, MaxProcess: 0},
+		},
+		Accounts: []model.Account{{Name: "a", Weight: 1}},
+	}
+	g, err := New(c, Config{V: 0}) // V=0: process as much as possible
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := model.NewState(c)
+	st.Avail[0][0] = 1000 // capacity far beyond any backlog
+	st.Price[0] = 0.1
+
+	q := queue.Lengths{Central: make([]float64, 2), Local: [][]float64{{10, 10}}}
+	act, err := g.Decide(0, st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act.Process[0][0] > 2+1e-9 {
+		t.Errorf("parallelism-limited type processed %v jobs/slot, cap is 2", act.Process[0][0])
+	}
+	if act.Process[0][1] < 10-1e-9 {
+		t.Errorf("unconstrained type processed only %v of 10", act.Process[0][1])
+	}
+
+	// Draining 10 limited jobs therefore takes at least 5 slots.
+	remaining := 10.0
+	slots := 0
+	for remaining > 1e-9 && slots < 20 {
+		q.Local[0][0] = remaining
+		act, err := g.Decide(slots, st, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		remaining -= act.Process[0][0]
+		slots++
+	}
+	if slots < 5 {
+		t.Errorf("drained in %d slots; parallelism cap implies >= 5", slots)
+	}
+}

@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"grefar/internal/core"
+	"grefar/internal/model"
+	"grefar/internal/queue"
+	"grefar/internal/sim"
+	"grefar/internal/solve"
+)
+
+// GreedyVsLPResult compares the closed-form greedy slot solver against the
+// simplex LP on the same sequence of slot problems.
+type GreedyVsLPResult struct {
+	// Slots is the number of slot problems solved.
+	Slots int
+	// MaxObjectiveDiff is the largest |greedy - LP| objective discrepancy
+	// relative to 1+|LP| (must be ~solver tolerance).
+	MaxObjectiveDiff float64
+	// GreedyTime and LPTime are the total wall-clock times.
+	GreedyTime, LPTime time.Duration
+	// Speedup is LPTime/GreedyTime.
+	Speedup float64
+}
+
+// AblationGreedyVsLP runs both beta=0 slot solvers on a simulated queue
+// trajectory and reports agreement and speed, quantifying the DESIGN.md
+// claim that the greedy is exact and much faster.
+func AblationGreedyVsLP(cfg Config, slots int) (*GreedyVsLPResult, error) {
+	cfg = cfg.withDefaults()
+	if slots <= 0 {
+		slots = 50
+	}
+	if cfg.Slots < slots {
+		cfg.Slots = slots
+	}
+	in, err := cfg.inputs()
+	if err != nil {
+		return nil, err
+	}
+	c := in.Cluster
+	gcfg := core.Config{V: 7.5}
+	g, err := core.New(c, gcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Drive a realistic backlog trajectory with GreFar itself, timing the
+	// two slot solvers head to head on the same inputs each slot.
+	qs := queue.NewSet(c)
+	st := model.NewState(c)
+	res := &GreedyVsLPResult{Slots: slots}
+	for t := 0; t < slots; t++ {
+		avail := in.Availability.At(t)
+		for i := 0; i < c.N(); i++ {
+			copy(st.Avail[i], avail[i])
+			st.Price[i] = in.Prices[i].At(t)
+		}
+		lengths := qs.Lengths()
+
+		start := time.Now()
+		_, _, greedyObj, err := core.SolveSlotGreedy(c, gcfg, st, lengths)
+		if err != nil {
+			return nil, err
+		}
+		res.GreedyTime += time.Since(start)
+
+		start = time.Now()
+		_, _, lpObj, err := core.SolveSlotLP(c, gcfg, st, lengths)
+		if err != nil {
+			return nil, err
+		}
+		res.LPTime += time.Since(start)
+
+		diff := math.Abs(greedyObj-lpObj) / (1 + math.Abs(lpObj))
+		if diff > res.MaxObjectiveDiff {
+			res.MaxObjectiveDiff = diff
+		}
+
+		act, err := g.Decide(t, st, lengths)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := qs.Apply(t, act); err != nil {
+			return nil, err
+		}
+		if err := qs.Arrive(t, in.Workload.Arrivals(t)); err != nil {
+			return nil, err
+		}
+	}
+	if res.GreedyTime > 0 {
+		res.Speedup = float64(res.LPTime) / float64(res.GreedyTime)
+	}
+	return res, nil
+}
+
+// FWItersResult records the Frank-Wolfe iteration-budget ablation: the
+// objective gap of cheap budgets relative to a high-budget reference.
+type FWItersResult struct {
+	Iters []int
+	// RelGap[i] is (obj(iters) - obj(reference)) / (1+|obj(reference)|),
+	// averaged over the sampled slot problems.
+	RelGap []float64
+}
+
+// AblationFWIters sweeps the Frank-Wolfe iteration budget on beta>0 slot
+// problems, quantifying how many iterations the per-slot QP actually needs.
+func AblationFWIters(cfg Config, iters []int, samples int) (*FWItersResult, error) {
+	cfg = cfg.withDefaults()
+	if len(iters) == 0 {
+		iters = []int{5, 20, 50, 150}
+	}
+	if samples <= 0 {
+		samples = 10
+	}
+	in, err := cfg.inputs()
+	if err != nil {
+		return nil, err
+	}
+	c := in.Cluster
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+
+	// Reference: a generous budget.
+	ref, err := core.New(c, core.Config{V: 7.5, Beta: 100, FW: solve.FWOptions{MaxIters: 2000, Tol: 1e-12}})
+	if err != nil {
+		return nil, err
+	}
+	cands := make([]*core.GreFar, len(iters))
+	for x, it := range iters {
+		cands[x], err = core.New(c, core.Config{V: 7.5, Beta: 100, FW: solve.FWOptions{MaxIters: it, Tol: 1e-12}})
+		if err != nil {
+			return nil, err
+		}
+	}
+	gamma := core.AccountWeights(c)
+	gaps := make([]float64, len(iters))
+
+	st := model.NewState(c)
+	for s := 0; s < samples; s++ {
+		t := rng.Intn(cfg.Slots)
+		avail := in.Availability.At(t)
+		for i := 0; i < c.N(); i++ {
+			copy(st.Avail[i], avail[i])
+			st.Price[i] = in.Prices[i].At(t)
+		}
+		lengths := queue.Lengths{Central: make([]float64, c.J()), Local: make([][]float64, c.N())}
+		for j := range lengths.Central {
+			lengths.Central[j] = float64(rng.Intn(40))
+		}
+		for i := range lengths.Local {
+			lengths.Local[i] = make([]float64, c.J())
+			for j := range lengths.Local[i] {
+				lengths.Local[i][j] = float64(rng.Intn(40))
+			}
+		}
+		refAct, err := ref.Decide(t, st, lengths)
+		if err != nil {
+			return nil, err
+		}
+		refObj := core.DriftPlusPenalty(c, core.Config{V: 7.5, Beta: 100}, st, lengths, refAct, gamma)
+		for x, cand := range cands {
+			act, err := cand.Decide(t, st, lengths)
+			if err != nil {
+				return nil, err
+			}
+			obj := core.DriftPlusPenalty(c, core.Config{V: 7.5, Beta: 100}, st, lengths, act, gamma)
+			gaps[x] += (obj - refObj) / (1 + math.Abs(refObj))
+		}
+	}
+	res := &FWItersResult{Iters: iters, RelGap: make([]float64, len(iters))}
+	for x := range iters {
+		res.RelGap[x] = gaps[x] / float64(samples)
+	}
+	return res, nil
+}
+
+// RoutingTieBreakResult compares the two routing tie-break rules at small V,
+// where all local queues hover near zero and ties dominate.
+type RoutingTieBreakResult struct {
+	// SplitEnergy and FirstEnergy are the average energy costs under the
+	// default tie-splitting rule and the naive first-site rule.
+	SplitEnergy, FirstEnergy float64
+	// SplitWork and FirstWork are the per-site work shares.
+	SplitWork, FirstWork []float64
+}
+
+// AblationRoutingTieBreak quantifies the DESIGN.md routing ablation: at
+// V = 0.1 the naive first-site rule never routes to the later (expensive)
+// site simply because indices break ties, accidentally hiding its cost; the
+// faithful tie-splitting rule spreads jobs and reports the true small-V
+// energy cost, which is what makes Fig. 2's energy curve monotone in V.
+func AblationRoutingTieBreak(cfg Config) (*RoutingTieBreakResult, error) {
+	cfg = cfg.withDefaults()
+	res := &RoutingTieBreakResult{}
+	for _, rule := range []core.RoutingRule{core.SplitTies, core.FirstSiteWins} {
+		in, err := cfg.inputs()
+		if err != nil {
+			return nil, err
+		}
+		g, err := core.New(in.Cluster, core.Config{V: 0.1, Routing: rule})
+		if err != nil {
+			return nil, err
+		}
+		r, err := sim.Run(in, g, sim.Options{Slots: cfg.Slots, ValidateActions: true})
+		if err != nil {
+			return nil, err
+		}
+		if rule == core.SplitTies {
+			res.SplitEnergy, res.SplitWork = r.AvgEnergy, r.AvgWorkPerDC
+		} else {
+			res.FirstEnergy, res.FirstWork = r.AvgEnergy, r.AvgWorkPerDC
+		}
+	}
+	return res, nil
+}
+
+// WorkShare returns the average work per slot scheduled to each data center
+// under GreFar with V=7.5, beta=100 — the paper reports 33.967, 48.502, and
+// 14.770, i.e. the bulk of the work landing on the cheapest site (DC2).
+func WorkShare(cfg Config) ([]float64, error) {
+	cfg = cfg.withDefaults()
+	in, err := cfg.inputs()
+	if err != nil {
+		return nil, err
+	}
+	g, err := core.New(in.Cluster, core.Config{V: 7.5, Beta: 100})
+	if err != nil {
+		return nil, err
+	}
+	r, err := sim.Run(in, g, sim.Options{Slots: cfg.Slots, ValidateActions: true})
+	if err != nil {
+		return nil, err
+	}
+	return r.AvgWorkPerDC, nil
+}

@@ -1,0 +1,561 @@
+// Package experiments defines one reproducible experiment per table and
+// figure of the paper's evaluation (section VI), plus the Theorem 1 sanity
+// experiment and the ablations called out in DESIGN.md. Each experiment
+// assembles the reference inputs (Table I cluster, calibrated prices,
+// Cosmos-like workload, slackness-respecting availability), runs the
+// schedulers, and returns the same rows/series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"grefar/internal/core"
+	"grefar/internal/model"
+	"grefar/internal/sched"
+	"grefar/internal/sim"
+)
+
+// Config tunes an experiment run. The zero value selects the paper-scale
+// defaults (2000 hourly slots, seed 2012).
+type Config struct {
+	// Seed drives every stochastic input deterministically.
+	Seed int64
+	// Slots is the simulation horizon in hours (default 2000, matching the
+	// paper's 2000-hour plots).
+	Slots int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 2012
+	}
+	if c.Slots <= 0 {
+		c.Slots = 2000
+	}
+	return c
+}
+
+func (c Config) inputs() (sim.Inputs, error) {
+	return sim.NewReferenceInputs(c.Seed, c.Slots)
+}
+
+// TableIRow is one data center row of Table I.
+type TableIRow struct {
+	DC          string
+	Speed       float64
+	Power       float64
+	AvgPrice    float64
+	CostPerWork float64 // average energy cost per unit work = AvgPrice * p/s
+}
+
+// TableI reproduces Table I: server configuration and measured average
+// electricity price per data center, with the derived average energy cost
+// per unit work that explains why most work lands on data center 2.
+func TableI(cfg Config) ([]TableIRow, error) {
+	cfg = cfg.withDefaults()
+	in, err := cfg.inputs()
+	if err != nil {
+		return nil, err
+	}
+	c := in.Cluster
+	rows := make([]TableIRow, c.N())
+	for i := 0; i < c.N(); i++ {
+		var sum float64
+		for t := 0; t < cfg.Slots; t++ {
+			sum += in.Prices[i].At(t)
+		}
+		avg := sum / float64(cfg.Slots)
+		st := c.DataCenters[i].Servers[0]
+		rows[i] = TableIRow{
+			DC:          c.DataCenters[i].Name,
+			Speed:       st.Speed,
+			Power:       st.Power,
+			AvgPrice:    avg,
+			CostPerWork: avg * st.CostPerWork(),
+		}
+	}
+	return rows, nil
+}
+
+// Fig1Result carries the three-day input trace of Fig. 1.
+type Fig1Result struct {
+	// Hours is the trace length (72).
+	Hours int
+	// Prices[i][t] is the price at data center i.
+	Prices [][]float64
+	// OrgWork[m][t] is the total work arriving from organization m.
+	OrgWork [][]float64
+}
+
+// Fig1 reproduces Fig. 1: a three-day trace of electricity prices in the
+// three data centers and of the total work arriving from each organization.
+func Fig1(cfg Config) (*Fig1Result, error) {
+	cfg = cfg.withDefaults()
+	const hours = 72
+	if cfg.Slots < hours {
+		cfg.Slots = hours
+	}
+	in, err := cfg.inputs()
+	if err != nil {
+		return nil, err
+	}
+	c := in.Cluster
+	res := &Fig1Result{
+		Hours:   hours,
+		Prices:  make([][]float64, c.N()),
+		OrgWork: make([][]float64, c.M()),
+	}
+	for i := 0; i < c.N(); i++ {
+		res.Prices[i] = make([]float64, hours)
+		for t := 0; t < hours; t++ {
+			res.Prices[i][t] = in.Prices[i].At(t)
+		}
+	}
+	for m := 0; m < c.M(); m++ {
+		res.OrgWork[m] = make([]float64, hours)
+	}
+	for t := 0; t < hours; t++ {
+		arr := in.Workload.Arrivals(t)
+		for j, a := range arr {
+			jt := c.JobTypes[j]
+			res.OrgWork[jt.Account][t] += float64(a) * jt.Demand
+		}
+	}
+	return res, nil
+}
+
+// Fig2Values are the cost-delay parameter settings of Fig. 2.
+var Fig2Values = []float64{0.1, 2.5, 7.5, 20}
+
+// Fig2Result carries one sub-figure set per V value.
+type Fig2Result struct {
+	V []float64
+	// Energy[vi] is the running-average energy cost series (Fig. 2a).
+	Energy [][]float64
+	// DelayDC1[vi] and DelayDC2[vi] are the running per-job average delays
+	// at data centers 1 and 2 (Fig. 2b/2c).
+	DelayDC1, DelayDC2 [][]float64
+	// FinalEnergy, FinalDelayDC1, FinalDelayDC2 are the horizon values.
+	FinalEnergy, FinalDelayDC1, FinalDelayDC2 []float64
+}
+
+// Fig2 reproduces Fig. 2: GreFar with beta = 0 for each V in Fig2Values.
+// Greater V must reduce energy cost and increase delay.
+func Fig2(cfg Config) (*Fig2Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Fig2Result{V: append([]float64(nil), Fig2Values...)}
+	for _, v := range res.V {
+		in, err := cfg.inputs()
+		if err != nil {
+			return nil, err
+		}
+		g, err := core.New(in.Cluster, core.Config{V: v})
+		if err != nil {
+			return nil, err
+		}
+		r, err := sim.Run(in, g, sim.Options{Slots: cfg.Slots, RecordSeries: true, ValidateActions: true})
+		if err != nil {
+			return nil, fmt.Errorf("V=%g: %w", v, err)
+		}
+		res.Energy = append(res.Energy, r.EnergySeries)
+		res.DelayDC1 = append(res.DelayDC1, r.LocalDelaySeries[0])
+		res.DelayDC2 = append(res.DelayDC2, r.LocalDelaySeries[1])
+		res.FinalEnergy = append(res.FinalEnergy, r.AvgEnergy)
+		res.FinalDelayDC1 = append(res.FinalDelayDC1, r.AvgLocalDelay[0])
+		res.FinalDelayDC2 = append(res.FinalDelayDC2, r.AvgLocalDelay[1])
+	}
+	return res, nil
+}
+
+// Fig3Result compares beta = 0 against beta = 100 at V = 7.5.
+type Fig3Result struct {
+	Beta []float64
+	// Energy, Fairness, DelayDC1 are running-average series per beta.
+	Energy, Fairness, DelayDC1 [][]float64
+	// Final values per beta.
+	FinalEnergy, FinalFairness, FinalDelayDC1 []float64
+}
+
+// Fig3 reproduces Fig. 3: the impact of the energy-fairness parameter. With
+// beta = 100 the fairness score rises sharply while energy cost increases
+// only marginally and the DC1 delay drops (the fairness term encourages
+// resource use).
+func Fig3(cfg Config) (*Fig3Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Fig3Result{Beta: []float64{0, 100}}
+	for _, beta := range res.Beta {
+		in, err := cfg.inputs()
+		if err != nil {
+			return nil, err
+		}
+		g, err := core.New(in.Cluster, core.Config{V: 7.5, Beta: beta})
+		if err != nil {
+			return nil, err
+		}
+		r, err := sim.Run(in, g, sim.Options{Slots: cfg.Slots, RecordSeries: true, ValidateActions: true})
+		if err != nil {
+			return nil, fmt.Errorf("beta=%g: %w", beta, err)
+		}
+		res.Energy = append(res.Energy, r.EnergySeries)
+		res.Fairness = append(res.Fairness, r.FairnessSeries)
+		res.DelayDC1 = append(res.DelayDC1, r.LocalDelaySeries[0])
+		res.FinalEnergy = append(res.FinalEnergy, r.AvgEnergy)
+		res.FinalFairness = append(res.FinalFairness, r.AvgFairness)
+		res.FinalDelayDC1 = append(res.FinalDelayDC1, r.AvgLocalDelay[0])
+	}
+	return res, nil
+}
+
+// Fig4Result compares GreFar (V=7.5, beta=100) against Always.
+type Fig4Result struct {
+	Names []string
+	// Energy, Fairness, DelayDC1 are running-average series per policy.
+	Energy, Fairness, DelayDC1 [][]float64
+	// Final values per policy.
+	FinalEnergy, FinalFairness, FinalDelayDC1 []float64
+	// WorkPerDC[p][i] is the average work per slot per site, the section
+	// VI-B1 work-share observation.
+	WorkPerDC [][]float64
+}
+
+// Fig4 reproduces Fig. 4: GreFar incurs lower energy cost and better
+// fairness than Always at the expense of increased average delay (Always'
+// delay is about one slot).
+func Fig4(cfg Config) (*Fig4Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Fig4Result{}
+	scheds := make([]sched.Scheduler, 0, 2)
+	in0, err := cfg.inputs()
+	if err != nil {
+		return nil, err
+	}
+	g, err := core.New(in0.Cluster, core.Config{V: 7.5, Beta: 100})
+	if err != nil {
+		return nil, err
+	}
+	a, err := sched.NewAlways(in0.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	scheds = append(scheds, g, a)
+	for _, s := range scheds {
+		in, err := cfg.inputs()
+		if err != nil {
+			return nil, err
+		}
+		r, err := sim.Run(in, s, sim.Options{Slots: cfg.Slots, RecordSeries: true, ValidateActions: true})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Name(), err)
+		}
+		res.Names = append(res.Names, s.Name())
+		res.Energy = append(res.Energy, r.EnergySeries)
+		res.Fairness = append(res.Fairness, r.FairnessSeries)
+		res.DelayDC1 = append(res.DelayDC1, r.LocalDelaySeries[0])
+		res.FinalEnergy = append(res.FinalEnergy, r.AvgEnergy)
+		res.FinalFairness = append(res.FinalFairness, r.AvgFairness)
+		res.FinalDelayDC1 = append(res.FinalDelayDC1, r.AvgLocalDelay[0])
+		res.WorkPerDC = append(res.WorkPerDC, r.AvgWorkPerDC)
+	}
+	return res, nil
+}
+
+// Fig5Result is the one-day schedule snapshot at data center 1.
+type Fig5Result struct {
+	// Hour 0..23 of the snapshot day.
+	PriceDC1 []float64
+	// GreFarWork and AlwaysWork are the work processed at DC1 per hour.
+	GreFarWork, AlwaysWork []float64
+	// MeanPriceDC1 is the plain time-average DC1 price over the whole run.
+	MeanPriceDC1 float64
+	// GreFarPricePaid and AlwaysPricePaid are the work-weighted average DC1
+	// prices over the whole run — the price each policy actually paid per
+	// unit of work. GreFar's must be below Always', which sits near the
+	// (arrival-weighted) average: this is Fig. 5's "GreFar avoids high
+	// electricity prices" claim in one number.
+	GreFarPricePaid, AlwaysPricePaid float64
+	// GreFarCorr and AlwaysCorr are the raw price-work Pearson correlations
+	// over the run, reported for reference. Both can be positive because
+	// arrivals and prices share the afternoon peak; the price-paid metric
+	// above removes that confound.
+	GreFarCorr, AlwaysCorr float64
+}
+
+// Fig5 reproduces Fig. 5: a one-day snapshot (beta=0, V=7.5) showing GreFar
+// scheduling work when the DC1 price dips while Always is price-blind.
+func Fig5(cfg Config, day int) (*Fig5Result, error) {
+	cfg = cfg.withDefaults()
+	if day < 0 || (day+1)*24 > cfg.Slots {
+		return nil, fmt.Errorf("day %d outside horizon of %d slots", day, cfg.Slots)
+	}
+	run := func(s func(c *model.Cluster) (sched.Scheduler, error)) (*sim.Result, error) {
+		in, err := cfg.inputs()
+		if err != nil {
+			return nil, err
+		}
+		sc, err := s(in.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		return sim.Run(in, sc, sim.Options{Slots: cfg.Slots, RecordSeries: true, ValidateActions: true})
+	}
+	rg, err := run(func(c *model.Cluster) (sched.Scheduler, error) {
+		return core.New(c, core.Config{V: 7.5})
+	})
+	if err != nil {
+		return nil, fmt.Errorf("grefar: %w", err)
+	}
+	ra, err := run(func(c *model.Cluster) (sched.Scheduler, error) {
+		return sched.NewAlways(c)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("always: %w", err)
+	}
+	res := &Fig5Result{
+		PriceDC1:        rg.PriceSeries[0][day*24 : (day+1)*24],
+		GreFarWork:      rg.WorkSeries[0][day*24 : (day+1)*24],
+		AlwaysWork:      ra.WorkSeries[0][day*24 : (day+1)*24],
+		MeanPriceDC1:    mean(rg.PriceSeries[0]),
+		GreFarPricePaid: weightedMean(rg.PriceSeries[0], rg.WorkSeries[0]),
+		AlwaysPricePaid: weightedMean(ra.PriceSeries[0], ra.WorkSeries[0]),
+		GreFarCorr:      correlation(rg.PriceSeries[0], rg.WorkSeries[0]),
+		AlwaysCorr:      correlation(ra.PriceSeries[0], ra.WorkSeries[0]),
+	}
+	return res, nil
+}
+
+func mean(a []float64) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range a {
+		s += v
+	}
+	return s / float64(len(a))
+}
+
+// weightedMean returns sum(v*w)/sum(w), the w-weighted average of v.
+func weightedMean(v, w []float64) float64 {
+	var num, den float64
+	for i := range v {
+		num += v[i] * w[i]
+		den += w[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// DelayTailsResult extends Fig. 2's mean-delay story with the tail: per V,
+// the p50/p95/p99 per-job delay at DC1 from the run's delay histogram. The
+// paper plots only means; an operator provisions against the tail, and the
+// tail grows faster than the mean because GreFar holds work for price dips.
+type DelayTailsResult struct {
+	V                []float64
+	MeanDC1          []float64
+	P50, P95, P99    []float64
+	MaxDC1           []float64
+	ProcessedSamples []float64
+	// RefBounds/RefCounts are the DC1 delay histogram buckets of the V=7.5
+	// run, for rendering the distribution shape.
+	RefBounds, RefCounts []float64
+}
+
+// DelayTails runs GreFar (beta=0) for each V in Fig2Values and reports DC1
+// delay quantiles.
+func DelayTails(cfg Config) (*DelayTailsResult, error) {
+	cfg = cfg.withDefaults()
+	res := &DelayTailsResult{V: append([]float64(nil), Fig2Values...)}
+	for _, v := range res.V {
+		in, err := cfg.inputs()
+		if err != nil {
+			return nil, err
+		}
+		g, err := core.New(in.Cluster, core.Config{V: v})
+		if err != nil {
+			return nil, err
+		}
+		r, err := sim.Run(in, g, sim.Options{Slots: cfg.Slots, ValidateActions: true})
+		if err != nil {
+			return nil, fmt.Errorf("V=%g: %w", v, err)
+		}
+		h := r.DelayHistograms[0]
+		res.MeanDC1 = append(res.MeanDC1, h.Mean())
+		res.P50 = append(res.P50, h.Quantile(0.5))
+		res.P95 = append(res.P95, h.Quantile(0.95))
+		res.P99 = append(res.P99, h.Quantile(0.99))
+		res.MaxDC1 = append(res.MaxDC1, h.Max())
+		res.ProcessedSamples = append(res.ProcessedSamples, h.Total())
+		if v == 7.5 {
+			res.RefBounds, res.RefCounts = h.Buckets()
+		}
+	}
+	return res, nil
+}
+
+// ThreeWayResult compares GreFar against both myopic baselines: Always
+// (price-blind) and LocalGreedy (price-aware in space, blind in time).
+type ThreeWayResult struct {
+	Names     []string
+	Energy    []float64
+	DelayDC1  []float64
+	WorkPerDC [][]float64
+}
+
+// ThreeWay is the extension experiment separating GreFar's two sources of
+// savings: routing to cheap sites (which LocalGreedy also does) and waiting
+// for cheap hours (which only GreFar does). Expected ordering:
+// GreFar < LocalGreedy < Always on energy.
+func ThreeWay(cfg Config, v float64) (*ThreeWayResult, error) {
+	cfg = cfg.withDefaults()
+	if v <= 0 {
+		v = 7.5
+	}
+	in0, err := cfg.inputs()
+	if err != nil {
+		return nil, err
+	}
+	g, err := core.New(in0.Cluster, core.Config{V: v})
+	if err != nil {
+		return nil, err
+	}
+	lg, err := sched.NewLocalGreedy(in0.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	al, err := sched.NewAlways(in0.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	res := &ThreeWayResult{}
+	for _, s := range []sched.Scheduler{g, lg, al} {
+		in, err := cfg.inputs()
+		if err != nil {
+			return nil, err
+		}
+		r, err := sim.Run(in, s, sim.Options{Slots: cfg.Slots, ValidateActions: true})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Name(), err)
+		}
+		res.Names = append(res.Names, s.Name())
+		res.Energy = append(res.Energy, r.AvgEnergy)
+		res.DelayDC1 = append(res.DelayDC1, r.AvgLocalDelay[0])
+		res.WorkPerDC = append(res.WorkPerDC, r.AvgWorkPerDC)
+	}
+	return res, nil
+}
+
+// MPCResult compares online GreFar against the receding-horizon OracleMPC
+// policy that replans each slot with a perfect W-slot forecast — an upper
+// bound on what the prediction-driven provisioning approaches of the
+// paper's related work could achieve with an ideal predictor.
+type MPCResult struct {
+	Window                 int
+	GreFarEnergy           float64
+	GreFarDelay            float64
+	MPCEnergy              float64
+	MPCDelay               float64
+	AlwaysEnergy           float64
+	ForesightAdvantageFrac float64 // (GreFar - MPC)/GreFar
+}
+
+// MPCComparison runs GreFar (V=7.5), OracleMPC(window), and Always on the
+// same inputs.
+func MPCComparison(cfg Config, window int) (*MPCResult, error) {
+	cfg = cfg.withDefaults()
+	if window <= 0 {
+		window = 24
+	}
+	in, err := cfg.inputs()
+	if err != nil {
+		return nil, err
+	}
+	c := in.Cluster
+
+	// Perfect-foresight oracle over the same inputs. The MPC plans beyond
+	// the horizon, so the oracle wraps via the traces' own wrap-around.
+	oracle := &sched.TraceOracle{
+		States: func(t int) (*model.State, error) {
+			st := model.NewState(c)
+			avail := in.Availability.At(t)
+			for i := 0; i < c.N(); i++ {
+				copy(st.Avail[i], avail[i])
+				st.Price[i] = in.Prices[i].At(t)
+			}
+			return st, nil
+		},
+		Arrivals: func(t int) []int { return in.Workload.Arrivals(t) },
+	}
+	mpc, err := sched.NewOracleMPC(c, oracle, window)
+	if err != nil {
+		return nil, err
+	}
+	rm, err := sim.Run(in, mpc, sim.Options{Slots: cfg.Slots, ValidateActions: true})
+	if err != nil {
+		return nil, fmt.Errorf("mpc: %w", err)
+	}
+
+	in2, err := cfg.inputs()
+	if err != nil {
+		return nil, err
+	}
+	g, err := core.New(in2.Cluster, core.Config{V: 7.5})
+	if err != nil {
+		return nil, err
+	}
+	rg, err := sim.Run(in2, g, sim.Options{Slots: cfg.Slots, ValidateActions: true})
+	if err != nil {
+		return nil, fmt.Errorf("grefar: %w", err)
+	}
+
+	in3, err := cfg.inputs()
+	if err != nil {
+		return nil, err
+	}
+	al, err := sched.NewAlways(in3.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	ra, err := sim.Run(in3, al, sim.Options{Slots: cfg.Slots, ValidateActions: true})
+	if err != nil {
+		return nil, fmt.Errorf("always: %w", err)
+	}
+
+	return &MPCResult{
+		Window:                 window,
+		GreFarEnergy:           rg.AvgEnergy,
+		GreFarDelay:            rg.AvgLocalDelay[0],
+		MPCEnergy:              rm.AvgEnergy,
+		MPCDelay:               rm.AvgLocalDelay[0],
+		AlwaysEnergy:           ra.AvgEnergy,
+		ForesightAdvantageFrac: (rg.AvgEnergy - rm.AvgEnergy) / rg.AvgEnergy,
+	}, nil
+}
+
+// correlation returns the Pearson correlation of two equal-length series.
+func correlation(a, b []float64) float64 {
+	n := len(a)
+	if n == 0 || n != len(b) {
+		return 0
+	}
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= float64(n)
+	mb /= float64(n)
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}

@@ -1,0 +1,339 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// testCfg keeps test runtimes reasonable while preserving the qualitative
+// shapes; the full 2000-slot runs happen in the benchmarks.
+func testCfg() Config { return Config{Seed: 2012, Slots: 24 * 30} }
+
+func TestTableI(t *testing.T) {
+	rows, err := TableI(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	// Paper's Table I: speeds 1.00/0.75/1.15, powers 1.00/0.60/1.20, average
+	// prices ~0.392/0.433/0.548, cost per unit work ~0.392/0.346/0.572.
+	wantsPrice := []float64{0.392, 0.433, 0.548}
+	wantsCost := []float64{0.392, 0.346, 0.572}
+	for i, row := range rows {
+		if math.Abs(row.AvgPrice-wantsPrice[i]) > 0.03 {
+			t.Errorf("row %d: avg price %v, want ~%v", i, row.AvgPrice, wantsPrice[i])
+		}
+		if math.Abs(row.CostPerWork-wantsCost[i]) > 0.04 {
+			t.Errorf("row %d: cost/work %v, want ~%v", i, row.CostPerWork, wantsCost[i])
+		}
+	}
+	// DC2 must be the cheapest per unit work, DC3 the most expensive.
+	if !(rows[1].CostPerWork < rows[0].CostPerWork && rows[0].CostPerWork < rows[2].CostPerWork) {
+		t.Errorf("cost ordering broken: %+v", rows)
+	}
+}
+
+func TestFig1(t *testing.T) {
+	res, err := Fig1(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hours != 72 {
+		t.Fatalf("Hours = %d", res.Hours)
+	}
+	if len(res.Prices) != 3 || len(res.OrgWork) != 4 {
+		t.Fatalf("shape: %d price rows, %d org rows", len(res.Prices), len(res.OrgWork))
+	}
+	for i := range res.Prices {
+		if len(res.Prices[i]) != 72 {
+			t.Errorf("price row %d has %d hours", i, len(res.Prices[i]))
+		}
+	}
+	// Arrivals must be time-varying (non-degenerate trace).
+	var min, max float64 = math.Inf(1), 0
+	for _, v := range res.OrgWork[0] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max-min < 5 {
+		t.Errorf("org1 work barely varies over 3 days: min %v max %v", min, max)
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	res, err := Fig2(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.V) != 4 || len(res.FinalEnergy) != 4 {
+		t.Fatalf("shape: %v", res.V)
+	}
+	// Energy strictly decreasing in V, delays increasing.
+	for x := 1; x < 4; x++ {
+		if res.FinalEnergy[x] >= res.FinalEnergy[x-1] {
+			t.Errorf("energy not decreasing: V=%v -> %v, V=%v -> %v",
+				res.V[x-1], res.FinalEnergy[x-1], res.V[x], res.FinalEnergy[x])
+		}
+		if res.FinalDelayDC1[x] <= res.FinalDelayDC1[x-1] {
+			t.Errorf("DC1 delay not increasing: %v", res.FinalDelayDC1)
+		}
+	}
+	if len(res.Energy[0]) != testCfg().Slots {
+		t.Errorf("series length %d, want %d", len(res.Energy[0]), testCfg().Slots)
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	res, err := Fig3(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// beta=100 fairness must be much better (closer to 0) than beta=0.
+	if res.FinalFairness[1] <= res.FinalFairness[0] {
+		t.Errorf("fairness: beta=100 %v not above beta=0 %v", res.FinalFairness[1], res.FinalFairness[0])
+	}
+	// Energy increase must be marginal (the paper's observation): allow up
+	// to 35% on the short test horizon.
+	if res.FinalEnergy[1] > 1.35*res.FinalEnergy[0] {
+		t.Errorf("beta=100 energy %v is not a marginal increase over %v", res.FinalEnergy[1], res.FinalEnergy[0])
+	}
+	// The fairness side effect: delay with beta=100 is lower.
+	if res.FinalDelayDC1[1] >= res.FinalDelayDC1[0] {
+		t.Errorf("delay: beta=100 %v not below beta=0 %v", res.FinalDelayDC1[1], res.FinalDelayDC1[0])
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	res, err := Fig4(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Names) != 2 {
+		t.Fatalf("want 2 policies, got %v", res.Names)
+	}
+	// GreFar (index 0) beats Always (index 1) on energy and fairness, loses
+	// on delay; Always' delay is about one.
+	if res.FinalEnergy[0] >= res.FinalEnergy[1] {
+		t.Errorf("GreFar energy %v not below Always %v", res.FinalEnergy[0], res.FinalEnergy[1])
+	}
+	if res.FinalFairness[0] <= res.FinalFairness[1] {
+		t.Errorf("GreFar fairness %v not above Always %v", res.FinalFairness[0], res.FinalFairness[1])
+	}
+	if res.FinalDelayDC1[0] <= res.FinalDelayDC1[1] {
+		t.Errorf("GreFar delay %v not above Always %v", res.FinalDelayDC1[0], res.FinalDelayDC1[1])
+	}
+	if res.FinalDelayDC1[1] < 0.9 || res.FinalDelayDC1[1] > 1.5 {
+		t.Errorf("Always delay %v, want ~1", res.FinalDelayDC1[1])
+	}
+}
+
+func TestFig4WorkShareFavorsCheapSite(t *testing.T) {
+	res, err := Fig4(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := res.WorkPerDC[0] // GreFar
+	// Section VI-B1: most work goes to DC2 (cheapest per unit work), least
+	// to DC3 (most expensive).
+	if !(ws[1] > ws[0] && ws[0] > ws[2]) {
+		t.Errorf("work share %v does not follow cost ordering dc2 > dc1 > dc3", ws)
+	}
+}
+
+func TestFig5PriceAnticorrelation(t *testing.T) {
+	res, err := Fig5(testCfg(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PriceDC1) != 24 || len(res.GreFarWork) != 24 || len(res.AlwaysWork) != 24 {
+		t.Fatalf("snapshot lengths wrong")
+	}
+	// GreFar buys DC1 energy below the price Always pays (the Fig. 5
+	// "avoids high electricity prices" claim), with a real margin.
+	if res.GreFarPricePaid >= res.AlwaysPricePaid-0.005 {
+		t.Errorf("GreFar paid %v per unit work at DC1, Always paid %v; want a clear saving",
+			res.GreFarPricePaid, res.AlwaysPricePaid)
+	}
+	// And GreFar's processing is more price-averse than Always' in the raw
+	// correlation too.
+	if res.GreFarCorr >= res.AlwaysCorr {
+		t.Errorf("GreFar correlation %v not below Always' %v", res.GreFarCorr, res.AlwaysCorr)
+	}
+}
+
+func TestFig5DayOutOfRange(t *testing.T) {
+	if _, err := Fig5(testCfg(), 10000); err == nil {
+		t.Error("out-of-range day accepted")
+	}
+}
+
+func TestTheorem1Bounds(t *testing.T) {
+	cfg := Config{Seed: 2012, Slots: 24 * 10}
+	res, err := Theorem1(cfg, []float64{0.5, 5, 20}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queue bound O(V): max queue grows with V but stays bounded.
+	if !(res.MaxQueue[0] <= res.MaxQueue[1] && res.MaxQueue[1] <= res.MaxQueue[2]) {
+		t.Errorf("max queue not monotone in V: %v", res.MaxQueue)
+	}
+	// Cost gap O(1/V): the gap to the lookahead benchmark shrinks in V.
+	gaps := res.Gap()
+	if gaps[2] > gaps[0] {
+		t.Errorf("cost gap not shrinking in V: %v", gaps)
+	}
+	if res.LookaheadCost <= 0 {
+		t.Errorf("lookahead benchmark %v should be positive", res.LookaheadCost)
+	}
+}
+
+func TestAblationGreedyVsLP(t *testing.T) {
+	res, err := AblationGreedyVsLP(Config{Seed: 2012, Slots: 100}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxObjectiveDiff > 1e-5 {
+		t.Errorf("greedy and LP disagree by %v", res.MaxObjectiveDiff)
+	}
+	// On the small reference system the LP is also quick, so only require a
+	// clear win; the benchmark reports the actual factor.
+	if res.Speedup < 1.2 {
+		t.Errorf("greedy speedup %vx is suspiciously low", res.Speedup)
+	}
+}
+
+func TestAblationFWIters(t *testing.T) {
+	res, err := AblationFWIters(Config{Seed: 2012, Slots: 200}, []int{5, 150}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More iterations cannot be worse on average (both measured against a
+	// 2000-iteration reference), and 150 iterations should be near-exact.
+	if res.RelGap[1] > res.RelGap[0]+1e-9 {
+		t.Errorf("gap grew with iterations: %v", res.RelGap)
+	}
+	if math.Abs(res.RelGap[1]) > 1e-3 {
+		t.Errorf("150-iteration gap %v not near zero", res.RelGap[1])
+	}
+}
+
+func TestWorkShare(t *testing.T) {
+	ws, err := WorkShare(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 3 {
+		t.Fatalf("got %d sites", len(ws))
+	}
+	var total float64
+	for _, w := range ws {
+		total += w
+	}
+	// Average scheduled work should be in the ballpark of the average
+	// arriving work (roughly 60-110 units/slot for the reference workload).
+	if total < 40 || total > 150 {
+		t.Errorf("total work/slot %v outside plausible range", total)
+	}
+	if !(ws[1] > ws[2]) {
+		t.Errorf("cheapest site dc2 (%v) should out-process dc3 (%v)", ws[1], ws[2])
+	}
+}
+
+func TestAblationRoutingTieBreak(t *testing.T) {
+	res, err := AblationRoutingTieBreak(Config{Seed: 2012, Slots: 24 * 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tie-splitting uses every site (including the expensive dc3); the
+	// first-site rule starves dc3 by index accident at V=0.1.
+	if res.SplitWork[2] <= res.FirstWork[2] {
+		t.Errorf("tie-splitting dc3 work %v should exceed first-site %v", res.SplitWork[2], res.FirstWork[2])
+	}
+	// And therefore tie-splitting honestly pays more at V=0.1.
+	if res.SplitEnergy <= res.FirstEnergy {
+		t.Errorf("split energy %v should exceed first-site energy %v", res.SplitEnergy, res.FirstEnergy)
+	}
+}
+
+func TestThreeWayOrdering(t *testing.T) {
+	res, err := ThreeWay(Config{Seed: 2012, Slots: 24 * 30}, 7.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grefar, local, always := res.Energy[0], res.Energy[1], res.Energy[2]
+	// Site-awareness alone (LocalGreedy) must beat price-blind Always, and
+	// GreFar's time-awareness must beat both.
+	if !(grefar < local && local < always) {
+		t.Errorf("energy ordering grefar %v < local-greedy %v < always %v violated", grefar, local, always)
+	}
+	// LocalGreedy stays a next-slot policy: delay ~1.
+	if res.DelayDC1[1] < 0.9 || res.DelayDC1[1] > 1.6 {
+		t.Errorf("local-greedy delay %v, want ~1", res.DelayDC1[1])
+	}
+}
+
+func TestRobustnessAcrossSeeds(t *testing.T) {
+	res, err := Robustness(Config{Slots: 24 * 20}, []int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Errorf("headline orderings failed on %d of 3 seeds: %+v", res.Violations, res)
+	}
+	if res.EnergyGapFrac.Mean <= 0 {
+		t.Errorf("mean energy gap %v not positive", res.EnergyGapFrac.Mean)
+	}
+	if res.GreFarEnergy.Seeds != 3 {
+		t.Errorf("seeds = %d", res.GreFarEnergy.Seeds)
+	}
+}
+
+func TestDelayTails(t *testing.T) {
+	res, err := DelayTails(Config{Seed: 2012, Slots: 24 * 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(res.V) - 1
+	// Quantile ordering per V and tail growth in V.
+	for x := range res.V {
+		if !(res.P50[x] <= res.P95[x] && res.P95[x] <= res.P99[x] && res.P99[x] <= res.MaxDC1[x]) {
+			t.Errorf("V=%v: quantiles out of order p50=%v p95=%v p99=%v max=%v",
+				res.V[x], res.P50[x], res.P95[x], res.P99[x], res.MaxDC1[x])
+		}
+		if res.ProcessedSamples[x] <= 0 {
+			t.Errorf("V=%v: empty histogram", res.V[x])
+		}
+	}
+	if res.P95[last] <= res.P95[0] {
+		t.Errorf("p95 tail did not grow with V: %v", res.P95)
+	}
+	// The tail at V=20 is heavier relative to the median than at V=0.1.
+	if res.P95[last]/res.P50[last] <= res.P95[0]/res.P50[0] {
+		t.Errorf("tail-to-median ratio did not grow: %v / %v", res.P95, res.P50)
+	}
+}
+
+func TestMPCComparison(t *testing.T) {
+	res, err := MPCComparison(Config{Seed: 2012, Slots: 24 * 10}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perfect foresight beats the price-blind baseline comfortably.
+	if res.MPCEnergy >= res.AlwaysEnergy {
+		t.Errorf("MPC energy %v not below Always %v", res.MPCEnergy, res.AlwaysEnergy)
+	}
+	// The MPC serves everything within its window, so delays stay bounded
+	// by the window length.
+	if res.MPCDelay >= float64(res.Window) {
+		t.Errorf("MPC delay %v not below window %d", res.MPCDelay, res.Window)
+	}
+	if res.MPCDelay <= 0 {
+		t.Errorf("MPC delay %v suspiciously low", res.MPCDelay)
+	}
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"grefar/internal/core"
+	"grefar/internal/metrics"
+	"grefar/internal/sched"
+	"grefar/internal/sim"
+)
+
+// Replication summarizes one metric across seeds as mean and standard
+// deviation.
+type Replication struct {
+	Mean, Stddev float64
+	// Seeds is the number of replicas aggregated.
+	Seeds int
+}
+
+func (r Replication) String() string {
+	return fmt.Sprintf("%.3f +- %.3f (n=%d)", r.Mean, r.Stddev, r.Seeds)
+}
+
+// RobustnessResult reports the headline Fig. 4 comparison replicated over
+// independent seeds: if the orderings only held for one lucky seed, the
+// reproduction would be an illusion. EnergyGapFrac is
+// (Always - GreFar)/Always per seed aggregated; FairnessGap is
+// GreFar - Always (positive means GreFar fairer).
+type RobustnessResult struct {
+	GreFarEnergy, AlwaysEnergy Replication
+	EnergyGapFrac              Replication
+	FairnessGap                Replication
+	DelayGap                   Replication
+	// Violations counts seeds where any headline ordering failed
+	// (GreFar cheaper, GreFar fairer, Always delay ~1).
+	Violations int
+}
+
+// Robustness replicates the GreFar-vs-Always comparison across the given
+// seeds (defaults to 1..5) at V=7.5, beta=100.
+func Robustness(cfg Config, seeds []int64) (*RobustnessResult, error) {
+	cfg = cfg.withDefaults()
+	if len(seeds) == 0 {
+		seeds = []int64{1, 2, 3, 4, 5}
+	}
+	var ge, ae, gap, fair, delay metrics.Welford
+	res := &RobustnessResult{}
+	for _, seed := range seeds {
+		in, err := sim.NewReferenceInputs(seed, cfg.Slots)
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: %w", seed, err)
+		}
+		g, err := core.New(in.Cluster, core.Config{V: 7.5, Beta: 100})
+		if err != nil {
+			return nil, err
+		}
+		a, err := sched.NewAlways(in.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		rg, err := sim.Run(in, g, sim.Options{Slots: cfg.Slots, ValidateActions: true})
+		if err != nil {
+			return nil, fmt.Errorf("seed %d grefar: %w", seed, err)
+		}
+		// Rebuild inputs so both schedulers consume identical traces.
+		in2, err := sim.NewReferenceInputs(seed, cfg.Slots)
+		if err != nil {
+			return nil, err
+		}
+		ra, err := sim.Run(in2, a, sim.Options{Slots: cfg.Slots, ValidateActions: true})
+		if err != nil {
+			return nil, fmt.Errorf("seed %d always: %w", seed, err)
+		}
+
+		ge.Add(rg.AvgEnergy)
+		ae.Add(ra.AvgEnergy)
+		gap.Add((ra.AvgEnergy - rg.AvgEnergy) / ra.AvgEnergy)
+		fair.Add(rg.AvgFairness - ra.AvgFairness)
+		delay.Add(rg.AvgLocalDelay[0] - ra.AvgLocalDelay[0])
+		if !(rg.AvgEnergy < ra.AvgEnergy && rg.AvgFairness > ra.AvgFairness &&
+			ra.AvgLocalDelay[0] > 0.9 && ra.AvgLocalDelay[0] < 1.5) {
+			res.Violations++
+		}
+	}
+	mk := func(w metrics.Welford) Replication {
+		return Replication{Mean: w.Mean(), Stddev: w.Stddev(), Seeds: w.Count()}
+	}
+	res.GreFarEnergy = mk(ge)
+	res.AlwaysEnergy = mk(ae)
+	res.EnergyGapFrac = mk(gap)
+	res.FairnessGap = mk(fair)
+	res.DelayGap = mk(delay)
+	return res, nil
+}

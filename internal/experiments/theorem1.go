@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+
+	"grefar/internal/core"
+	"grefar/internal/sched"
+	"grefar/internal/sim"
+)
+
+// Theorem1Result records the Theorem 1 sanity sweep: for each V, the largest
+// queue backlog (bounded by V*C3/delta, i.e. O(V)) and the gap between
+// GreFar's time-average energy cost and the optimal T-step lookahead
+// benchmark (bounded by (B + D(T-1))/V, i.e. O(1/V)).
+type Theorem1Result struct {
+	V []float64
+	// MaxQueue[vi] is the largest single queue length under GreFar.
+	MaxQueue []float64
+	// AvgCost[vi] is GreFar's time-average energy cost (beta = 0).
+	AvgCost []float64
+	// FinalBacklog[vi] is the work left queued at the horizon; a large value
+	// warns that AvgCost undercounts deferred work.
+	FinalBacklog []float64
+	// LookaheadCost is the T-step lookahead benchmark (1/R) sum_r G*_r.
+	LookaheadCost float64
+	// T is the lookahead frame length used.
+	T int
+}
+
+// Gap returns AvgCost[vi] - LookaheadCost for each V.
+func (r *Theorem1Result) Gap() []float64 {
+	out := make([]float64, len(r.V))
+	for i, c := range r.AvgCost {
+		out[i] = c - r.LookaheadCost
+	}
+	return out
+}
+
+// Theorem1 runs the bound-checking sweep. The horizon is truncated to a
+// multiple of the frame length. The lookahead LP relaxes integer routing, so
+// the benchmark is conservative (a lower bound).
+func Theorem1(cfg Config, vs []float64, frameT int) (*Theorem1Result, error) {
+	cfg = cfg.withDefaults()
+	if len(vs) == 0 {
+		vs = []float64{0.5, 2.5, 7.5, 20}
+	}
+	if frameT <= 0 {
+		frameT = 12
+	}
+	slots := cfg.Slots - cfg.Slots%frameT
+	if slots <= 0 {
+		return nil, fmt.Errorf("horizon %d shorter than one frame %d", cfg.Slots, frameT)
+	}
+	cfg.Slots = slots
+
+	res := &Theorem1Result{T: frameT}
+	for _, v := range vs {
+		in, err := cfg.inputs()
+		if err != nil {
+			return nil, err
+		}
+		g, err := core.New(in.Cluster, core.Config{V: v})
+		if err != nil {
+			return nil, err
+		}
+		r, err := sim.Run(in, g, sim.Options{Slots: slots, ValidateActions: true})
+		if err != nil {
+			return nil, fmt.Errorf("V=%g: %w", v, err)
+		}
+		res.V = append(res.V, v)
+		res.MaxQueue = append(res.MaxQueue, r.MaxQueue)
+		res.AvgCost = append(res.AvgCost, r.AvgEnergy)
+		res.FinalBacklog = append(res.FinalBacklog, r.FinalBacklog)
+	}
+
+	in, err := cfg.inputs()
+	if err != nil {
+		return nil, err
+	}
+	states, arrivals, err := sim.CollectStates(in, slots)
+	if err != nil {
+		return nil, err
+	}
+	planner, err := sched.NewLookaheadPlanner(in.Cluster, frameT)
+	if err != nil {
+		return nil, err
+	}
+	res.LookaheadCost, err = planner.AverageCost(states, arrivals)
+	if err != nil {
+		return nil, fmt.Errorf("lookahead benchmark: %w", err)
+	}
+	return res, nil
+}

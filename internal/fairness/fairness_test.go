@@ -1,0 +1,131 @@
+package fairness
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuadraticIdealAllocationScoresZero(t *testing.T) {
+	q, err := NewQuadratic([]float64{0.4, 0.3, 0.15, 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := []float64{40, 30, 15, 15}
+	if got := q.Score(alloc, 100); math.Abs(got) > 1e-12 {
+		t.Errorf("Score(ideal) = %v, want 0", got)
+	}
+}
+
+func TestQuadraticScoreKnownValue(t *testing.T) {
+	q, _ := NewQuadratic([]float64{0.5, 0.5})
+	// Shares 1.0 and 0.0: deviations +0.5 and -0.5 -> score -0.5.
+	if got := q.Score([]float64{10, 0}, 10); math.Abs(got-(-0.5)) > 1e-12 {
+		t.Errorf("Score = %v, want -0.5", got)
+	}
+}
+
+func TestQuadraticZeroAllocationPenalty(t *testing.T) {
+	// The paper notes idle resources score poorly: all-zero allocation gives
+	// -sum gamma^2 < 0.
+	q, _ := NewQuadratic([]float64{0.4, 0.3, 0.15, 0.15})
+	want := -(0.4*0.4 + 0.3*0.3 + 0.15*0.15 + 0.15*0.15)
+	if got := q.Score([]float64{0, 0, 0, 0}, 100); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Score(zero) = %v, want %v", got, want)
+	}
+	// Zero total resource degenerates to the same constant.
+	if got := q.Score([]float64{0, 0, 0, 0}, 0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Score(total=0) = %v, want %v", got, want)
+	}
+}
+
+func TestQuadraticScoreNeverPositive(t *testing.T) {
+	q, _ := NewQuadratic([]float64{0.4, 0.3, 0.15, 0.15})
+	f := func(a, b, c, d uint16) bool {
+		alloc := []float64{float64(a), float64(b), float64(c), float64(d)}
+		return q.Score(alloc, 1000) <= 1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuadraticMaximizedAtTargetShares(t *testing.T) {
+	// Property: perturbing a single account away from its target share can
+	// only decrease the score.
+	q, _ := NewQuadratic([]float64{0.4, 0.3, 0.15, 0.15})
+	ideal := []float64{40, 30, 15, 15}
+	base := q.Score(ideal, 100)
+	for m := range ideal {
+		for _, delta := range []float64{-10, -1, 1, 10} {
+			perturbed := append([]float64(nil), ideal...)
+			perturbed[m] += delta
+			if got := q.Score(perturbed, 100); got > base+1e-12 {
+				t.Errorf("perturbing account %d by %v increased score: %v > %v", m, delta, got, base)
+			}
+		}
+	}
+}
+
+func TestQuadraticDeviations(t *testing.T) {
+	q, _ := NewQuadratic([]float64{0.6, 0.4})
+	dev := q.Deviations([]float64{30, 70}, 100)
+	if math.Abs(dev[0]-(-0.3)) > 1e-12 || math.Abs(dev[1]-0.3) > 1e-12 {
+		t.Errorf("Deviations = %v, want [-0.3 0.3]", dev)
+	}
+}
+
+func TestNewQuadraticRejectsNegativeWeights(t *testing.T) {
+	if _, err := NewQuadratic([]float64{0.5, -0.1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestQuadraticName(t *testing.T) {
+	q, _ := NewQuadratic(nil)
+	if q.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestAlphaFairOrdering(t *testing.T) {
+	// For alpha > 0, a balanced allocation beats a skewed one of equal sum.
+	a, err := NewAlphaFair(2, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	balanced := a.Score([]float64{50, 50}, 100)
+	skewed := a.Score([]float64{90, 10}, 100)
+	if balanced <= skewed {
+		t.Errorf("balanced %v should beat skewed %v for alpha=2", balanced, skewed)
+	}
+}
+
+func TestAlphaFairLogCase(t *testing.T) {
+	a, _ := NewAlphaFair(1, []float64{1, 1})
+	got := a.Score([]float64{50, 50}, 100)
+	want := 2 * math.Log(0.5)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Score = %v, want %v", got, want)
+	}
+}
+
+func TestAlphaFairZeroShareFinite(t *testing.T) {
+	a, _ := NewAlphaFair(1, []float64{1, 1})
+	if got := a.Score([]float64{100, 0}, 100); math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Errorf("Score with a zero share = %v, want finite", got)
+	}
+}
+
+func TestNewAlphaFairValidation(t *testing.T) {
+	if _, err := NewAlphaFair(-1, []float64{1}); err == nil {
+		t.Error("negative alpha accepted")
+	}
+	if _, err := NewAlphaFair(1, []float64{-1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	a, _ := NewAlphaFair(2, []float64{1})
+	if a.Name() == "" {
+		t.Error("empty name")
+	}
+}

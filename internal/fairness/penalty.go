@@ -1,0 +1,81 @@
+package fairness
+
+import "math"
+
+// The Penalty* methods expose each fairness function as a convex penalty
+// P(alloc) = -f(alloc, total) with first-order (and, where available,
+// second-order directional) information, which is what the GreFar slot
+// optimizer needs to include fairness in its convex program. The paper's
+// footnote 5 notes the analysis applies to other fairness functions; these
+// adapters are what makes the scheduler actually pluggable.
+
+// Penalty returns -Score for the quadratic function: sum_m (a_m/R - g_m)^2.
+func (q *Quadratic) Penalty(alloc []float64, total float64) float64 {
+	return -q.Score(alloc, total)
+}
+
+// PenaltyGrad writes dP/d(alloc_m) = 2*(a_m/R - g_m)/R into grad.
+func (q *Quadratic) PenaltyGrad(alloc []float64, total float64, grad []float64) {
+	for m := range q.Weights {
+		grad[m] = 0
+	}
+	if total <= 0 {
+		return
+	}
+	for m, w := range q.Weights {
+		share := 0.0
+		if m < len(alloc) {
+			share = alloc[m] / total
+		}
+		grad[m] = 2 * (share - w) / total
+	}
+}
+
+// PenaltyCurvatureAlong returns dir' H dir = sum_m 2*(dir_m/R)^2, which is
+// constant in the allocation: the quadratic term admits exact line search.
+func (q *Quadratic) PenaltyCurvatureAlong(dir []float64, total float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	var v float64
+	for m := range q.Weights {
+		if m >= len(dir) {
+			break
+		}
+		d := dir[m] / total
+		v += 2 * d * d
+	}
+	return v
+}
+
+// Penalty returns -Score for the alpha-fair function. It is convex because
+// the alpha-fair utility is concave in the shares.
+func (a *AlphaFair) Penalty(alloc []float64, total float64) float64 {
+	return -a.Score(alloc, total)
+}
+
+// PenaltyGrad writes the (sub)gradient of the alpha-fair penalty. Shares are
+// floored at Epsilon exactly as in Score, which caps the gradient magnitude
+// near zero allocations and keeps the optimizer stable.
+func (a *AlphaFair) PenaltyGrad(alloc []float64, total float64, grad []float64) {
+	eps := a.Epsilon
+	if eps <= 0 {
+		eps = 1e-6
+	}
+	for m := range a.Weights {
+		grad[m] = 0
+	}
+	if total <= 0 {
+		return
+	}
+	for m, w := range a.Weights {
+		// Below the floor the scored utility is locally flat; evaluating
+		// the derivative at the floored share keeps a bounded one-sided
+		// pull toward allocating, which is the stable smoothing choice.
+		share := eps
+		if m < len(alloc) && alloc[m]/total > eps {
+			share = alloc[m] / total
+		}
+		grad[m] = -w * math.Pow(share, -a.Alpha) / total
+	}
+}

@@ -1,0 +1,86 @@
+package fairness
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuadraticPenaltyMatchesScore(t *testing.T) {
+	q, _ := NewQuadratic([]float64{0.4, 0.6})
+	alloc := []float64{30, 20}
+	if got, want := q.Penalty(alloc, 100), -q.Score(alloc, 100); math.Abs(got-want) > 1e-15 {
+		t.Errorf("Penalty = %v, want %v", got, want)
+	}
+}
+
+func TestQuadraticPenaltyGradFiniteDifference(t *testing.T) {
+	q, _ := NewQuadratic([]float64{0.4, 0.3, 0.3})
+	alloc := []float64{10, 40, 25}
+	const total, eps = 120.0, 1e-6
+	grad := make([]float64, 3)
+	q.PenaltyGrad(alloc, total, grad)
+	for m := range alloc {
+		up := append([]float64(nil), alloc...)
+		dn := append([]float64(nil), alloc...)
+		up[m] += eps
+		dn[m] -= eps
+		fd := (q.Penalty(up, total) - q.Penalty(dn, total)) / (2 * eps)
+		if math.Abs(fd-grad[m]) > 1e-6 {
+			t.Errorf("grad[%d] = %v, finite difference %v", m, grad[m], fd)
+		}
+	}
+	// Zero total resource: gradient must be zero, not NaN.
+	q.PenaltyGrad(alloc, 0, grad)
+	for m, g := range grad {
+		if g != 0 {
+			t.Errorf("grad[%d] = %v with zero resource", m, g)
+		}
+	}
+}
+
+func TestQuadraticPenaltyCurvature(t *testing.T) {
+	q, _ := NewQuadratic([]float64{0.5, 0.5})
+	// Along dir in allocation space: 2*sum (dir_m/R)^2.
+	got := q.PenaltyCurvatureAlong([]float64{10, -5}, 100)
+	want := 2 * (0.01 + 0.0025)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("curvature = %v, want %v", got, want)
+	}
+	if q.PenaltyCurvatureAlong([]float64{1, 1}, 0) != 0 {
+		t.Error("curvature with zero resource should be 0")
+	}
+}
+
+func TestAlphaFairPenaltyGradFiniteDifference(t *testing.T) {
+	a, _ := NewAlphaFair(2, []float64{1, 0.5})
+	alloc := []float64{30, 15}
+	const total, eps = 100.0, 1e-6
+	grad := make([]float64, 2)
+	a.PenaltyGrad(alloc, total, grad)
+	for m := range alloc {
+		up := append([]float64(nil), alloc...)
+		dn := append([]float64(nil), alloc...)
+		up[m] += eps
+		dn[m] -= eps
+		fd := (a.Penalty(up, total) - a.Penalty(dn, total)) / (2 * eps)
+		if math.Abs(fd-grad[m]) > 1e-4*(1+math.Abs(fd)) {
+			t.Errorf("grad[%d] = %v, finite difference %v", m, grad[m], fd)
+		}
+	}
+}
+
+func TestAlphaFairPenaltyGradBoundedAtZero(t *testing.T) {
+	a, _ := NewAlphaFair(1, []float64{1})
+	grad := make([]float64, 1)
+	a.PenaltyGrad([]float64{0}, 100, grad)
+	if math.IsInf(grad[0], 0) || math.IsNaN(grad[0]) {
+		t.Errorf("grad at zero allocation = %v, want finite", grad[0])
+	}
+	if grad[0] >= 0 {
+		t.Errorf("grad at zero allocation = %v, want negative (pull toward allocating)", grad[0])
+	}
+	a.PenaltyGrad([]float64{0}, 0, grad)
+	if grad[0] != 0 {
+		t.Error("grad with zero resource should be 0")
+	}
+}

@@ -1,0 +1,596 @@
+// Package lp provides a self-contained dense linear-programming solver based
+// on the two-phase primal simplex method with an anti-cycling safeguard.
+//
+// It exists because the GreFar reproduction needs exact linear optimization
+// in two places: as a cross-check oracle for the closed-form greedy that
+// solves the beta=0 per-slot problem (paper eq. 14), and to compute the
+// optimal T-step lookahead policy of Theorem 1 (paper eqs. 15-18). Problem
+// sizes are modest (hundreds of variables), so a robust dense implementation
+// is preferred over a sparse one.
+//
+// Problems are stated as
+//
+//	minimize    c'x
+//	subject to  A x (<= | = | >=) b
+//	            0 <= x, and optionally x_j <= u_j
+//
+// Variable upper bounds are handled natively by the bounded-variable simplex
+// (the classic bound-flip technique), so a bound costs no constraint row;
+// the randomized tests in bounded_test.go verify the bounded solver against
+// the bounds-as-rows formulation.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Op is a constraint relation.
+type Op int
+
+// Constraint relations.
+const (
+	// LE is "less than or equal".
+	LE Op = iota + 1
+	// GE is "greater than or equal".
+	GE
+	// EQ is "equal".
+	EQ
+)
+
+// String returns the conventional symbol for the relation.
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota + 1
+	// Infeasible means the constraint set is empty.
+	Infeasible
+	// Unbounded means the objective decreases without bound.
+	Unbounded
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+type row struct {
+	coef []float64
+	op   Op
+	rhs  float64
+}
+
+// Problem is a linear program under construction. Create one with NewProblem,
+// set the objective, add constraints, then call Solve.
+type Problem struct {
+	n     int
+	c     []float64
+	rows  []row
+	upper []float64 // per-variable upper bound, +Inf when absent
+}
+
+// NewProblem creates a problem with n non-negative decision variables and a
+// zero objective.
+func NewProblem(n int) *Problem {
+	upper := make([]float64, n)
+	for j := range upper {
+		upper[j] = math.Inf(1)
+	}
+	return &Problem{n: n, c: make([]float64, n), upper: upper}
+}
+
+// NumVars returns the number of decision variables.
+func (p *Problem) NumVars() int { return p.n }
+
+// NumConstraints returns the number of constraint rows added so far.
+func (p *Problem) NumConstraints() int { return len(p.rows) }
+
+// SetObjective sets the full cost vector c (minimization). The slice is
+// copied.
+func (p *Problem) SetObjective(c []float64) error {
+	if len(c) != p.n {
+		return fmt.Errorf("objective has %d coefficients, problem has %d variables", len(c), p.n)
+	}
+	copy(p.c, c)
+	return nil
+}
+
+// SetObjectiveCoeff sets a single objective coefficient.
+func (p *Problem) SetObjectiveCoeff(j int, v float64) error {
+	if j < 0 || j >= p.n {
+		return fmt.Errorf("variable %d out of range [0,%d)", j, p.n)
+	}
+	p.c[j] = v
+	return nil
+}
+
+// AddConstraint adds the dense row coef'x (op) rhs. The slice is copied.
+func (p *Problem) AddConstraint(coef []float64, op Op, rhs float64) error {
+	if len(coef) != p.n {
+		return fmt.Errorf("constraint has %d coefficients, problem has %d variables", len(coef), p.n)
+	}
+	if op != LE && op != GE && op != EQ {
+		return fmt.Errorf("unknown constraint op %d", op)
+	}
+	p.rows = append(p.rows, row{coef: append([]float64(nil), coef...), op: op, rhs: rhs})
+	return nil
+}
+
+// AddSparseConstraint adds the row sum_t coef[t]*x[idx[t]] (op) rhs.
+func (p *Problem) AddSparseConstraint(idx []int, coef []float64, op Op, rhs float64) error {
+	if len(idx) != len(coef) {
+		return fmt.Errorf("got %d indices but %d coefficients", len(idx), len(coef))
+	}
+	dense := make([]float64, p.n)
+	for t, j := range idx {
+		if j < 0 || j >= p.n {
+			return fmt.Errorf("variable %d out of range [0,%d)", j, p.n)
+		}
+		dense[j] += coef[t]
+	}
+	if op != LE && op != GE && op != EQ {
+		return fmt.Errorf("unknown constraint op %d", op)
+	}
+	p.rows = append(p.rows, row{coef: dense, op: op, rhs: rhs})
+	return nil
+}
+
+// AddUpperBound sets the bound x_j <= u. Bounds are handled natively by the
+// bounded-variable simplex (no constraint row is added); repeated calls keep
+// the tightest bound. A negative bound makes the problem infeasible, which
+// Solve reports.
+func (p *Problem) AddUpperBound(j int, u float64) error {
+	if j < 0 || j >= p.n {
+		return fmt.Errorf("variable %d out of range [0,%d)", j, p.n)
+	}
+	if u < p.upper[j] {
+		p.upper[j] = u
+	}
+	return nil
+}
+
+// Solution is the result of a successful Solve call.
+type Solution struct {
+	// Status reports whether the problem was solved to optimality.
+	Status Status
+	// Objective is c'x at the returned point (meaningful only for Optimal).
+	Objective float64
+	// X is the optimal point (meaningful only for Optimal).
+	X []float64
+}
+
+const (
+	tol = 1e-9
+	// maxIters caps simplex iterations as a defense against numerical
+	// stalling; it is generous relative to the problem sizes in this repo.
+	maxIters = 200000
+	// blandTrigger is the number of non-improving (degenerate) pivots after
+	// which the pivot rule switches from Dantzig to Bland, which provably
+	// terminates.
+	blandTrigger = 200
+)
+
+// ErrIterationLimit is returned when the simplex exceeds its iteration cap,
+// which indicates a numerically pathological instance.
+var ErrIterationLimit = errors.New("lp: simplex iteration limit exceeded")
+
+// Solve runs the two-phase bounded-variable simplex method on a copy of the
+// problem. Variable upper bounds are handled natively with the bound-flip
+// technique rather than as constraint rows.
+func Solve(p *Problem) (*Solution, error) {
+	for _, u := range p.upper {
+		if u < 0 {
+			return &Solution{Status: Infeasible}, nil
+		}
+	}
+	t := newTableau(p)
+	if t.needPhase1() {
+		if err := t.runSimplex(); err != nil {
+			return nil, err
+		}
+		if t.objectiveValue() > 1e-7 {
+			return &Solution{Status: Infeasible}, nil
+		}
+		t.dropArtificials()
+	}
+	t.installPhase2Objective(p.c)
+	if err := t.runSimplex(); err != nil {
+		return nil, err
+	}
+	if t.unbounded {
+		return &Solution{Status: Unbounded}, nil
+	}
+	x := t.extract(p.n)
+	var obj float64
+	for j, cj := range p.c {
+		obj += cj * x[j]
+	}
+	return &Solution{Status: Optimal, Objective: obj, X: x}, nil
+}
+
+// tableau is a full dense simplex tableau with native variable upper bounds.
+// Columns are laid out as [structural (n)] [slack/surplus (#rows)]
+// [artificial (<=#rows)], with one extra objective row at the bottom and the
+// RHS in the last column.
+//
+// Upper bounds use the classic bound-flip substitution: a nonbasic variable
+// resting at its upper bound is replaced by x_j = u_j - x_j' (column negated,
+// RHS adjusted), so every nonbasic variable is canonically at zero and the
+// usual entering test applies unchanged. flipped[j] records the substitution.
+type tableau struct {
+	m, n      int // constraint rows, structural variables
+	cols      int // total variable columns (structural + slack + artificial)
+	artStart  int // first artificial column; cols == artStart when none
+	a         [][]float64
+	obj       []float64 // reduced-cost row, length cols+1 (last is -value)
+	basis     []int     // basis[r] = column basic in row r
+	upper     []float64 // per-column upper bound (+Inf when none)
+	flipped   []bool    // per-column bound-flip state
+	unbounded bool
+	phase1    bool
+}
+
+func newTableau(p *Problem) *tableau {
+	m, n := len(p.rows), p.n
+	// Count slack and artificial columns.
+	numSlack := 0
+	numArt := 0
+	for _, r := range p.rows {
+		rhs, op := r.rhs, r.op
+		if rhs < 0 {
+			// Row will be negated; LE becomes GE and vice versa.
+			if op == LE {
+				op = GE
+			} else if op == GE {
+				op = LE
+			}
+		}
+		switch op {
+		case LE:
+			numSlack++
+		case GE:
+			numSlack++
+			numArt++
+		case EQ:
+			numArt++
+		}
+	}
+	t := &tableau{
+		m:        m,
+		n:        n,
+		cols:     n + numSlack + numArt,
+		artStart: n + numSlack,
+		basis:    make([]int, m),
+		phase1:   numArt > 0,
+	}
+	t.upper = make([]float64, t.cols)
+	t.flipped = make([]bool, t.cols)
+	for j := range t.upper {
+		if j < n {
+			t.upper[j] = p.upper[j]
+		} else {
+			t.upper[j] = math.Inf(1)
+		}
+	}
+	t.a = make([][]float64, m)
+	slackCol := n
+	artCol := t.artStart
+	for rIdx, r := range p.rows {
+		rowVals := make([]float64, t.cols+1)
+		sign := 1.0
+		op := r.op
+		if r.rhs < 0 {
+			sign = -1
+			if op == LE {
+				op = GE
+			} else if op == GE {
+				op = LE
+			}
+		}
+		for j, v := range r.coef {
+			rowVals[j] = sign * v
+		}
+		rowVals[t.cols] = sign * r.rhs
+		switch op {
+		case LE:
+			rowVals[slackCol] = 1
+			t.basis[rIdx] = slackCol
+			slackCol++
+		case GE:
+			rowVals[slackCol] = -1
+			slackCol++
+			rowVals[artCol] = 1
+			t.basis[rIdx] = artCol
+			artCol++
+		case EQ:
+			rowVals[artCol] = 1
+			t.basis[rIdx] = artCol
+			artCol++
+		}
+		t.a[rIdx] = rowVals
+	}
+	t.obj = make([]float64, t.cols+1)
+	if t.phase1 {
+		// Phase-1 objective: minimize the sum of artificials. Price out the
+		// basic artificials so reduced costs start consistent.
+		for j := t.artStart; j < t.cols; j++ {
+			t.obj[j] = 1
+		}
+		for rIdx, b := range t.basis {
+			if b >= t.artStart {
+				for j := 0; j <= t.cols; j++ {
+					t.obj[j] -= t.a[rIdx][j]
+				}
+			}
+		}
+	}
+	return t
+}
+
+func (t *tableau) needPhase1() bool { return t.phase1 }
+
+// objectiveValue returns the current objective value (phase-1 infeasibility
+// during phase 1).
+func (t *tableau) objectiveValue() float64 { return -t.obj[t.cols] }
+
+// leaving-limit kinds for the bounded ratio test.
+const (
+	limitNone     = iota
+	limitLower    // a basic variable reaches its lower bound 0: regular pivot
+	limitUpper    // a basic variable reaches its upper bound: flip then pivot
+	limitEntering // the entering variable reaches its own upper bound: flip only
+)
+
+// runSimplex pivots until optimality, unboundedness, or the iteration cap.
+func (t *tableau) runSimplex() error {
+	t.unbounded = false
+	stall := 0
+	lastObj := t.objectiveValue()
+	for iter := 0; iter < maxIters; iter++ {
+		bland := stall >= blandTrigger
+		e := t.chooseEntering(bland)
+		if e < 0 {
+			return nil // optimal
+		}
+		r, kind := t.chooseLeaving(e)
+		switch kind {
+		case limitNone:
+			t.unbounded = true
+			return nil
+		case limitEntering:
+			t.flip(e)
+		case limitLower:
+			t.pivot(r, e)
+		case limitUpper:
+			t.flip(t.basis[r])
+			t.pivot(r, e)
+		}
+		if v := t.objectiveValue(); v < lastObj-tol {
+			lastObj = v
+			stall = 0
+		} else {
+			stall++
+		}
+	}
+	return ErrIterationLimit
+}
+
+// flip applies the bound substitution x_j = u_j - x_j' to column j: the RHS
+// absorbs u_j times the column, the column (including its reduced cost)
+// negates, and the flip state toggles. A nonbasic variable at its upper
+// bound thereby becomes a substituted variable at zero.
+func (t *tableau) flip(j int) {
+	u := t.upper[j]
+	for r := 0; r < t.m; r++ {
+		if t.a[r][j] != 0 {
+			t.a[r][t.cols] -= t.a[r][j] * u
+			t.a[r][j] = -t.a[r][j]
+		}
+	}
+	if t.obj[j] != 0 {
+		t.obj[t.cols] -= t.obj[j] * u
+		t.obj[j] = -t.obj[j]
+	}
+	t.flipped[j] = !t.flipped[j]
+}
+
+// chooseEntering picks the entering column: Dantzig's most-negative reduced
+// cost normally, or Bland's lowest index under the anti-cycling regime.
+// During phase 2 artificial columns are never eligible. Returns -1 at
+// optimality.
+func (t *tableau) chooseEntering(bland bool) int {
+	limit := t.cols
+	if !t.phase1 {
+		limit = t.artStart
+	}
+	best, bestVal := -1, -tol
+	for j := 0; j < limit; j++ {
+		if t.obj[j] < bestVal {
+			if bland {
+				return j
+			}
+			best, bestVal = j, t.obj[j]
+		}
+	}
+	return best
+}
+
+// chooseLeaving runs the bounded minimum-ratio test on column e: the
+// entering variable may be blocked by a basic variable reaching zero, by a
+// basic variable reaching its own upper bound, or by its own upper bound.
+// Ties break toward the smallest basis variable index (the Bland-compatible
+// rule). kind is limitNone when the column is unbounded.
+func (t *tableau) chooseLeaving(e int) (row, kind int) {
+	bestRow, bestKind := -1, limitNone
+	bestRatio := math.Inf(1)
+	if u := t.upper[e]; !math.IsInf(u, 1) {
+		bestRatio, bestKind = u, limitEntering
+	}
+	for r := 0; r < t.m; r++ {
+		pivot := t.a[r][e]
+		var ratio float64
+		var kindHere int
+		switch {
+		case pivot > tol:
+			// Basic variable decreases toward 0.
+			ratio = t.a[r][t.cols] / pivot
+			kindHere = limitLower
+		case pivot < -tol:
+			// Basic variable increases toward its upper bound.
+			ub := t.upper[t.basis[r]]
+			if math.IsInf(ub, 1) {
+				continue
+			}
+			ratio = (ub - t.a[r][t.cols]) / -pivot
+			kindHere = limitUpper
+		default:
+			continue
+		}
+		better := ratio < bestRatio-tol
+		tied := !better && ratio < bestRatio+tol
+		if better || (tied && (bestRow < 0 || t.basis[r] < t.basis[bestRow])) {
+			bestRow, bestRatio, bestKind = r, ratio, kindHere
+		}
+	}
+	return bestRow, bestKind
+}
+
+// pivot makes column e basic in row r.
+func (t *tableau) pivot(r, e int) {
+	pr := t.a[r]
+	inv := 1 / pr[e]
+	for j := range pr {
+		pr[j] *= inv
+	}
+	pr[e] = 1 // kill roundoff on the pivot element
+	for rr := 0; rr < t.m; rr++ {
+		if rr == r {
+			continue
+		}
+		factor := t.a[rr][e]
+		if factor == 0 {
+			continue
+		}
+		arr := t.a[rr]
+		for j := range arr {
+			arr[j] -= factor * pr[j]
+		}
+		arr[e] = 0
+	}
+	if factor := t.obj[e]; factor != 0 {
+		for j := range t.obj {
+			t.obj[j] -= factor * pr[j]
+		}
+		t.obj[e] = 0
+	}
+	t.basis[r] = e
+}
+
+// dropArtificials removes any artificial variables remaining in the basis at
+// the end of phase 1 by pivoting in a non-artificial column, or zeroing the
+// (redundant) row when no such column exists.
+func (t *tableau) dropArtificials() {
+	for r := 0; r < t.m; r++ {
+		if t.basis[r] < t.artStart {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.a[r][j]) > tol {
+				t.pivot(r, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row: zero it so it can never constrain a pivot.
+			for j := range t.a[r] {
+				t.a[r][j] = 0
+			}
+		}
+	}
+	// Forbid artificials from re-entering by erasing their columns.
+	for r := 0; r < t.m; r++ {
+		for j := t.artStart; j < t.cols; j++ {
+			t.a[r][j] = 0
+		}
+	}
+	t.phase1 = false
+}
+
+// installPhase2Objective replaces the objective row with the real cost
+// vector, rewritten in terms of any bound-flipped variables and priced out
+// against the current basis.
+func (t *tableau) installPhase2Objective(c []float64) {
+	t.phase1 = false
+	for j := range t.obj {
+		t.obj[j] = 0
+	}
+	for j, cj := range c {
+		if t.flipped[j] {
+			// x_j = u_j - x_j': cost contributes a constant c_j*u_j and a
+			// coefficient -c_j on the substituted variable.
+			t.obj[j] = -cj
+			t.obj[t.cols] -= cj * t.upper[j]
+		} else {
+			t.obj[j] = cj
+		}
+	}
+	for r, b := range t.basis {
+		factor := t.obj[b]
+		if factor == 0 {
+			continue
+		}
+		for j := 0; j <= t.cols; j++ {
+			t.obj[j] -= factor * t.a[r][j]
+		}
+		t.obj[b] = 0
+	}
+}
+
+// extract reads the structural variable values out of the tableau, undoing
+// bound flips.
+func (t *tableau) extract(n int) []float64 {
+	x := make([]float64, n)
+	for r, b := range t.basis {
+		if b < n {
+			v := t.a[r][t.cols]
+			if v < 0 && v > -1e-7 {
+				v = 0
+			}
+			x[b] = v
+		}
+	}
+	for j := 0; j < n; j++ {
+		if t.flipped[j] {
+			x[j] = t.upper[j] - x[j]
+		}
+	}
+	return x
+}

@@ -1,0 +1,302 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return sol
+}
+
+func wantOptimal(t *testing.T, sol *Solution, obj float64, x []float64) {
+	t.Helper()
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if math.Abs(sol.Objective-obj) > 1e-6 {
+		t.Errorf("objective = %v, want %v", sol.Objective, obj)
+	}
+	if x == nil {
+		return
+	}
+	for j := range x {
+		if math.Abs(sol.X[j]-x[j]) > 1e-6 {
+			t.Errorf("x[%d] = %v, want %v (x=%v)", j, sol.X[j], x[j], sol.X)
+		}
+	}
+}
+
+func TestSolveTextbookMaximization(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (Hillier-Lieberman).
+	// Optimum x=2, y=6, value 36. We minimize the negation.
+	p := NewProblem(2)
+	if err := p.SetObjective([]float64{-3, -5}); err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, p, []float64{1, 0}, LE, 4)
+	mustAdd(t, p, []float64{0, 2}, LE, 12)
+	mustAdd(t, p, []float64{3, 2}, LE, 18)
+	sol := solveOK(t, p)
+	wantOptimal(t, sol, -36, []float64{2, 6})
+}
+
+func mustAdd(t *testing.T, p *Problem, coef []float64, op Op, rhs float64) {
+	t.Helper()
+	if err := p.AddConstraint(coef, op, rhs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveWithEqualityAndGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y = 10, x >= 3, y >= 2. Optimum x=8, y=2, obj 22.
+	p := NewProblem(2)
+	if err := p.SetObjective([]float64{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, p, []float64{1, 1}, EQ, 10)
+	mustAdd(t, p, []float64{1, 0}, GE, 3)
+	mustAdd(t, p, []float64{0, 1}, GE, 2)
+	sol := solveOK(t, p)
+	wantOptimal(t, sol, 22, []float64{8, 2})
+}
+
+func TestSolveDiet(t *testing.T) {
+	// Classic diet-style LP: min 0.6a + 1.0b
+	// s.t. 10a + 4b >= 20, 5a + 5b >= 20, 2a + 6b >= 12.
+	// Optimum at the intersection of the last two rows: a+b=4 and a+3b=6
+	// give a=3, b=1 (first row holds with slack). Objective 2.8.
+	p := NewProblem(2)
+	if err := p.SetObjective([]float64{0.6, 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, p, []float64{10, 4}, GE, 20)
+	mustAdd(t, p, []float64{5, 5}, GE, 20)
+	mustAdd(t, p, []float64{2, 6}, GE, 12)
+	sol := solveOK(t, p)
+	wantOptimal(t, sol, 2.8, []float64{3, 1})
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	mustAdd(t, p, []float64{1}, GE, 5)
+	mustAdd(t, p, []float64{1}, LE, 3)
+	sol := solveOK(t, p)
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	p := NewProblem(2)
+	if err := p.SetObjective([]float64{-1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, p, []float64{0, 1}, LE, 5)
+	sol := solveOK(t, p)
+	if sol.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSolveNoConstraints(t *testing.T) {
+	p := NewProblem(2)
+	if err := p.SetObjective([]float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOK(t, p)
+	wantOptimal(t, sol, 0, []float64{0, 0})
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// x - y <= -2 with min x + y: flip handling must work. Feasible needs
+	// y >= x + 2, so optimum x=0, y=2, obj 2.
+	p := NewProblem(2)
+	if err := p.SetObjective([]float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, p, []float64{1, -1}, LE, -2)
+	sol := solveOK(t, p)
+	wantOptimal(t, sol, 2, []float64{0, 2})
+}
+
+func TestSolveUpperBounds(t *testing.T) {
+	// max x + y with x <= 1.5, y <= 2.5 via AddUpperBound.
+	p := NewProblem(2)
+	if err := p.SetObjective([]float64{-1, -1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddUpperBound(0, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddUpperBound(1, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOK(t, p)
+	wantOptimal(t, sol, -4, []float64{1.5, 2.5})
+}
+
+func TestSolveDegenerateBeale(t *testing.T) {
+	// Beale's classic cycling example; Dantzig's rule cycles without an
+	// anti-cycling safeguard. Optimum value is -0.05.
+	p := NewProblem(4)
+	if err := p.SetObjective([]float64{-0.75, 150, -0.02, 6}); err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, p, []float64{0.25, -60, -0.04, 9}, LE, 0)
+	mustAdd(t, p, []float64{0.5, -90, -0.02, 3}, LE, 0)
+	mustAdd(t, p, []float64{0, 0, 1, 0}, LE, 1)
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if math.Abs(sol.Objective-(-0.05)) > 1e-6 {
+		t.Errorf("objective = %v, want -0.05", sol.Objective)
+	}
+}
+
+func TestSolveRedundantEqualities(t *testing.T) {
+	// Duplicated equality rows leave an artificial basic at zero; the solver
+	// must drop it and still answer.
+	p := NewProblem(2)
+	if err := p.SetObjective([]float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, p, []float64{1, 1}, EQ, 4)
+	mustAdd(t, p, []float64{2, 2}, EQ, 8)
+	sol := solveOK(t, p)
+	wantOptimal(t, sol, 4, []float64{4, 0})
+}
+
+func TestSparseConstraint(t *testing.T) {
+	p := NewProblem(5)
+	if err := p.SetObjective([]float64{0, -1, 0, -1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddSparseConstraint([]int{1, 3}, []float64{1, 1}, LE, 7); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOK(t, p)
+	wantOptimal(t, sol, -7, nil)
+	if math.Abs(sol.X[1]+sol.X[3]-7) > 1e-6 {
+		t.Errorf("x1+x3 = %v, want 7", sol.X[1]+sol.X[3])
+	}
+}
+
+func TestProblemValidation(t *testing.T) {
+	p := NewProblem(2)
+	if err := p.SetObjective([]float64{1}); err == nil {
+		t.Error("short objective accepted")
+	}
+	if err := p.SetObjectiveCoeff(5, 1); err == nil {
+		t.Error("out-of-range coeff accepted")
+	}
+	if err := p.AddConstraint([]float64{1}, LE, 0); err == nil {
+		t.Error("short constraint accepted")
+	}
+	if err := p.AddConstraint([]float64{1, 1}, Op(9), 0); err == nil {
+		t.Error("bad op accepted")
+	}
+	if err := p.AddSparseConstraint([]int{0}, []float64{1, 2}, LE, 0); err == nil {
+		t.Error("mismatched sparse constraint accepted")
+	}
+	if err := p.AddSparseConstraint([]int{9}, []float64{1}, LE, 0); err == nil {
+		t.Error("out-of-range sparse index accepted")
+	}
+	if err := p.AddUpperBound(9, 1); err == nil {
+		t.Error("out-of-range bound accepted")
+	}
+}
+
+// TestSolveAgainstGridSearch solves random small LPs over a box and checks
+// the simplex result against a fine grid search. The grid is only a lower
+// bound on quality (grid points are feasible candidates), so the simplex
+// objective must be <= the best grid value plus tolerance.
+func TestSolveAgainstGridSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		c := []float64{rng.Float64()*4 - 2, rng.Float64()*4 - 2}
+		a1 := []float64{rng.Float64() + 0.2, rng.Float64() + 0.2}
+		b1 := rng.Float64()*4 + 1
+		p := NewProblem(2)
+		if err := p.SetObjective(c); err != nil {
+			t.Fatal(err)
+		}
+		mustAdd(t, p, a1, LE, b1)
+		if err := p.AddUpperBound(0, 3); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.AddUpperBound(1, 3); err != nil {
+			t.Fatal(err)
+		}
+		sol := solveOK(t, p)
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, sol.Status)
+		}
+		best := math.Inf(1)
+		const grid = 120
+		for gx := 0; gx <= grid; gx++ {
+			for gy := 0; gy <= grid; gy++ {
+				x := 3 * float64(gx) / grid
+				y := 3 * float64(gy) / grid
+				if a1[0]*x+a1[1]*y > b1 {
+					continue
+				}
+				if v := c[0]*x + c[1]*y; v < best {
+					best = v
+				}
+			}
+		}
+		if sol.Objective > best+1e-6 {
+			t.Errorf("trial %d: simplex %v worse than grid %v", trial, sol.Objective, best)
+		}
+		// Solution must itself be feasible.
+		if a1[0]*sol.X[0]+a1[1]*sol.X[1] > b1+1e-6 {
+			t.Errorf("trial %d: infeasible solution %v", trial, sol.X)
+		}
+		for j := 0; j < 2; j++ {
+			if sol.X[j] < -1e-9 || sol.X[j] > 3+1e-6 {
+				t.Errorf("trial %d: x[%d]=%v out of box", trial, j, sol.X[j])
+			}
+		}
+	}
+}
+
+// TestSolveTransportation exercises equality-constrained problems of the
+// shape used by the T-step lookahead LP.
+func TestSolveTransportation(t *testing.T) {
+	// 2 supplies (10, 15), 3 demands (8, 9, 8), costs:
+	//   [4 6 9]
+	//   [5 3 2]
+	// Optimal plan: supply1 -> d1 (8) + d2 (2); supply2 -> d2 (7) + d3 (8).
+	// Cost = 32 + 12 + 21 + 16 = 81.
+	p := NewProblem(6) // x[s][d] row-major
+	if err := p.SetObjective([]float64{4, 6, 9, 5, 3, 2}); err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, p, []float64{1, 1, 1, 0, 0, 0}, LE, 10)
+	mustAdd(t, p, []float64{0, 0, 0, 1, 1, 1}, LE, 15)
+	mustAdd(t, p, []float64{1, 0, 0, 1, 0, 0}, EQ, 8)
+	mustAdd(t, p, []float64{0, 1, 0, 0, 1, 0}, EQ, 9)
+	mustAdd(t, p, []float64{0, 0, 1, 0, 0, 1}, EQ, 8)
+	sol := solveOK(t, p)
+	wantOptimal(t, sol, 81, nil)
+}
+
+func TestOpAndStatusStrings(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Error("op strings wrong")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Error("status strings wrong")
+	}
+	if Op(42).String() == "" || Status(42).String() == "" {
+		t.Error("unknown values should still render")
+	}
+}

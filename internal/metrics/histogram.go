@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram accumulates weighted observations into fixed bucket boundaries
+// and answers quantile queries. It is used for per-job delay distributions:
+// mean delay (what the paper plots) hides the tail, and a p99 queueing delay
+// is what an operator actually provisions against.
+type Histogram struct {
+	bounds []float64 // upper bounds of all but the overflow bucket
+	counts []float64 // len(bounds)+1, last is overflow
+	total  float64
+	sum    float64
+	max    float64
+}
+
+// NewHistogram builds a histogram with the given strictly increasing bucket
+// upper bounds. Values above the last bound land in an overflow bucket.
+func NewHistogram(bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("histogram needs at least one bucket bound")
+	}
+	prev := math.Inf(-1)
+	for b, v := range bounds {
+		if v <= prev {
+			return nil, fmt.Errorf("bucket bound %d (%v) is not increasing", b, v)
+		}
+		prev = v
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]float64, len(bounds)+1),
+	}, nil
+}
+
+// DelayBounds is a default bucket layout for queueing delays in slots:
+// sub-slot resolution at the low end, expanding geometrically to a week.
+func DelayBounds() []float64 {
+	return []float64{0.5, 1, 1.5, 2, 3, 4, 6, 8, 12, 16, 24, 36, 48, 72, 96, 168}
+}
+
+// Add records weight observations of the given value (e.g. `count` jobs that
+// waited `delay` slots). Non-positive weights are ignored.
+func (h *Histogram) Add(value, weight float64) {
+	if weight <= 0 {
+		return
+	}
+	idx := sort.SearchFloat64s(h.bounds, value)
+	h.counts[idx] += weight
+	h.total += weight
+	h.sum += value * weight
+	if value > h.max {
+		h.max = value
+	}
+}
+
+// Total returns the accumulated weight.
+func (h *Histogram) Total() float64 { return h.total }
+
+// Mean returns the weighted mean of the observations.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / h.total
+}
+
+// Max returns the largest observed value.
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) using the
+// bucket upper bounds; the overflow bucket reports the observed maximum.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * h.total
+	var cum float64
+	for b, cnt := range h.counts {
+		cum += cnt
+		if cum >= target-1e-12 {
+			if b < len(h.bounds) {
+				return h.bounds[b]
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// Buckets returns (bound, count) pairs including the overflow bucket, whose
+// bound is reported as +Inf. The slices are copies.
+func (h *Histogram) Buckets() (bounds, counts []float64) {
+	bounds = append(append([]float64(nil), h.bounds...), math.Inf(1))
+	counts = append([]float64(nil), h.counts...)
+	return bounds, counts
+}

@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(nil); err == nil {
+		t.Error("empty bounds accepted")
+	}
+	if _, err := NewHistogram([]float64{1, 1}); err == nil {
+		t.Error("non-increasing bounds accepted")
+	}
+	if _, err := NewHistogram([]float64{2, 1}); err == nil {
+		t.Error("decreasing bounds accepted")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram should answer zeros")
+	}
+	h.Add(0.5, 10) // bucket <=1
+	h.Add(1.5, 10) // bucket <=2
+	h.Add(3, 10)   // bucket <=4
+	h.Add(9, 10)   // overflow
+	h.Add(1, -5)   // ignored
+
+	if h.Total() != 40 {
+		t.Errorf("Total = %v, want 40", h.Total())
+	}
+	if math.Abs(h.Mean()-(0.5+1.5+3+9)/4) > 1e-12 {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+	if h.Max() != 9 {
+		t.Errorf("Max = %v, want 9", h.Max())
+	}
+	// Quantiles report bucket upper bounds; overflow reports the max.
+	if got := h.Quantile(0.25); got != 1 {
+		t.Errorf("p25 = %v, want 1", got)
+	}
+	if got := h.Quantile(0.5); got != 2 {
+		t.Errorf("p50 = %v, want 2", got)
+	}
+	if got := h.Quantile(0.75); got != 4 {
+		t.Errorf("p75 = %v, want 4", got)
+	}
+	if got := h.Quantile(1); got != 9 {
+		t.Errorf("p100 = %v, want 9", got)
+	}
+	if got := h.Quantile(2); got != 9 {
+		t.Errorf("clamped quantile = %v, want 9", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h, _ := NewHistogram([]float64{1, 2})
+	h.Add(0.5, 3)
+	h.Add(5, 1)
+	bounds, counts := h.Buckets()
+	if len(bounds) != 3 || len(counts) != 3 {
+		t.Fatalf("shape %d/%d", len(bounds), len(counts))
+	}
+	if !math.IsInf(bounds[2], 1) {
+		t.Error("overflow bound should be +Inf")
+	}
+	if counts[0] != 3 || counts[2] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	// Mutating the copies must not corrupt the histogram.
+	counts[0] = 999
+	if _, c2 := h.Buckets(); c2[0] != 3 {
+		t.Error("Buckets returned shared storage")
+	}
+}
+
+// TestHistogramQuantileMonotone property: quantiles are non-decreasing in q
+// and bracket the observations.
+func TestHistogramQuantileMonotone(t *testing.T) {
+	f := func(vals []uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h, err := NewHistogram(DelayBounds())
+		if err != nil {
+			return false
+		}
+		for _, v := range vals {
+			h.Add(float64(v)/2, 1)
+		}
+		prev := 0.0
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			cur := h.Quantile(q)
+			if cur < prev-1e-12 {
+				return false
+			}
+			prev = cur
+		}
+		return h.Quantile(1) >= h.Mean()-1e-9 || h.Total() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDelayBoundsIncreasing(t *testing.T) {
+	if _, err := NewHistogram(DelayBounds()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+// Package metrics provides the statistics the evaluation needs: running
+// (prefix) averages as plotted in the paper's figures, weighted delay
+// accumulators, and Welford summary statistics.
+package metrics
+
+import "math"
+
+// Running accumulates a running (prefix) average and optionally records the
+// average after every observation — the exact quantity the paper plots
+// ("the average values at time t are obtained by summing up all the values
+// up to time t and then dividing the sum by t").
+type Running struct {
+	sum    float64
+	n      int
+	record bool
+	series []float64
+}
+
+// NewRunning creates a running average; when record is true the average
+// after each Add is kept in a series.
+func NewRunning(record bool) *Running {
+	return &Running{record: record}
+}
+
+// Add observes one value.
+func (r *Running) Add(v float64) {
+	r.sum += v
+	r.n++
+	if r.record {
+		r.series = append(r.series, r.sum/float64(r.n))
+	}
+}
+
+// Mean returns the running average so far (0 before any observation).
+func (r *Running) Mean() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.sum / float64(r.n)
+}
+
+// Count returns the number of observations.
+func (r *Running) Count() int { return r.n }
+
+// Series returns the recorded prefix-average series. The caller must not
+// mutate it.
+func (r *Running) Series() []float64 { return r.series }
+
+// Ratio accumulates a weighted-average as numerator/denominator pairs —
+// e.g. total waiting time over total jobs processed, which is the per-job
+// average delay of the figures. The recorded series is the prefix ratio.
+type Ratio struct {
+	num, den float64
+	record   bool
+	series   []float64
+}
+
+// NewRatio creates a ratio accumulator; when record is true the prefix ratio
+// after each Add is kept.
+func NewRatio(record bool) *Ratio {
+	return &Ratio{record: record}
+}
+
+// Add observes a numerator/denominator increment.
+func (r *Ratio) Add(num, den float64) {
+	r.num += num
+	r.den += den
+	if r.record {
+		r.series = append(r.series, r.Value())
+	}
+}
+
+// Value returns the current ratio (0 when the denominator is 0).
+func (r *Ratio) Value() float64 {
+	if r.den == 0 {
+		return 0
+	}
+	return r.num / r.den
+}
+
+// Series returns the recorded prefix-ratio series.
+func (r *Ratio) Series() []float64 { return r.series }
+
+// Welford computes numerically stable mean and variance.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add observes one value.
+func (w *Welford) Add(v float64) {
+	w.n++
+	d := v - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (v - w.mean)
+}
+
+// Mean returns the sample mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Count returns the number of observations.
+func (w *Welford) Count() int { return w.n }
+
+// Variance returns the sample variance (0 for fewer than two observations).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
+
+// Max tracks a running maximum.
+type Max struct {
+	set bool
+	v   float64
+}
+
+// Add observes one value.
+func (m *Max) Add(v float64) {
+	if !m.set || v > m.v {
+		m.set, m.v = true, v
+	}
+}
+
+// Value returns the maximum observed (0 before any observation).
+func (m *Max) Value() float64 { return m.v }

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningMeanAndSeries(t *testing.T) {
+	r := NewRunning(true)
+	if r.Mean() != 0 || r.Count() != 0 {
+		t.Error("fresh Running not zero")
+	}
+	r.Add(2)
+	r.Add(4)
+	r.Add(6)
+	if r.Mean() != 4 {
+		t.Errorf("Mean = %v, want 4", r.Mean())
+	}
+	want := []float64{2, 3, 4}
+	for i, v := range r.Series() {
+		if v != want[i] {
+			t.Errorf("Series[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestRunningNoRecord(t *testing.T) {
+	r := NewRunning(false)
+	r.Add(1)
+	if r.Series() != nil {
+		t.Error("unrecorded Running kept a series")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	r := NewRatio(true)
+	if r.Value() != 0 {
+		t.Error("empty ratio should be 0")
+	}
+	r.Add(3, 1) // delay 3, one job
+	r.Add(0, 0) // idle slot: no jobs processed
+	r.Add(1, 1)
+	if r.Value() != 2 {
+		t.Errorf("Value = %v, want 2", r.Value())
+	}
+	want := []float64{3, 3, 2}
+	for i, v := range r.Series() {
+		if v != want[i] {
+			t.Errorf("Series[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(v)
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", w.Mean())
+	}
+	// Sample variance of this classic dataset is 32/7.
+	if math.Abs(w.Variance()-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", w.Variance(), 32.0/7.0)
+	}
+	if math.Abs(w.Stddev()-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Errorf("Stddev = %v", w.Stddev())
+	}
+	if w.Count() != 8 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	var single Welford
+	single.Add(5)
+	if single.Variance() != 0 {
+		t.Error("variance of one sample should be 0")
+	}
+}
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	f := func(vals []float64) bool {
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				return true // skip pathological inputs
+			}
+		}
+		if len(vals) < 2 {
+			return true
+		}
+		var w Welford
+		var sum float64
+		for _, v := range vals {
+			w.Add(v)
+			sum += v
+		}
+		mean := sum / float64(len(vals))
+		var ss float64
+		for _, v := range vals {
+			ss += (v - mean) * (v - mean)
+		}
+		naive := ss / float64(len(vals)-1)
+		return math.Abs(w.Variance()-naive) <= 1e-6*(1+naive)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMax(t *testing.T) {
+	var m Max
+	if m.Value() != 0 {
+		t.Error("empty Max should be 0")
+	}
+	m.Add(-5)
+	if m.Value() != -5 {
+		t.Errorf("Value = %v, want -5", m.Value())
+	}
+	m.Add(3)
+	m.Add(1)
+	if m.Value() != 3 {
+		t.Errorf("Value = %v, want 3", m.Value())
+	}
+}

@@ -1,0 +1,174 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func multiTierDC() DataCenter {
+	return DataCenter{
+		Name: "multi",
+		Servers: []ServerType{
+			{Name: "old", Speed: 0.8, Power: 1.2},  // rate 1.5
+			{Name: "eco", Speed: 1.0, Power: 0.5},  // rate 0.5
+			{Name: "perf", Speed: 2.0, Power: 1.6}, // rate 0.8
+		},
+	}
+}
+
+func TestSegmentsSortedByRate(t *testing.T) {
+	dc := multiTierDC()
+	segs := Segments(dc, []float64{10, 10, 10})
+	if len(segs) != 3 {
+		t.Fatalf("got %d segments, want 3", len(segs))
+	}
+	for x := 1; x < len(segs); x++ {
+		if segs[x-1].Rate > segs[x].Rate {
+			t.Errorf("segments not sorted: %v then %v", segs[x-1].Rate, segs[x].Rate)
+		}
+	}
+	if segs[0].ServerType != 1 || segs[1].ServerType != 2 || segs[2].ServerType != 0 {
+		t.Errorf("segment order = %v,%v,%v; want eco,perf,old", segs[0].ServerType, segs[1].ServerType, segs[2].ServerType)
+	}
+	if math.Abs(segs[0].Cap-10) > 1e-12 || math.Abs(segs[1].Cap-20) > 1e-12 {
+		t.Errorf("unexpected caps %v, %v", segs[0].Cap, segs[1].Cap)
+	}
+}
+
+func TestSegmentsSkipsEmpty(t *testing.T) {
+	dc := multiTierDC()
+	segs := Segments(dc, []float64{0, 5, 0})
+	if len(segs) != 1 || segs[0].ServerType != 1 {
+		t.Fatalf("got %+v, want single eco segment", segs)
+	}
+}
+
+func TestProvisionPrefersCheapSegments(t *testing.T) {
+	dc := multiTierDC()
+	avail := []float64{10, 10, 10}
+
+	// 5 units fit entirely on the eco tier (cap 10).
+	busy, power, err := Provision(dc, avail, 5)
+	if err != nil {
+		t.Fatalf("Provision: %v", err)
+	}
+	if busy[1] != 5 || busy[0] != 0 || busy[2] != 0 {
+		t.Errorf("busy = %v, want only eco used", busy)
+	}
+	if math.Abs(power-2.5) > 1e-12 {
+		t.Errorf("power = %v, want 2.5", power)
+	}
+
+	// 25 units: 10 on eco, 15 on perf (7.5 servers).
+	busy, power, err = Provision(dc, avail, 25)
+	if err != nil {
+		t.Fatalf("Provision: %v", err)
+	}
+	if math.Abs(busy[1]-10) > 1e-12 || math.Abs(busy[2]-7.5) > 1e-12 || busy[0] != 0 {
+		t.Errorf("busy = %v, want eco full + 7.5 perf", busy)
+	}
+	wantPower := 10*0.5 + 7.5*1.6
+	if math.Abs(power-wantPower) > 1e-12 {
+		t.Errorf("power = %v, want %v", power, wantPower)
+	}
+}
+
+func TestProvisionExhaustsCapacity(t *testing.T) {
+	dc := multiTierDC()
+	avail := []float64{1, 1, 1}
+	// Capacity is 0.8 + 1.0 + 2.0 = 3.8.
+	if _, _, err := Provision(dc, avail, 3.8); err != nil {
+		t.Errorf("full capacity should be feasible: %v", err)
+	}
+	if _, _, err := Provision(dc, avail, 4.0); err == nil {
+		t.Error("over-capacity request not rejected")
+	}
+	if _, _, err := Provision(dc, avail, -1); err == nil {
+		t.Error("negative work not rejected")
+	}
+}
+
+func TestProvisionZeroWork(t *testing.T) {
+	dc := multiTierDC()
+	busy, power, err := Provision(dc, []float64{1, 1, 1}, 0)
+	if err != nil || power != 0 {
+		t.Fatalf("zero work: busy=%v power=%v err=%v", busy, power, err)
+	}
+	for _, b := range busy {
+		if b != 0 {
+			t.Errorf("zero work should keep all servers idle, got %v", busy)
+		}
+	}
+}
+
+// TestProvisionOptimality checks by brute-force grid search that the greedy
+// provisioning is power-optimal for random two-type configurations.
+func TestProvisionOptimality(t *testing.T) {
+	f := func(seedA, seedB uint8, loadFrac uint8) bool {
+		s1 := 0.5 + float64(seedA%40)/20.0 // speed in [0.5, 2.45]
+		s2 := 0.5 + float64(seedB%40)/20.0
+		p1 := 0.2 + float64(seedB%30)/15.0
+		p2 := 0.2 + float64(seedA%30)/15.0
+		dc := DataCenter{Servers: []ServerType{
+			{Speed: s1, Power: p1},
+			{Speed: s2, Power: p2},
+		}}
+		avail := []float64{3, 3}
+		capTotal := 3*s1 + 3*s2
+		work := capTotal * float64(loadFrac%100) / 100.0
+		busy, power, err := Provision(dc, avail, work)
+		if err != nil {
+			return false
+		}
+		// Feasibility.
+		if busy[0] < -1e-9 || busy[0] > 3+1e-9 || busy[1] < -1e-9 || busy[1] > 3+1e-9 {
+			return false
+		}
+		if busy[0]*s1+busy[1]*s2 < work-1e-6 {
+			return false
+		}
+		// Optimality vs a fine grid over b1 (b2 determined by the work).
+		for g := 0; g <= 300; g++ {
+			b1 := 3 * float64(g) / 300
+			rem := work - b1*s1
+			if rem < 0 {
+				rem = 0
+			}
+			b2 := rem / s2
+			if b2 > 3 {
+				continue // infeasible split
+			}
+			alt := b1*p1 + b2*p2
+			if alt < power-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnergyPerWork(t *testing.T) {
+	dc := multiTierDC()
+	avail := []float64{10, 10, 10}
+	price := 2.0
+	// Load 0: marginal unit lands on eco (rate 0.5).
+	if got := EnergyPerWork(dc, avail, price, 0); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("EnergyPerWork(load=0) = %v, want 1.0", got)
+	}
+	// Load 15: eco (10) full, lands on perf (rate 0.8).
+	if got := EnergyPerWork(dc, avail, price, 15); math.Abs(got-1.6) > 1e-12 {
+		t.Errorf("EnergyPerWork(load=15) = %v, want 1.6", got)
+	}
+	// Load 35: eco+perf (30) full, lands on old (rate 1.5).
+	if got := EnergyPerWork(dc, avail, price, 35); math.Abs(got-3.0) > 1e-12 {
+		t.Errorf("EnergyPerWork(load=35) = %v, want 3.0", got)
+	}
+	// Load beyond total capacity 38: +Inf.
+	if got := EnergyPerWork(dc, avail, price, 38); !math.IsInf(got, 1) {
+		t.Errorf("EnergyPerWork(load=38) = %v, want +Inf", got)
+	}
+}

@@ -1,0 +1,46 @@
+package price
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ReadCSV loads price traces from CSV: one column per location, one row per
+// slot, with a header row of location names. It is the inverse of the
+// tracegen tool's output and the hook for replaying real market data
+// (e.g. downloaded FERC/CAISO series, which the paper used) instead of the
+// synthetic process.
+func ReadCSV(r io.Reader) (names []string, traces []*Trace, err error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, nil, fmt.Errorf("read csv: %w", err)
+	}
+	if len(rows) < 2 {
+		return nil, nil, fmt.Errorf("csv needs a header and at least one data row, got %d rows", len(rows))
+	}
+	names = rows[0]
+	traces = make([]*Trace, len(names))
+	for i := range traces {
+		traces[i] = &Trace{Values: make([]float64, 0, len(rows)-1)}
+	}
+	for rIdx, row := range rows[1:] {
+		if len(row) != len(names) {
+			return nil, nil, fmt.Errorf("row %d has %d fields, header has %d", rIdx+2, len(row), len(names))
+		}
+		for col, cell := range row {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("row %d column %q: %w", rIdx+2, names[col], err)
+			}
+			if v < 0 {
+				return nil, nil, fmt.Errorf("row %d column %q: negative price %v", rIdx+2, names[col], v)
+			}
+			traces[col].Values = append(traces[col].Values, v)
+		}
+	}
+	return names, traces, nil
+}

@@ -1,0 +1,40 @@
+package price
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadCSVRoundTrip(t *testing.T) {
+	in := "dc1,dc2\n0.4,0.5\n0.41,0.52\n0.39,0.48\n"
+	names, traces, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "dc1" || names[1] != "dc2" {
+		t.Errorf("names = %v", names)
+	}
+	if len(traces) != 2 || len(traces[0].Values) != 3 {
+		t.Fatalf("wrong shape")
+	}
+	if traces[1].At(1) != 0.52 {
+		t.Errorf("At(1) = %v, want 0.52", traces[1].At(1))
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"header only", "dc1\n"},
+		{"ragged", "dc1,dc2\n0.4\n"},
+		{"non numeric", "dc1\nhello\n"},
+		{"negative", "dc1\n-0.5\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := ReadCSV(strings.NewReader(tc.in)); err == nil {
+				t.Errorf("input %q accepted", tc.in)
+			}
+		})
+	}
+}

@@ -1,0 +1,279 @@
+package queue
+
+import (
+	"fmt"
+
+	"grefar/internal/model"
+)
+
+// Lengths is a snapshot of all queue backlogs Theta(t): the central queue
+// length per job type and the local queue length per (data center, job type)
+// pair. It is the input the GreFar per-slot optimization consumes.
+type Lengths struct {
+	// Central[j] is Q_j(t).
+	Central []float64
+	// Local[i][j] is q_{i,j}(t).
+	Local [][]float64
+}
+
+// Sum returns the total backlog across all queues, the quantity bounded by
+// P/delta in the proof of Theorem 1.
+func (l Lengths) Sum() float64 {
+	var s float64
+	for _, q := range l.Central {
+		s += q
+	}
+	for i := range l.Local {
+		for _, q := range l.Local[i] {
+			s += q
+		}
+	}
+	return s
+}
+
+// Clone returns a deep copy of the snapshot.
+func (l Lengths) Clone() Lengths {
+	cp := Lengths{
+		Central: append([]float64(nil), l.Central...),
+		Local:   make([][]float64, len(l.Local)),
+	}
+	for i := range l.Local {
+		cp.Local[i] = append([]float64(nil), l.Local[i]...)
+	}
+	return cp
+}
+
+// FlowStats summarizes what one Apply call actually moved, including the
+// delay samples needed for the paper's "Average Delay in DC #i" curves.
+type FlowStats struct {
+	// Routed[i][j] is the number of type-j jobs actually moved from the
+	// central queue to data center i (after capping at queue content).
+	Routed [][]float64
+	// Processed[i][j] is the number of type-j jobs actually processed at
+	// data center i (after capping at queue content).
+	Processed [][]float64
+	// CentralDelaySum[j] is the summed waiting time (in slots, weighted by
+	// job count) of the jobs routed out of the central queue this slot.
+	CentralDelaySum []float64
+	// CentralRouted[j] is the total number of type-j jobs routed this slot.
+	CentralRouted []float64
+	// LocalDelaySum[i][j] is the summed waiting time of the jobs processed
+	// at data center i this slot.
+	LocalDelaySum [][]float64
+	// LocalDelaySamples[i] lists the (delay, jobs) cohorts processed at data
+	// center i this slot, for delay-distribution metrics.
+	LocalDelaySamples [][]DelaySample
+}
+
+// DelaySample is one cohort of jobs that completed with the same waiting
+// time.
+type DelaySample struct {
+	// Delay is the waiting time in slots.
+	Delay float64
+	// Jobs is the number of jobs in the cohort.
+	Jobs float64
+}
+
+// TotalRouted returns the total number of jobs routed this slot.
+func (f *FlowStats) TotalRouted() float64 {
+	var s float64
+	for _, r := range f.CentralRouted {
+		s += r
+	}
+	return s
+}
+
+// Set tracks the physical queues of the system with per-cohort FIFO ledgers.
+// Unlike the Virtual dynamics used by the Lyapunov analysis, a Set caps the
+// scheduler's routing and processing decisions at the jobs actually present,
+// so queue lengths always equal real backlog and measured delays are exact.
+type Set struct {
+	cluster *model.Cluster
+	central []Ledger   // per job type j
+	local   [][]Ledger // per data center i, job type j
+}
+
+// NewSet builds an empty queue set shaped for the cluster.
+func NewSet(c *model.Cluster) *Set {
+	s := &Set{
+		cluster: c,
+		central: make([]Ledger, c.J()),
+		local:   make([][]Ledger, c.N()),
+	}
+	for i := range s.local {
+		s.local[i] = make([]Ledger, c.J())
+	}
+	return s
+}
+
+// CentralLen returns Q_j(t).
+func (s *Set) CentralLen(j int) float64 { return s.central[j].Len() }
+
+// LocalLen returns q_{i,j}(t).
+func (s *Set) LocalLen(i, j int) float64 { return s.local[i][j].Len() }
+
+// Lengths returns a snapshot of all backlogs.
+func (s *Set) Lengths() Lengths {
+	out := Lengths{
+		Central: make([]float64, len(s.central)),
+		Local:   make([][]float64, len(s.local)),
+	}
+	for j := range s.central {
+		out.Central[j] = s.central[j].Len()
+	}
+	for i := range s.local {
+		out.Local[i] = make([]float64, len(s.local[i]))
+		for j := range s.local[i] {
+			out.Local[i][j] = s.local[i][j].Len()
+		}
+	}
+	return out
+}
+
+// Arrive records a_j(t) new jobs of each type entering the central queue
+// during slot t. len(arrivals) must equal the number of job types.
+func (s *Set) Arrive(t int, arrivals []int) error {
+	if len(arrivals) != len(s.central) {
+		return fmt.Errorf("got %d arrival counts, want %d", len(arrivals), len(s.central))
+	}
+	for j, a := range arrivals {
+		if a < 0 {
+			return fmt.Errorf("job type %d: negative arrivals %d", j, a)
+		}
+		s.central[j].Push(t, float64(a))
+	}
+	return nil
+}
+
+// Apply executes the movement part of an action during slot t: first it
+// processes h_{i,j} jobs from each local queue (capped at queue content),
+// then it routes r_{i,j} jobs from the central queues to the local queues
+// (capped so the total routed per type never exceeds Q_j(t)). Routed jobs
+// enter the local ledgers at slot t, so a job routed at t and processed at
+// t+1 has a local delay of exactly one slot — matching the paper's remark
+// that the Always policy exhibits an average delay of about one.
+//
+// Apply returns what actually moved. It does not validate resource
+// feasibility; use model.Action.Validate for that.
+func (s *Set) Apply(t int, act *model.Action) (*FlowStats, error) {
+	n, j := len(s.local), len(s.central)
+	if len(act.Route) != n || len(act.Process) != n {
+		return nil, fmt.Errorf("action shaped for %d data centers, queues have %d", len(act.Route), n)
+	}
+	fs := &FlowStats{
+		Routed:            make([][]float64, n),
+		Processed:         make([][]float64, n),
+		CentralDelaySum:   make([]float64, j),
+		CentralRouted:     make([]float64, j),
+		LocalDelaySum:     make([][]float64, n),
+		LocalDelaySamples: make([][]DelaySample, n),
+	}
+	for i := 0; i < n; i++ {
+		if len(act.Route[i]) != j || len(act.Process[i]) != j {
+			return nil, fmt.Errorf("data center %d: action has wrong job dimension", i)
+		}
+		fs.Routed[i] = make([]float64, j)
+		fs.Processed[i] = make([]float64, j)
+		fs.LocalDelaySum[i] = make([]float64, j)
+	}
+
+	// Process from local queues out of the system.
+	for i := 0; i < n; i++ {
+		for jj := 0; jj < j; jj++ {
+			h := act.Process[i][jj]
+			if h < 0 {
+				return nil, fmt.Errorf("process[%d][%d] = %v is negative", i, jj, h)
+			}
+			popped, delay := s.local[i][jj].PopVisit(t, h, func(d, jobs float64) {
+				fs.LocalDelaySamples[i] = append(fs.LocalDelaySamples[i], DelaySample{Delay: d, Jobs: jobs})
+			})
+			fs.Processed[i][jj] = popped
+			fs.LocalDelaySum[i][jj] = delay
+		}
+	}
+
+	// Route from central queues into local queues. Routing is capped at the
+	// central queue content; when the action over-asks across several data
+	// centers the cap is consumed in data-center order.
+	for jj := 0; jj < j; jj++ {
+		for i := 0; i < n; i++ {
+			r := float64(act.Route[i][jj])
+			if r < 0 {
+				return nil, fmt.Errorf("route[%d][%d] = %v is negative", i, jj, r)
+			}
+			if r == 0 {
+				continue
+			}
+			popped, delay := s.central[jj].Pop(t, r)
+			if popped <= 0 {
+				continue
+			}
+			s.local[i][jj].Push(t, popped)
+			fs.Routed[i][jj] = popped
+			fs.CentralRouted[jj] += popped
+			fs.CentralDelaySum[jj] += delay
+		}
+	}
+	return fs, nil
+}
+
+// Virtual applies the queue dynamics (12)-(13) literally, with the max[.,0]
+// clipping of the analysis: the scheduler may nominally route or process more
+// than is queued, and the excess simply vanishes. The Lyapunov proof bounds
+// these virtual lengths; the property tests compare them against the capped
+// Set to show capping never increases backlog.
+type Virtual struct {
+	// Central[j] is Q_j(t).
+	Central []float64
+	// Local[i][j] is q_{i,j}(t).
+	Local [][]float64
+}
+
+// NewVirtual builds a zero virtual queue state shaped for the cluster.
+func NewVirtual(c *model.Cluster) *Virtual {
+	v := &Virtual{
+		Central: make([]float64, c.J()),
+		Local:   make([][]float64, c.N()),
+	}
+	for i := range v.Local {
+		v.Local[i] = make([]float64, c.J())
+	}
+	return v
+}
+
+// Step advances the dynamics one slot under the given action and arrivals:
+// exactly equations (12) and (13) of the paper.
+func (v *Virtual) Step(act *model.Action, arrivals []int) {
+	for j := range v.Central {
+		var routed float64
+		for i := range act.Route {
+			routed += float64(act.Route[i][j])
+		}
+		q := v.Central[j] - routed
+		if q < 0 {
+			q = 0
+		}
+		v.Central[j] = q + float64(arrivals[j])
+	}
+	for i := range v.Local {
+		for j := range v.Local[i] {
+			q := v.Local[i][j] - act.Process[i][j]
+			if q < 0 {
+				q = 0
+			}
+			v.Local[i][j] = q + float64(act.Route[i][j])
+		}
+	}
+}
+
+// Lengths returns a snapshot of the virtual backlogs.
+func (v *Virtual) Lengths() Lengths {
+	out := Lengths{
+		Central: append([]float64(nil), v.Central...),
+		Local:   make([][]float64, len(v.Local)),
+	}
+	for i := range v.Local {
+		out.Local[i] = append([]float64(nil), v.Local[i]...)
+	}
+	return out
+}

@@ -1,0 +1,325 @@
+package queue
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"grefar/internal/model"
+)
+
+func testCluster(t *testing.T) *model.Cluster {
+	t.Helper()
+	c := model.NewReferenceCluster()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSetArriveAndLengths(t *testing.T) {
+	c := testCluster(t)
+	s := NewSet(c)
+	arr := make([]int, c.J())
+	arr[0], arr[3] = 5, 2
+	if err := s.Arrive(0, arr); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CentralLen(0); got != 5 {
+		t.Errorf("CentralLen(0) = %v, want 5", got)
+	}
+	if got := s.CentralLen(3); got != 2 {
+		t.Errorf("CentralLen(3) = %v, want 2", got)
+	}
+	l := s.Lengths()
+	if got := l.Sum(); got != 7 {
+		t.Errorf("Lengths().Sum() = %v, want 7", got)
+	}
+}
+
+func TestSetArriveRejectsBadInput(t *testing.T) {
+	c := testCluster(t)
+	s := NewSet(c)
+	if err := s.Arrive(0, []int{1, 2}); err == nil {
+		t.Error("short arrival slice not rejected")
+	}
+	arr := make([]int, c.J())
+	arr[1] = -1
+	if err := s.Arrive(0, arr); err == nil {
+		t.Error("negative arrivals not rejected")
+	}
+}
+
+func TestSetRouteThenProcessDelays(t *testing.T) {
+	c := testCluster(t)
+	s := NewSet(c)
+
+	// Slot 0: 4 jobs of type 0 arrive.
+	arr := make([]int, c.J())
+	arr[0] = 4
+	if err := s.Arrive(0, arr); err != nil {
+		t.Fatal(err)
+	}
+
+	// Slot 1: route all 4 to data center 1. Central delay should be 1 slot
+	// per job.
+	act := model.NewAction(c)
+	act.Route[1][0] = 4
+	fs, err := s.Apply(1, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.CentralRouted[0] != 4 {
+		t.Fatalf("routed %v, want 4", fs.CentralRouted[0])
+	}
+	if fs.CentralDelaySum[0] != 4 {
+		t.Errorf("central delay sum = %v, want 4 (1 slot each)", fs.CentralDelaySum[0])
+	}
+	if got := s.LocalLen(1, 0); got != 4 {
+		t.Errorf("LocalLen(1,0) = %v, want 4", got)
+	}
+
+	// Slot 2: process 3 of them. Local delay should be 1 slot per job.
+	act = model.NewAction(c)
+	act.Process[1][0] = 3
+	fs, err = s.Apply(2, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Processed[1][0] != 3 {
+		t.Errorf("processed %v, want 3", fs.Processed[1][0])
+	}
+	if fs.LocalDelaySum[1][0] != 3 {
+		t.Errorf("local delay sum = %v, want 3", fs.LocalDelaySum[1][0])
+	}
+
+	// Slot 5: process the last one; it waited 4 slots in the data center.
+	act = model.NewAction(c)
+	act.Process[1][0] = 1
+	fs, err = s.Apply(5, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.LocalDelaySum[1][0] != 4 {
+		t.Errorf("local delay sum = %v, want 4", fs.LocalDelaySum[1][0])
+	}
+	if got := s.LocalLen(1, 0); got != 0 {
+		t.Errorf("LocalLen(1,0) = %v, want 0", got)
+	}
+}
+
+func TestSetRoutingCappedAtQueueContent(t *testing.T) {
+	c := testCluster(t)
+	s := NewSet(c)
+	arr := make([]int, c.J())
+	arr[0] = 3
+	if err := s.Arrive(0, arr); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ask for 5 to dc0 and 5 to dc1: only 3 exist.
+	act := model.NewAction(c)
+	act.Route[0][0] = 5
+	act.Route[1][0] = 5
+	fs, err := s.Apply(1, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.TotalRouted(); got != 3 {
+		t.Errorf("TotalRouted = %v, want 3", got)
+	}
+	if s.CentralLen(0) != 0 {
+		t.Errorf("CentralLen = %v, want 0", s.CentralLen(0))
+	}
+	if got := s.LocalLen(0, 0) + s.LocalLen(1, 0); got != 3 {
+		t.Errorf("local total = %v, want 3", got)
+	}
+}
+
+func TestSetProcessingCappedAtQueueContent(t *testing.T) {
+	c := testCluster(t)
+	s := NewSet(c)
+	arr := make([]int, c.J())
+	arr[0] = 2
+	if err := s.Arrive(0, arr); err != nil {
+		t.Fatal(err)
+	}
+	act := model.NewAction(c)
+	act.Route[0][0] = 2
+	if _, err := s.Apply(1, act); err != nil {
+		t.Fatal(err)
+	}
+
+	act = model.NewAction(c)
+	act.Process[0][0] = 99
+	fs, err := s.Apply(2, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Processed[0][0] != 2 {
+		t.Errorf("Processed = %v, want 2", fs.Processed[0][0])
+	}
+}
+
+func TestSetSameSlotRoutedJobsNotProcessable(t *testing.T) {
+	c := testCluster(t)
+	s := NewSet(c)
+	arr := make([]int, c.J())
+	arr[0] = 1
+	if err := s.Arrive(0, arr); err != nil {
+		t.Fatal(err)
+	}
+	// Route and process in the same slot: processing happens first (paper
+	// dynamics), so the routed job must remain in the local queue.
+	act := model.NewAction(c)
+	act.Route[0][0] = 1
+	act.Process[0][0] = 1
+	fs, err := s.Apply(1, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Processed[0][0] != 0 {
+		t.Errorf("processed a job the same slot it was routed: %v", fs.Processed[0][0])
+	}
+	if got := s.LocalLen(0, 0); got != 1 {
+		t.Errorf("LocalLen = %v, want 1", got)
+	}
+}
+
+func TestSetApplyRejectsMalformed(t *testing.T) {
+	c := testCluster(t)
+	s := NewSet(c)
+	act := model.NewAction(c)
+	act.Route = act.Route[:1]
+	if _, err := s.Apply(0, act); err == nil {
+		t.Error("malformed action not rejected")
+	}
+	act = model.NewAction(c)
+	act.Process[0][0] = -1
+	if _, err := s.Apply(0, act); err == nil {
+		t.Error("negative process not rejected")
+	}
+	act = model.NewAction(c)
+	act.Route[0][0] = -1
+	if _, err := s.Apply(0, act); err == nil {
+		t.Error("negative route not rejected")
+	}
+}
+
+func TestVirtualDynamicsMatchPaperEquations(t *testing.T) {
+	c := testCluster(t)
+	v := NewVirtual(c)
+	arr := make([]int, c.J())
+	arr[0] = 3
+
+	// Q starts 0; route 5 (over-asks): max[0-5,0] + 3 = 3.
+	act := model.NewAction(c)
+	act.Route[0][0] = 5
+	v.Step(act, arr)
+	if v.Central[0] != 3 {
+		t.Errorf("Central = %v, want 3", v.Central[0])
+	}
+	// Local: max[0 - 0, 0] + 5 = 5. Virtual queues really receive the
+	// nominal (uncapped) routing.
+	if v.Local[0][0] != 5 {
+		t.Errorf("Local = %v, want 5", v.Local[0][0])
+	}
+
+	// Next slot: process 2, route 1 more.
+	act = model.NewAction(c)
+	act.Route[0][0] = 1
+	act.Process[0][0] = 2
+	v.Step(act, make([]int, c.J()))
+	if v.Central[0] != 2 {
+		t.Errorf("Central = %v, want 2", v.Central[0])
+	}
+	if v.Local[0][0] != 4 { // max[5-2,0] + 1
+		t.Errorf("Local = %v, want 4", v.Local[0][0])
+	}
+}
+
+// TestCappedNeverExceedsVirtual property: under an arbitrary action stream,
+// the physical (capped) backlog never exceeds the virtual backlog of the
+// analysis, so Theorem 1's O(V) bound transfers to the real system.
+func TestCappedNeverExceedsVirtual(t *testing.T) {
+	c := testCluster(t)
+	f := func(seed []uint8) bool {
+		s := NewSet(c)
+		v := NewVirtual(c)
+		for slot, b := range seed {
+			act := model.NewAction(c)
+			for i := 0; i < c.N(); i++ {
+				for j := 0; j < c.J(); j++ {
+					act.Route[i][j] = int(b+uint8(3*i+5*j)) % 4
+					act.Process[i][j] = float64((b+uint8(7*i+j))%5) / 2
+				}
+			}
+			if _, err := s.Apply(slot, act); err != nil {
+				return false
+			}
+			arr := make([]int, c.J())
+			for j := range arr {
+				arr[j] = int(b+uint8(j)) % 3
+			}
+			if err := s.Arrive(slot, arr); err != nil {
+				return false
+			}
+			v.Step(act, arr)
+
+			sl, vl := s.Lengths(), v.Lengths()
+			for j := range sl.Central {
+				if sl.Central[j] > vl.Central[j]+1e-9 {
+					return false
+				}
+			}
+			// Total physical backlog never exceeds total virtual backlog.
+			if sl.Sum() > vl.Sum()+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSetConservation property: jobs arrived = jobs processed + jobs still
+// queued (centrally or locally).
+func TestSetConservation(t *testing.T) {
+	c := testCluster(t)
+	f := func(seed []uint8) bool {
+		s := NewSet(c)
+		var arrived, processed float64
+		for slot, b := range seed {
+			act := model.NewAction(c)
+			for i := 0; i < c.N(); i++ {
+				for j := 0; j < c.J(); j++ {
+					act.Route[i][j] = int(b+uint8(i+j)) % 3
+					act.Process[i][j] = float64((b+uint8(2*i+3*j))%4) / 2
+				}
+			}
+			fs, err := s.Apply(slot, act)
+			if err != nil {
+				return false
+			}
+			for i := range fs.Processed {
+				for _, p := range fs.Processed[i] {
+					processed += p
+				}
+			}
+			arr := make([]int, c.J())
+			for j := range arr {
+				arr[j] = int(b+uint8(5*j)) % 2
+				arrived += float64(arr[j])
+			}
+			if err := s.Arrive(slot, arr); err != nil {
+				return false
+			}
+		}
+		return math.Abs(arrived-processed-s.Lengths().Sum()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

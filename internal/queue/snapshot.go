@@ -1,0 +1,129 @@
+package queue
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// The snapshot format captures every FIFO cohort of every ledger, so a
+// restored queue set resumes with exact backlogs *and* exact per-job waiting
+// times — a restarted agent or controller keeps measuring delays correctly
+// instead of resetting them to zero.
+
+// cohortData is the exported wire form of one FIFO cohort.
+type cohortData struct {
+	Slot   int
+	Amount float64
+}
+
+// ledgerData is the exported wire form of one ledger.
+type ledgerData struct {
+	Cohorts []cohortData
+}
+
+// setData is the exported wire form of a whole queue set.
+type setData struct {
+	Central []ledgerData
+	Local   [][]ledgerData
+}
+
+// snapshot extracts the live cohorts of a ledger.
+func (l *Ledger) snapshot() ledgerData {
+	out := ledgerData{Cohorts: make([]cohortData, 0, len(l.entries)-l.head)}
+	for _, e := range l.entries[l.head:] {
+		if e.amount > 0 {
+			out.Cohorts = append(out.Cohorts, cohortData{Slot: e.slot, Amount: e.amount})
+		}
+	}
+	return out
+}
+
+// restore replaces the ledger contents from a snapshot.
+func (l *Ledger) restore(data ledgerData) {
+	l.entries = l.entries[:0]
+	l.head = 0
+	l.total = 0
+	for _, c := range data.Cohorts {
+		l.Push(c.Slot, c.Amount)
+	}
+}
+
+// SnapshotLedgers serializes a flat ledger slice (an agent's local queues).
+func SnapshotLedgers(ls []Ledger) ([]byte, error) {
+	data := make([]ledgerData, len(ls))
+	for j := range ls {
+		data[j] = ls[j].snapshot()
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(data); err != nil {
+		return nil, fmt.Errorf("encode ledger snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreLedgers replaces the contents of a flat ledger slice from a
+// SnapshotLedgers payload of the same length.
+func RestoreLedgers(ls []Ledger, snapshot []byte) error {
+	var data []ledgerData
+	if err := gob.NewDecoder(bytes.NewReader(snapshot)).Decode(&data); err != nil {
+		return fmt.Errorf("decode ledger snapshot: %w", err)
+	}
+	if len(data) != len(ls) {
+		return fmt.Errorf("snapshot has %d ledgers, want %d", len(data), len(ls))
+	}
+	for j := range ls {
+		ls[j].restore(data[j])
+	}
+	return nil
+}
+
+// Snapshot serializes the full queue state (central and local ledgers with
+// their arrival slots) with gob.
+func (s *Set) Snapshot() ([]byte, error) {
+	data := setData{
+		Central: make([]ledgerData, len(s.central)),
+		Local:   make([][]ledgerData, len(s.local)),
+	}
+	for j := range s.central {
+		data.Central[j] = s.central[j].snapshot()
+	}
+	for i := range s.local {
+		data.Local[i] = make([]ledgerData, len(s.local[i]))
+		for j := range s.local[i] {
+			data.Local[i][j] = s.local[i][j].snapshot()
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(data); err != nil {
+		return nil, fmt.Errorf("encode queue snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore replaces the queue state from a Snapshot taken on a set with the
+// same shape (same cluster).
+func (s *Set) Restore(snapshot []byte) error {
+	var data setData
+	if err := gob.NewDecoder(bytes.NewReader(snapshot)).Decode(&data); err != nil {
+		return fmt.Errorf("decode queue snapshot: %w", err)
+	}
+	if len(data.Central) != len(s.central) || len(data.Local) != len(s.local) {
+		return fmt.Errorf("snapshot shaped %dx%d, set is %dx%d",
+			len(data.Central), len(data.Local), len(s.central), len(s.local))
+	}
+	for i := range data.Local {
+		if len(data.Local[i]) != len(s.local[i]) {
+			return fmt.Errorf("snapshot site %d has %d job types, set has %d", i, len(data.Local[i]), len(s.local[i]))
+		}
+	}
+	for j := range s.central {
+		s.central[j].restore(data.Central[j])
+	}
+	for i := range s.local {
+		for j := range s.local[i] {
+			s.local[i][j].restore(data.Local[i][j])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package queue
+
+import (
+	"testing"
+
+	"grefar/internal/model"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	c := model.NewReferenceCluster()
+	s := NewSet(c)
+
+	arr := make([]int, c.J())
+	arr[0], arr[3] = 5, 2
+	if err := s.Arrive(0, arr); err != nil {
+		t.Fatal(err)
+	}
+	act := model.NewAction(c)
+	act.Route[1][0] = 3
+	if _, err := s.Apply(1, act); err != nil {
+		t.Fatal(err)
+	}
+	arr2 := make([]int, c.J())
+	arr2[0] = 4
+	if err := s.Arrive(1, arr2); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewSet(c)
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// Backlogs identical.
+	a, b := s.Lengths(), restored.Lengths()
+	for j := range a.Central {
+		if a.Central[j] != b.Central[j] {
+			t.Errorf("central[%d]: %v != %v", j, a.Central[j], b.Central[j])
+		}
+	}
+	for i := range a.Local {
+		for j := range a.Local[i] {
+			if a.Local[i][j] != b.Local[i][j] {
+				t.Errorf("local[%d][%d]: %v != %v", i, j, a.Local[i][j], b.Local[i][j])
+			}
+		}
+	}
+
+	// Delay accounting identical: process from both and compare waiting
+	// times, which requires the arrival slots to have survived.
+	act = model.NewAction(c)
+	act.Process[1][0] = 3
+	fs1, err := s.Apply(5, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := restored.Apply(5, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs1.LocalDelaySum[1][0] != fs2.LocalDelaySum[1][0] {
+		t.Errorf("delay sums differ after restore: %v vs %v", fs1.LocalDelaySum[1][0], fs2.LocalDelaySum[1][0])
+	}
+}
+
+func TestRestoreRejectsWrongShape(t *testing.T) {
+	c := model.NewReferenceCluster()
+	s := NewSet(c)
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	small := &model.Cluster{
+		DataCenters: c.DataCenters[:1],
+		JobTypes:    c.JobTypes,
+		Accounts:    c.Accounts,
+	}
+	other := NewSet(small)
+	if err := other.Restore(snap); err == nil {
+		t.Error("wrong-shape snapshot accepted")
+	}
+	if err := s.Restore([]byte("garbage")); err == nil {
+		t.Error("garbage snapshot accepted")
+	}
+}
+
+func TestRestoreOverwritesExistingState(t *testing.T) {
+	c := model.NewReferenceCluster()
+	s := NewSet(c)
+	arr := make([]int, c.J())
+	arr[0] = 7
+	if err := s.Arrive(0, arr); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutate further, then restore: state must rewind.
+	arr[0] = 5
+	if err := s.Arrive(1, arr); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CentralLen(0); got != 7 {
+		t.Errorf("CentralLen = %v, want 7 after rewind", got)
+	}
+}

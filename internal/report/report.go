@@ -1,0 +1,261 @@
+// Package report renders experiment results as aligned ASCII tables, simple
+// multi-series ASCII line charts (the textual stand-in for the paper's
+// figures), and CSV for external plotting.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Table writes an aligned text table.
+func Table(w io.Writer, headers []string, rows [][]string) error {
+	widths := make([]int, len(headers))
+	for c, h := range headers {
+		widths[c] = len(h)
+	}
+	for _, row := range rows {
+		for c, cell := range row {
+			if c < len(widths) && len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(widths))
+		for c := range widths {
+			cell := ""
+			if c < len(cells) {
+				cell = cells[c]
+			}
+			parts[c] = fmt.Sprintf("%-*s", widths[c], cell)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(headers)); err != nil {
+		return err
+	}
+	sep := make([]string, len(headers))
+	for c := range sep {
+		sep[c] = strings.Repeat("-", widths[c])
+	}
+	if _, err := fmt.Fprintln(w, line(sep)); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is one named line of a chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// chartGlyphs mark successive series in a chart.
+var chartGlyphs = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Chart renders a multi-series ASCII line chart of the given width and
+// height. Series are downsampled (by averaging) to the width; the y-range
+// spans all series. Each series gets a distinct glyph, listed in the legend.
+func Chart(w io.Writer, title string, series []Series, width, height int) error {
+	if width < 8 {
+		width = 8
+	}
+	if height < 3 {
+		height = 3
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		lo, hi = 0, 1
+	}
+	if hi-lo < 1e-12 {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for sIdx, s := range series {
+		glyph := chartGlyphs[sIdx%len(chartGlyphs)]
+		for col := 0; col < width; col++ {
+			v, ok := sampleAt(s.Values, col, width)
+			if !ok {
+				continue
+			}
+			rowF := (v - lo) / (hi - lo) * float64(height-1)
+			row := height - 1 - int(math.Round(rowF))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = glyph
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	for r, rowBytes := range grid {
+		label := ""
+		switch r {
+		case 0:
+			label = trimFloat(hi)
+		case height - 1:
+			label = trimFloat(lo)
+		}
+		if _, err := fmt.Fprintf(w, "%10s |%s|\n", label, string(rowBytes)); err != nil {
+			return err
+		}
+	}
+	legend := make([]string, 0, len(series))
+	for sIdx, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", chartGlyphs[sIdx%len(chartGlyphs)], s.Name))
+	}
+	_, err := fmt.Fprintf(w, "%10s  %s\n", "", strings.Join(legend, "   "))
+	return err
+}
+
+// sampleAt averages the slice values mapped to one chart column.
+func sampleAt(values []float64, col, width int) (float64, bool) {
+	n := len(values)
+	if n == 0 {
+		return 0, false
+	}
+	start := col * n / width
+	end := (col + 1) * n / width
+	if end <= start {
+		end = start + 1
+	}
+	if start >= n {
+		return 0, false
+	}
+	if end > n {
+		end = n
+	}
+	var sum float64
+	for _, v := range values[start:end] {
+		sum += v
+	}
+	return sum / float64(end-start), true
+}
+
+func trimFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'g', 4, 64)
+	return s
+}
+
+// HistogramBar renders one labeled bar of a text histogram: a count scaled
+// to width against the maximum count.
+func HistogramBar(label string, count, maxCount float64, width int) string {
+	if width < 1 {
+		width = 1
+	}
+	n := 0
+	if maxCount > 0 {
+		n = int(math.Round(count / maxCount * float64(width)))
+	}
+	if n > width {
+		n = width
+	}
+	return fmt.Sprintf("%12s |%-*s| %.0f", label, width, strings.Repeat("#", n), count)
+}
+
+// Histogram writes a text histogram from bucket bounds and counts (as
+// returned by metrics.Histogram.Buckets). Empty buckets are printed so the
+// shape reads correctly.
+func Histogram(w io.Writer, title string, bounds, counts []float64, width int) error {
+	if len(bounds) != len(counts) {
+		return fmt.Errorf("got %d bounds but %d counts", len(bounds), len(counts))
+	}
+	if _, err := fmt.Fprintln(w, title); err != nil {
+		return err
+	}
+	var max float64
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	for b := range bounds {
+		label := "+Inf"
+		if !math.IsInf(bounds[b], 1) {
+			label = "<=" + trimFloat(bounds[b])
+		}
+		if _, err := fmt.Fprintln(w, HistogramBar(label, counts[b], max, width)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes named columns of equal or ragged lengths as CSV; missing
+// cells are left empty.
+func WriteCSV(w io.Writer, headers []string, cols [][]float64) error {
+	if len(headers) != len(cols) {
+		return fmt.Errorf("got %d headers but %d columns", len(headers), len(cols))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(headers, ",")); err != nil {
+		return err
+	}
+	rows := 0
+	for _, c := range cols {
+		if len(c) > rows {
+			rows = len(c)
+		}
+	}
+	var sb strings.Builder
+	for r := 0; r < rows; r++ {
+		sb.Reset()
+		for ci, c := range cols {
+			if ci > 0 {
+				sb.WriteByte(',')
+			}
+			if r < len(c) {
+				sb.WriteString(strconv.FormatFloat(c[r], 'g', -1, 64))
+			}
+		}
+		if _, err := fmt.Fprintln(w, sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FormatFloat renders a value with the given number of decimals, for table
+// cells.
+func FormatFloat(v float64, decimals int) string {
+	return strconv.FormatFloat(v, 'f', decimals, 64)
+}
+
+// SortedKeys returns the sorted keys of a string-keyed map, for stable
+// report ordering.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,153 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var sb strings.Builder
+	err := Table(&sb, []string{"DC", "Speed"}, [][]string{
+		{"dc1", "1.00"},
+		{"dc2-long-name", "0.75"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), sb.String())
+	}
+	if !strings.HasPrefix(lines[0], "DC") || !strings.Contains(lines[0], "Speed") {
+		t.Errorf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator wrong: %q", lines[1])
+	}
+	// The Speed column must start at the same offset in every row.
+	off := strings.Index(lines[0], "Speed")
+	if got := strings.Index(lines[3], "0.75"); got != off {
+		t.Errorf("column misaligned: %d vs %d\n%s", got, off, sb.String())
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	var sb strings.Builder
+	if err := Table(&sb, []string{"a", "b"}, [][]string{{"only"}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "only") {
+		t.Error("short row dropped")
+	}
+}
+
+func TestChartRendersSeries(t *testing.T) {
+	var sb strings.Builder
+	err := Chart(&sb, "energy", []Series{
+		{Name: "V=0.1", Values: []float64{5, 5, 5, 5}},
+		{Name: "V=20", Values: []float64{1, 2, 3, 4}},
+	}, 20, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "energy") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("series glyphs missing")
+	}
+	if !strings.Contains(out, "V=0.1") || !strings.Contains(out, "V=20") {
+		t.Error("legend missing")
+	}
+	// Y-axis labels: max 5 and min 1 should appear.
+	if !strings.Contains(out, "5") || !strings.Contains(out, "1") {
+		t.Error("axis labels missing")
+	}
+}
+
+func TestChartDegenerateInputs(t *testing.T) {
+	var sb strings.Builder
+	if err := Chart(&sb, "empty", nil, 10, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := Chart(&sb, "flat", []Series{{Name: "c", Values: []float64{2, 2}}}, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChartDownsamples(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	var sb strings.Builder
+	if err := Chart(&sb, "big", []Series{{Name: "s", Values: vals}}, 30, 5); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if len(line) > 60 {
+			t.Errorf("line too long after downsampling: %d chars", len(line))
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	err := WriteCSV(&sb, []string{"t", "x"}, [][]float64{{0, 1, 2}, {5.5, 6.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "t,x\n0,5.5\n1,6.5\n2,\n"
+	if sb.String() != want {
+		t.Errorf("got %q, want %q", sb.String(), want)
+	}
+	if err := WriteCSV(&sb, []string{"a"}, nil); err == nil {
+		t.Error("mismatched headers/columns accepted")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	if got := FormatFloat(3.14159, 2); got != "3.14" {
+		t.Errorf("FormatFloat = %q", got)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("SortedKeys = %v", got)
+	}
+}
+
+func TestHistogramBar(t *testing.T) {
+	got := HistogramBar("<=1", 5, 10, 10)
+	if !strings.Contains(got, "#####") || strings.Contains(got, "######") {
+		t.Errorf("bar = %q, want 5 hashes", got)
+	}
+	if got := HistogramBar("x", 0, 0, 10); strings.Contains(got, "#") {
+		t.Errorf("empty histogram drew bars: %q", got)
+	}
+	if got := HistogramBar("x", 20, 10, 10); strings.Count(got, "#") != 10 {
+		t.Errorf("overflow not clamped: %q", got)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	var sb strings.Builder
+	err := Histogram(&sb, "delays", []float64{1, 2, math.Inf(1)}, []float64{10, 5, 1}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"delays", "<=1", "<=2", "+Inf", "####"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if err := Histogram(&sb, "bad", []float64{1}, []float64{1, 2}, 10); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}

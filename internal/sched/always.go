@@ -1,0 +1,101 @@
+package sched
+
+import (
+	"fmt"
+
+	"grefar/internal/model"
+	"grefar/internal/queue"
+)
+
+// Always is the paper's comparison policy (section VI-B3): it schedules jobs
+// immediately whenever there are resources available, ignoring electricity
+// prices entirely. Queued jobs are routed to the eligible data center with
+// the most spare capacity and every local queue is drained as fast as the
+// slot's capacity allows, so most jobs run in the slot after they arrive and
+// the average delay is about one — at the cost of buying energy at whatever
+// the current price happens to be.
+type Always struct {
+	cluster *model.Cluster
+}
+
+var _ Scheduler = (*Always)(nil)
+
+// NewAlways builds the policy for a cluster.
+func NewAlways(c *model.Cluster) (*Always, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("invalid cluster: %w", err)
+	}
+	return &Always{cluster: c}, nil
+}
+
+// Name implements Scheduler.
+func (a *Always) Name() string { return "always" }
+
+// Decide implements Scheduler.
+func (a *Always) Decide(t int, st *model.State, q queue.Lengths) (*model.Action, error) {
+	c := a.cluster
+	act := model.NewAction(c)
+
+	// Per-DC load ledger: work already queued locally plus work assigned by
+	// routing this slot, used to spread new jobs onto the least-loaded
+	// eligible site.
+	load := make([]float64, c.N())
+	capacity := make([]float64, c.N())
+	for i := 0; i < c.N(); i++ {
+		capacity[i] = st.Capacity(c, i)
+		for j := 0; j < c.J(); j++ {
+			load[i] += q.Local[i][j] * c.JobTypes[j].Demand
+		}
+	}
+
+	// Route every queued job to the eligible data center with the most
+	// remaining slack.
+	for j := 0; j < c.J(); j++ {
+		jt := c.JobTypes[j]
+		budget := routeBudget(jt)
+		remaining := int(q.Central[j])
+		for n := 0; n < remaining; n++ {
+			best := -1
+			var bestSlack float64
+			for _, i := range jt.Eligible {
+				if act.Route[i][j] >= budget {
+					continue
+				}
+				slack := capacity[i] - load[i]
+				if best < 0 || slack > bestSlack {
+					best, bestSlack = i, slack
+				}
+			}
+			if best < 0 {
+				break // every eligible site is at its routing bound
+			}
+			act.Route[best][j]++
+			load[best] += jt.Demand
+		}
+	}
+
+	// Process as much queued work as the slot's capacity (CPU and any
+	// auxiliary resources) allows, scaling all job types at a site down
+	// proportionally when over capacity.
+	for i := 0; i < c.N(); i++ {
+		budgets := make([]float64, c.J())
+		for j := 0; j < c.J(); j++ {
+			if !c.JobTypes[j].EligibleSet(i) {
+				continue
+			}
+			budgets[j] = processBudget(c.JobTypes[j], q.Local[i][j])
+		}
+		scale := drainScale(c, i, budgets, capacity[i])
+		var work float64
+		for j := 0; j < c.J(); j++ {
+			act.Process[i][j] = budgets[j] * scale
+			work += act.Process[i][j] * c.JobTypes[j].Demand
+		}
+		busy, _, err := model.Provision(c.DataCenters[i], st.Avail[i], work)
+		if err != nil {
+			return nil, fmt.Errorf("data center %d: %w", i, err)
+		}
+		act.Busy[i] = busy
+	}
+	return act, nil
+}

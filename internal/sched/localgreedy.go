@@ -1,0 +1,130 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"grefar/internal/model"
+	"grefar/internal/queue"
+)
+
+// LocalGreedy is the related-work baseline the paper contrasts with
+// (section II): policies that "perform local optimization at each time
+// period without considering the electricity variations across time
+// periods". Each slot it routes jobs to the eligible site with the lowest
+// *current* energy cost per unit work and processes every queued job
+// immediately, exactly like Always — so it exploits price differences
+// across space but never across time, and offers no bound on long-run cost.
+type LocalGreedy struct {
+	cluster *model.Cluster
+}
+
+var _ Scheduler = (*LocalGreedy)(nil)
+
+// NewLocalGreedy builds the policy for a cluster.
+func NewLocalGreedy(c *model.Cluster) (*LocalGreedy, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("invalid cluster: %w", err)
+	}
+	return &LocalGreedy{cluster: c}, nil
+}
+
+// Name implements Scheduler.
+func (l *LocalGreedy) Name() string { return "local-greedy" }
+
+// Decide implements Scheduler.
+func (l *LocalGreedy) Decide(t int, st *model.State, q queue.Lengths) (*model.Action, error) {
+	c := l.cluster
+	act := model.NewAction(c)
+
+	// Rank sites by the current marginal energy cost per unit work of their
+	// cheapest segment.
+	type ranked struct {
+		site int
+		cost float64
+	}
+	costs := make([]ranked, c.N())
+	for i := 0; i < c.N(); i++ {
+		costs[i] = ranked{site: i, cost: model.EnergyPerWork(c.DataCenters[i], st.Avail[i], st.Price[i], 0)}
+	}
+	sort.Slice(costs, func(a, b int) bool {
+		if costs[a].cost != costs[b].cost {
+			return costs[a].cost < costs[b].cost
+		}
+		return costs[a].site < costs[b].site
+	})
+
+	// Route every queued job to the cheapest eligible site with remaining
+	// spare capacity, falling over to the next cheapest.
+	load := make([]float64, c.N())
+	capacity := make([]float64, c.N())
+	for i := 0; i < c.N(); i++ {
+		capacity[i] = st.Capacity(c, i)
+		for j := 0; j < c.J(); j++ {
+			load[i] += q.Local[i][j] * c.JobTypes[j].Demand
+		}
+	}
+	for j := 0; j < c.J(); j++ {
+		jt := c.JobTypes[j]
+		budget := routeBudget(jt)
+		remaining := int(q.Central[j])
+		for _, rk := range costs {
+			if remaining <= 0 {
+				break
+			}
+			if !jt.EligibleSet(rk.site) {
+				continue
+			}
+			// Fill up to the site's spare capacity in whole jobs.
+			spare := capacity[rk.site] - load[rk.site]
+			fit := int(spare / jt.Demand)
+			if fit > remaining {
+				fit = remaining
+			}
+			if fit > budget {
+				fit = budget
+			}
+			if fit <= 0 {
+				continue
+			}
+			act.Route[rk.site][j] = fit
+			load[rk.site] += float64(fit) * jt.Demand
+			remaining -= fit
+		}
+		// Anything that fits nowhere goes to the cheapest eligible site
+		// anyway (it will queue there).
+		if remaining > 0 {
+			for _, rk := range costs {
+				if jt.EligibleSet(rk.site) && act.Route[rk.site][j]+remaining <= budget {
+					act.Route[rk.site][j] += remaining
+					remaining = 0
+					break
+				}
+			}
+		}
+	}
+
+	// Process everything queued, scaled to CPU and auxiliary capacity —
+	// same drain rule as Always.
+	for i := 0; i < c.N(); i++ {
+		budgets := make([]float64, c.J())
+		for j := 0; j < c.J(); j++ {
+			if !c.JobTypes[j].EligibleSet(i) {
+				continue
+			}
+			budgets[j] = processBudget(c.JobTypes[j], q.Local[i][j])
+		}
+		scale := drainScale(c, i, budgets, capacity[i])
+		var work float64
+		for j := 0; j < c.J(); j++ {
+			act.Process[i][j] = budgets[j] * scale
+			work += act.Process[i][j] * c.JobTypes[j].Demand
+		}
+		busy, _, err := model.Provision(c.DataCenters[i], st.Avail[i], work)
+		if err != nil {
+			return nil, fmt.Errorf("data center %d: %w", i, err)
+		}
+		act.Busy[i] = busy
+	}
+	return act, nil
+}

@@ -1,0 +1,107 @@
+package sched
+
+import (
+	"testing"
+
+	"grefar/internal/model"
+)
+
+func TestNewLocalGreedyValidation(t *testing.T) {
+	bad := model.NewReferenceCluster()
+	bad.Accounts = nil
+	if _, err := NewLocalGreedy(bad); err == nil {
+		t.Error("invalid cluster accepted")
+	}
+	c := refCluster(t)
+	l, err := NewLocalGreedy(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Name() != "local-greedy" {
+		t.Errorf("Name = %q", l.Name())
+	}
+}
+
+func TestLocalGreedyRoutesToCheapestSite(t *testing.T) {
+	c := refCluster(t)
+	l, err := NewLocalGreedy(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With equal prices, dc2 (cost/work 0.8*price) is the cheapest site.
+	st := stateWith(c, 100, []float64{0.5, 0.5, 0.5})
+	q := emptyLengths(c)
+	q.Central[0] = 10
+	act, err := l.Decide(0, st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act.Route[1][0] != 10 {
+		t.Errorf("Route = %v, want all 10 at dc2", act.Route)
+	}
+
+	// Invert the advantage with prices: make dc2 very expensive.
+	st = stateWith(c, 100, []float64{0.5, 2.0, 0.5})
+	act, err = l.Decide(0, st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act.Route[1][0] != 0 {
+		t.Errorf("routed to expensive dc2: %v", act.Route)
+	}
+	// dc1 cost/work 0.5 < dc3 0.5*1.043: dc1 wins.
+	if act.Route[0][0] != 10 {
+		t.Errorf("Route = %v, want all 10 at dc1", act.Route)
+	}
+}
+
+func TestLocalGreedySpillsOverWhenFull(t *testing.T) {
+	c := refCluster(t)
+	l, err := NewLocalGreedy(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dc2 capacity is tiny; overflow must go to the next-cheapest site.
+	st := stateWith(c, 100, []float64{0.5, 0.5, 0.5})
+	st.Avail[1][0] = 4 // capacity 3 work units
+	q := emptyLengths(c)
+	q.Central[0] = 10 // demand 1 each
+	act, err := l.Decide(0, st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	for i := 0; i < c.N(); i++ {
+		total += act.Route[i][0]
+	}
+	if total != 10 {
+		t.Errorf("routed %d, want 10", total)
+	}
+	if act.Route[1][0] > 3 {
+		t.Errorf("overfilled dc2: %v", act.Route)
+	}
+	if act.Route[0][0] == 0 {
+		t.Errorf("no spill-over to dc1: %v", act.Route)
+	}
+}
+
+func TestLocalGreedyProcessesImmediately(t *testing.T) {
+	c := refCluster(t)
+	l, err := NewLocalGreedy(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := stateWith(c, 100, []float64{0.9, 0.9, 0.9})
+	q := emptyLengths(c)
+	q.Local[2][4] = 6
+	act, err := l.Decide(0, st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act.Process[2][4] < 6-1e-9 {
+		t.Errorf("processed %v of 6", act.Process[2][4])
+	}
+	if err := act.Validate(c, st); err != nil {
+		t.Errorf("infeasible action: %v", err)
+	}
+}

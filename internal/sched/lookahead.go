@@ -1,0 +1,89 @@
+package sched
+
+import (
+	"fmt"
+
+	"grefar/internal/model"
+)
+
+// LookaheadPlanner computes the cost of the optimal T-step lookahead policy
+// of Theorem 1: for each frame of T slots it solves the offline problem
+// (15)-(18) with perfect knowledge of the frame's data center states and job
+// arrivals, yielding the frame optimum G*_r. The average of G*_r over frames
+// is the benchmark GreFar provably approaches within O(1/V).
+//
+// The integer routing variables are relaxed to continuous ones, which can
+// only lower the benchmark cost; the Theorem 1 comparison made by the test
+// suite and benchmarks is therefore conservative.
+type LookaheadPlanner struct {
+	cluster *model.Cluster
+	t       int
+}
+
+// NewLookaheadPlanner builds a planner with frame length t >= 1.
+func NewLookaheadPlanner(c *model.Cluster, t int) (*LookaheadPlanner, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("invalid cluster: %w", err)
+	}
+	if t < 1 {
+		return nil, fmt.Errorf("frame length %d is not positive", t)
+	}
+	return &LookaheadPlanner{cluster: c, t: t}, nil
+}
+
+// T returns the frame length.
+func (p *LookaheadPlanner) T() int { return p.t }
+
+// FrameCost solves the frame problem (15)-(18) for one frame: states[t] and
+// arrivals[t] describe the frame's T slots. It returns G*_r, the minimum
+// time-averaged energy cost of serving all of the frame's arrivals within
+// the frame. Fairness is not included (beta = 0), matching the evaluation
+// experiments that compare against the lookahead benchmark.
+func (p *LookaheadPlanner) FrameCost(states []*model.State, arrivals [][]int) (float64, error) {
+	c := p.cluster
+	if len(states) != p.t || len(arrivals) != p.t {
+		return 0, fmt.Errorf("frame needs %d states and arrivals, got %d and %d", p.t, len(states), len(arrivals))
+	}
+
+	layout := p.frameLayout()
+	costs := make([]float64, layout.total)
+	for tt := 0; tt < p.t; tt++ {
+		off := layout.bBase(tt)
+		for i := 0; i < c.N(); i++ {
+			for _, stype := range c.DataCenters[i].Servers {
+				costs[off] = states[tt].Price[i] * stype.Power
+				off++
+			}
+		}
+	}
+	x, err := p.solveFrameLP(states, arrivals, costs)
+	if err != nil {
+		return 0, err
+	}
+	var obj float64
+	for v, cv := range costs {
+		obj += cv * x[v]
+	}
+	return obj / float64(p.t), nil
+}
+
+// AverageCost splits a horizon of R*T slots into R frames and returns
+// (1/R) sum_r G*_r, the benchmark of Theorem 1's inequality (24).
+func (p *LookaheadPlanner) AverageCost(states []*model.State, arrivals [][]int) (float64, error) {
+	if len(states) != len(arrivals) {
+		return 0, fmt.Errorf("got %d states but %d arrival rows", len(states), len(arrivals))
+	}
+	if len(states) == 0 || len(states)%p.t != 0 {
+		return 0, fmt.Errorf("horizon %d is not a positive multiple of frame length %d", len(states), p.t)
+	}
+	r := len(states) / p.t
+	var sum float64
+	for f := 0; f < r; f++ {
+		g, err := p.FrameCost(states[f*p.t:(f+1)*p.t], arrivals[f*p.t:(f+1)*p.t])
+		if err != nil {
+			return 0, fmt.Errorf("frame %d: %w", f, err)
+		}
+		sum += g
+	}
+	return sum / float64(r), nil
+}

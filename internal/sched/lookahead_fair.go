@@ -1,0 +1,216 @@
+package sched
+
+import (
+	"fmt"
+
+	"grefar/internal/lp"
+	"grefar/internal/model"
+	"grefar/internal/solve"
+)
+
+// FrameCostFair extends the T-step lookahead benchmark to beta > 0: it
+// minimizes the frame-average energy-fairness cost (1/T) sum_t g(t) with
+// g(t) = e(t) - beta*f(t) and the paper's quadratic fairness function, over
+// the same frame polytope (16)-(18). The problem is a convex QP; it is
+// solved by Frank-Wolfe whose linear oracle is the frame LP, starting from
+// the beta = 0 optimum (a feasible vertex).
+func (p *LookaheadPlanner) FrameCostFair(states []*model.State, arrivals [][]int, beta float64, gamma []float64, opts solve.FWOptions) (float64, error) {
+	if beta < 0 {
+		return 0, fmt.Errorf("negative beta %v", beta)
+	}
+	if beta == 0 {
+		return p.FrameCost(states, arrivals)
+	}
+	c := p.cluster
+	if len(gamma) != c.M() {
+		return 0, fmt.Errorf("got %d weights, cluster has %d accounts", len(gamma), c.M())
+	}
+	if len(states) != p.t || len(arrivals) != p.t {
+		return 0, fmt.Errorf("frame needs %d states and arrivals, got %d and %d", p.t, len(states), len(arrivals))
+	}
+
+	layout := p.frameLayout()
+
+	// Objective: linear energy costs on b plus per-slot fairness squares on h.
+	obj := &solve.Quadratic{Linear: make([]float64, layout.total)}
+	for tt := 0; tt < p.t; tt++ {
+		off := layout.bBase(tt)
+		for i := 0; i < c.N(); i++ {
+			for _, stype := range c.DataCenters[i].Servers {
+				obj.Linear[off] = states[tt].Price[i] * stype.Power
+				off++
+			}
+		}
+		totalRes := states[tt].TotalResource(c)
+		if totalRes <= 0 {
+			continue
+		}
+		for m := 0; m < c.M(); m++ {
+			var idx []int
+			var coef []float64
+			for i := 0; i < c.N(); i++ {
+				for j := 0; j < c.J(); j++ {
+					if c.JobTypes[j].Account != m {
+						continue
+					}
+					idx = append(idx, layout.hIndex(tt, i, j))
+					coef = append(coef, c.JobTypes[j].Demand/totalRes)
+				}
+			}
+			obj.Squares = append(obj.Squares, solve.AffineSquare{
+				Weight: beta, Index: idx, Coef: coef, Offset: -gamma[m],
+			})
+		}
+	}
+	if err := obj.Validate(layout.total); err != nil {
+		return 0, fmt.Errorf("building frame objective: %w", err)
+	}
+
+	// Feasible start: the beta = 0 frame optimum.
+	x0, err := p.solveFrameLP(states, arrivals, obj.Linear)
+	if err != nil {
+		return 0, fmt.Errorf("frame warm start: %w", err)
+	}
+
+	var oracleErr error
+	oracle := func(grad []float64, out []float64) {
+		x, err := p.solveFrameLP(states, arrivals, grad)
+		if err != nil {
+			oracleErr = err
+			return
+		}
+		copy(out, x)
+	}
+	if opts.MaxIters <= 0 {
+		opts.MaxIters = 200
+	}
+	res, err := solve.FrankWolfe(obj, oracle, x0, opts)
+	if err != nil {
+		return 0, err
+	}
+	if oracleErr != nil {
+		return 0, fmt.Errorf("frame oracle: %w", oracleErr)
+	}
+	// The fairness squares omit the constant for slots where an account has
+	// zero variables (none here) and obj already contains the full squared
+	// terms, so the value is exactly sum_t [e(t) + beta*sum_m dev^2] =
+	// sum_t g(t). Average over the frame.
+	return res.Value / float64(p.t), nil
+}
+
+// frameLayout captures the flattened variable indexing shared by the frame
+// LP and QP.
+type frameLayout struct {
+	t, n, j, kTotal, total int
+	hVars                  int
+}
+
+func (p *LookaheadPlanner) frameLayout() frameLayout {
+	c := p.cluster
+	l := frameLayout{t: p.t, n: c.N(), j: c.J()}
+	l.hVars = p.t * c.N() * c.J()
+	for i := 0; i < c.N(); i++ {
+		l.kTotal += c.K(i)
+	}
+	l.total = l.hVars + p.t*l.kTotal
+	return l
+}
+
+func (l frameLayout) hIndex(t, i, j int) int { return (t*l.n+i)*l.j + j }
+func (l frameLayout) bBase(t int) int        { return l.hVars + t*l.kTotal }
+
+// solveFrameLP minimizes an arbitrary linear objective over the frame
+// polytope (16)-(18) and returns the optimal point. It is both the beta = 0
+// warm start and the Frank-Wolfe oracle of FrameCostFair.
+func (p *LookaheadPlanner) solveFrameLP(states []*model.State, arrivals [][]int, costs []float64) ([]float64, error) {
+	c := p.cluster
+	layout := p.frameLayout()
+	prob := lp.NewProblem(layout.total)
+	if err := prob.SetObjective(costs); err != nil {
+		return nil, err
+	}
+	// Frame service constraints.
+	for j := 0; j < c.J(); j++ {
+		var demand float64
+		for tt := 0; tt < p.t; tt++ {
+			demand += float64(arrivals[tt][j])
+		}
+		var idx []int
+		var coef []float64
+		for tt := 0; tt < p.t; tt++ {
+			for _, i := range c.JobTypes[j].Eligible {
+				idx = append(idx, layout.hIndex(tt, i, j))
+				coef = append(coef, 1)
+			}
+		}
+		if err := prob.AddSparseConstraint(idx, coef, lp.GE, demand); err != nil {
+			return nil, err
+		}
+	}
+	// Per-slot capacity and bounds.
+	for tt := 0; tt < p.t; tt++ {
+		for i := 0; i < c.N(); i++ {
+			idx := make([]int, 0, c.J()+c.K(i))
+			coef := make([]float64, 0, c.J()+c.K(i))
+			for j := 0; j < c.J(); j++ {
+				idx = append(idx, layout.hIndex(tt, i, j))
+				coef = append(coef, c.JobTypes[j].Demand)
+			}
+			off := layout.bBase(tt)
+			for ii := 0; ii < i; ii++ {
+				off += c.K(ii)
+			}
+			for k, stype := range c.DataCenters[i].Servers {
+				idx = append(idx, off+k)
+				coef = append(coef, -stype.Speed)
+				if err := prob.AddUpperBound(off+k, states[tt].Avail[i][k]); err != nil {
+					return nil, err
+				}
+			}
+			if err := prob.AddSparseConstraint(idx, coef, lp.LE, 0); err != nil {
+				return nil, err
+			}
+			for r := 0; r < c.Aux(); r++ {
+				var aIdx []int
+				var aCoef []float64
+				for j := 0; j < c.J(); j++ {
+					if r < len(c.JobTypes[j].AuxDemand) && c.JobTypes[j].AuxDemand[r] > 0 {
+						aIdx = append(aIdx, layout.hIndex(tt, i, j))
+						aCoef = append(aCoef, c.JobTypes[j].AuxDemand[r])
+					}
+				}
+				if len(aIdx) == 0 {
+					continue
+				}
+				if err := prob.AddSparseConstraint(aIdx, aCoef, lp.LE, c.DataCenters[i].AuxCapacity[r]); err != nil {
+					return nil, err
+				}
+			}
+			for j := 0; j < c.J(); j++ {
+				jt := c.JobTypes[j]
+				hi := float64(0)
+				if jt.EligibleSet(i) {
+					hi = jt.MaxProcess
+					if hi <= 0 {
+						hi = 1e9
+					}
+				}
+				if err := prob.AddUpperBound(layout.hIndex(tt, i, j), hi); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return nil, err
+	}
+	switch sol.Status {
+	case lp.Optimal:
+		return sol.X, nil
+	case lp.Infeasible:
+		return nil, fmt.Errorf("frame is infeasible: arrivals exceed frame capacity (slackness violated)")
+	default:
+		return nil, fmt.Errorf("frame LP is %v", sol.Status)
+	}
+}

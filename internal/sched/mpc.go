@@ -1,0 +1,326 @@
+package sched
+
+import (
+	"fmt"
+
+	"grefar/internal/lp"
+	"grefar/internal/model"
+	"grefar/internal/queue"
+)
+
+// Oracle supplies the future the MPC plans against: the data center state
+// and job arrivals of any slot. In experiments it is backed by the actual
+// traces (a perfect forecast); a production deployment would plug in a
+// predictor here, which is exactly the approach of the prediction-based
+// provisioning work the paper cites (Guenter et al.) — OracleMPC therefore
+// upper-bounds what any such predictor-driven scheduler could achieve.
+type Oracle interface {
+	// Future returns the state and arrivals of slot t.
+	Future(t int) (*model.State, []int, error)
+}
+
+// OracleMPC is a receding-horizon (model-predictive control) scheduler: each
+// slot it solves a window LP over the next Window slots with full knowledge
+// of prices, availability, and arrivals, then executes only the first slot
+// of the plan. Unlike GreFar it needs the future; unlike the T-step
+// lookahead benchmark it is an executable online policy with real queues.
+type OracleMPC struct {
+	cluster *model.Cluster
+	oracle  Oracle
+	window  int
+	// unservedPenalty prices leaving a unit of work unserved at the window
+	// edge, forcing the plan to serve everything feasible.
+	unservedPenalty float64
+}
+
+var _ Scheduler = (*OracleMPC)(nil)
+
+// NewOracleMPC builds the policy. window >= 1 is the planning horizon in
+// slots.
+func NewOracleMPC(c *model.Cluster, oracle Oracle, window int) (*OracleMPC, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("invalid cluster: %w", err)
+	}
+	if oracle == nil {
+		return nil, fmt.Errorf("nil oracle")
+	}
+	if window < 1 {
+		return nil, fmt.Errorf("window %d is not positive", window)
+	}
+	// Penalty above any plausible marginal energy cost per unit work.
+	var maxRate float64
+	for _, dc := range c.DataCenters {
+		for _, s := range dc.Servers {
+			if r := s.CostPerWork(); r > maxRate {
+				maxRate = r
+			}
+		}
+	}
+	return &OracleMPC{
+		cluster:         c,
+		oracle:          oracle,
+		window:          window,
+		unservedPenalty: 100 * (1 + maxRate),
+	}, nil
+}
+
+// Name implements Scheduler.
+func (m *OracleMPC) Name() string { return fmt.Sprintf("oracle-mpc(W=%d)", m.window) }
+
+// Decide implements Scheduler: solve the window plan, execute its first
+// slot.
+func (m *OracleMPC) Decide(t int, st *model.State, q queue.Lengths) (*model.Action, error) {
+	c := m.cluster
+
+	// Gather the window's future (slot t itself comes from the live state).
+	states := make([]*model.State, m.window)
+	arrivals := make([][]int, m.window)
+	states[0] = st
+	arrivals[0] = make([]int, c.J()) // slot-t arrivals land after this slot's decisions
+	for w := 1; w < m.window; w++ {
+		futureState, _, err := m.oracle.Future(t + w)
+		if err != nil {
+			return nil, fmt.Errorf("oracle at slot %d: %w", t+w, err)
+		}
+		states[w] = futureState
+		// Arrivals during slot t+w-1 become routable work at slot t+w.
+		_, fa, err := m.oracle.Future(t + w - 1)
+		if err != nil {
+			return nil, fmt.Errorf("oracle at slot %d: %w", t+w-1, err)
+		}
+		arrivals[w] = fa
+	}
+
+	plan, err := m.solveWindow(states, arrivals, q)
+	if err != nil {
+		return nil, err
+	}
+
+	act := model.NewAction(c)
+	// Execute the plan's first slot: process what the plan says (capped at
+	// queue content), and route central jobs toward the sites the plan
+	// wants to process them at over the window.
+	for i := 0; i < c.N(); i++ {
+		var work float64
+		for j := 0; j < c.J(); j++ {
+			h := plan.process[i][j]
+			if h > q.Local[i][j] {
+				h = q.Local[i][j]
+			}
+			act.Process[i][j] = h
+			work += h * c.JobTypes[j].Demand
+		}
+		busy, _, err := model.Provision(c.DataCenters[i], st.Avail[i], work)
+		if err != nil {
+			return nil, fmt.Errorf("data center %d: %w", i, err)
+		}
+		act.Busy[i] = busy
+	}
+	for j := 0; j < c.J(); j++ {
+		m.routeByPlanShares(j, int(q.Central[j]), plan.windowWork[j], act)
+	}
+	return act, nil
+}
+
+// routeByPlanShares splits available central jobs across eligible sites
+// proportionally to the plan's window processing per site.
+func (m *OracleMPC) routeByPlanShares(j, available int, shares []float64, act *model.Action) {
+	c := m.cluster
+	if available <= 0 {
+		return
+	}
+	jt := c.JobTypes[j]
+	var total float64
+	for _, i := range jt.Eligible {
+		total += shares[i]
+	}
+	budget := routeBudget(jt)
+	if total <= 0 {
+		// Plan serves nothing in-window (e.g. far-future work): park the
+		// jobs at the first eligible site.
+		r := available
+		if r > budget {
+			r = budget
+		}
+		act.Route[jt.Eligible[0]][j] = r
+		return
+	}
+	assigned := 0
+	for x, i := range jt.Eligible {
+		var r int
+		if x == len(jt.Eligible)-1 {
+			r = available - assigned
+		} else {
+			r = int(float64(available) * shares[i] / total)
+		}
+		if r > budget {
+			r = budget
+		}
+		act.Route[i][j] = r
+		assigned += r
+	}
+}
+
+// windowPlan is the first-slot slice and per-type site totals of a solved
+// window.
+type windowPlan struct {
+	process    [][]float64 // h[0][i][j]
+	windowWork [][]float64 // per job type j: work planned per site over the window
+}
+
+// solveWindow builds and solves the window LP:
+//
+//	min  sum_t price*power*b  +  penalty * sum_j d_j * rem_j
+//	s.t. sum_{t,i} h_{t,i,j} + rem_j >= backlog_j + window arrivals_j
+//	     per-slot capacity coupling and bounds
+func (m *OracleMPC) solveWindow(states []*model.State, arrivals [][]int, q queue.Lengths) (*windowPlan, error) {
+	c := m.cluster
+	w := m.window
+	hVars := w * c.N() * c.J()
+	kTotal := 0
+	for i := 0; i < c.N(); i++ {
+		kTotal += c.K(i)
+	}
+	total := hVars + w*kTotal + c.J() // + rem_j
+	hIndex := func(t, i, j int) int { return (t*c.N()+i)*c.J() + j }
+	bBase := func(t int) int { return hVars + t*kTotal }
+	remIndex := func(j int) int { return hVars + w*kTotal + j }
+
+	prob := lp.NewProblem(total)
+	costs := make([]float64, total)
+	for tt := 0; tt < w; tt++ {
+		off := bBase(tt)
+		for i := 0; i < c.N(); i++ {
+			for _, stype := range c.DataCenters[i].Servers {
+				costs[off] = states[tt].Price[i] * stype.Power
+				off++
+			}
+		}
+	}
+	for j := 0; j < c.J(); j++ {
+		costs[remIndex(j)] = m.unservedPenalty * c.JobTypes[j].Demand
+	}
+	if err := prob.SetObjective(costs); err != nil {
+		return nil, err
+	}
+
+	for j := 0; j < c.J(); j++ {
+		demand := q.Central[j]
+		for i := 0; i < c.N(); i++ {
+			demand += q.Local[i][j]
+		}
+		for tt := 0; tt < w; tt++ {
+			demand += float64(arrivals[tt][j])
+		}
+		idx := []int{remIndex(j)}
+		coef := []float64{1}
+		for tt := 0; tt < w; tt++ {
+			for _, i := range c.JobTypes[j].Eligible {
+				idx = append(idx, hIndex(tt, i, j))
+				coef = append(coef, 1)
+			}
+		}
+		if err := prob.AddSparseConstraint(idx, coef, lp.GE, demand); err != nil {
+			return nil, err
+		}
+	}
+	for tt := 0; tt < w; tt++ {
+		for i := 0; i < c.N(); i++ {
+			idx := make([]int, 0, c.J()+c.K(i))
+			coef := make([]float64, 0, c.J()+c.K(i))
+			for j := 0; j < c.J(); j++ {
+				idx = append(idx, hIndex(tt, i, j))
+				coef = append(coef, c.JobTypes[j].Demand)
+			}
+			off := bBase(tt)
+			for ii := 0; ii < i; ii++ {
+				off += c.K(ii)
+			}
+			for k, stype := range c.DataCenters[i].Servers {
+				idx = append(idx, off+k)
+				coef = append(coef, -stype.Speed)
+				if err := prob.AddUpperBound(off+k, states[tt].Avail[i][k]); err != nil {
+					return nil, err
+				}
+			}
+			if err := prob.AddSparseConstraint(idx, coef, lp.LE, 0); err != nil {
+				return nil, err
+			}
+			for r := 0; r < c.Aux(); r++ {
+				var aIdx []int
+				var aCoef []float64
+				for j := 0; j < c.J(); j++ {
+					if r < len(c.JobTypes[j].AuxDemand) && c.JobTypes[j].AuxDemand[r] > 0 {
+						aIdx = append(aIdx, hIndex(tt, i, j))
+						aCoef = append(aCoef, c.JobTypes[j].AuxDemand[r])
+					}
+				}
+				if len(aIdx) == 0 {
+					continue
+				}
+				if err := prob.AddSparseConstraint(aIdx, aCoef, lp.LE, c.DataCenters[i].AuxCapacity[r]); err != nil {
+					return nil, err
+				}
+			}
+			for j := 0; j < c.J(); j++ {
+				jt := c.JobTypes[j]
+				hi := float64(0)
+				if jt.EligibleSet(i) {
+					hi = jt.MaxProcess
+					if hi <= 0 {
+						hi = 1e9
+					}
+				}
+				if err := prob.AddUpperBound(hIndex(tt, i, j), hi); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("window LP is %v", sol.Status)
+	}
+
+	plan := &windowPlan{
+		process:    make([][]float64, c.N()),
+		windowWork: make([][]float64, c.J()),
+	}
+	for i := 0; i < c.N(); i++ {
+		plan.process[i] = make([]float64, c.J())
+		for j := 0; j < c.J(); j++ {
+			plan.process[i][j] = sol.X[hIndex(0, i, j)]
+		}
+	}
+	for j := 0; j < c.J(); j++ {
+		plan.windowWork[j] = make([]float64, c.N())
+		for i := 0; i < c.N(); i++ {
+			for tt := 0; tt < w; tt++ {
+				plan.windowWork[j][i] += sol.X[hIndex(tt, i, j)]
+			}
+		}
+	}
+	return plan, nil
+}
+
+// TraceOracle backs an Oracle with simulation inputs (perfect foresight).
+type TraceOracle struct {
+	// States returns x(t); Arrivals returns a_j(t).
+	States   func(t int) (*model.State, error)
+	Arrivals func(t int) []int
+}
+
+var _ Oracle = (*TraceOracle)(nil)
+
+// Future implements Oracle.
+func (o *TraceOracle) Future(t int) (*model.State, []int, error) {
+	st, err := o.States(t)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, o.Arrivals(t), nil
+}

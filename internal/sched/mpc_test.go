@@ -1,0 +1,150 @@
+package sched
+
+import (
+	"testing"
+
+	"grefar/internal/model"
+)
+
+// mpcOracle backs an Oracle with fixed price/availability/arrival series.
+type mpcOracle struct {
+	c        *model.Cluster
+	prices   [][]float64 // [t][i]
+	avail    float64
+	arrivals [][]int // [t][j]
+}
+
+func (o *mpcOracle) Future(t int) (*model.State, []int, error) {
+	st := model.NewState(o.c)
+	idx := t % len(o.prices)
+	for i := 0; i < o.c.N(); i++ {
+		for k := 0; k < o.c.K(i); k++ {
+			st.Avail[i][k] = o.avail
+		}
+		st.Price[i] = o.prices[idx][i]
+	}
+	arr := make([]int, o.c.J())
+	copy(arr, o.arrivals[t%len(o.arrivals)])
+	return st, arr, nil
+}
+
+func singleSiteCluster() *model.Cluster {
+	return &model.Cluster{
+		DataCenters: []model.DataCenter{{Name: "dc", Servers: []model.ServerType{{Name: "s", Speed: 1, Power: 1}}}},
+		JobTypes:    []model.JobType{{Name: "j", Demand: 1, Eligible: []int{0}, Account: 0, MaxProcess: 1000}},
+		Accounts:    []model.Account{{Name: "a", Weight: 1}},
+	}
+}
+
+func TestNewOracleMPCValidation(t *testing.T) {
+	c := singleSiteCluster()
+	o := &mpcOracle{c: c, prices: [][]float64{{1}}, avail: 10, arrivals: [][]int{{0}}}
+	if _, err := NewOracleMPC(c, nil, 4); err == nil {
+		t.Error("nil oracle accepted")
+	}
+	if _, err := NewOracleMPC(c, o, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+	bad := singleSiteCluster()
+	bad.JobTypes[0].Demand = -1
+	if _, err := NewOracleMPC(bad, o, 4); err == nil {
+		t.Error("invalid cluster accepted")
+	}
+	m, err := NewOracleMPC(c, o, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "oracle-mpc(W=4)" {
+		t.Errorf("Name = %q", m.Name())
+	}
+}
+
+func TestOracleMPCWaitsForCheapSlot(t *testing.T) {
+	// Prices alternate expensive (slot even) / cheap (slot odd). With a
+	// 2-slot window and backlog that fits in one slot, the MPC must defer
+	// processing at the expensive slot 0 and process at the cheap slot 1.
+	c := singleSiteCluster()
+	o := &mpcOracle{
+		c:        c,
+		prices:   [][]float64{{1.0}, {0.2}},
+		avail:    100,
+		arrivals: [][]int{{0}, {0}},
+	}
+	m, err := NewOracleMPC(c, o, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := o.Future(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := emptyLengths(c)
+	q.Local[0][0] = 10
+	act, err := m.Decide(0, st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act.Process[0][0] > 1e-9 {
+		t.Errorf("processed %v at the expensive slot; should defer", act.Process[0][0])
+	}
+
+	// At the cheap slot the plan must process everything.
+	st1, _, err := o.Future(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	act, err = m.Decide(1, st1, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act.Process[0][0] < 10-1e-6 {
+		t.Errorf("processed %v at the cheap slot, want 10", act.Process[0][0])
+	}
+}
+
+func TestOracleMPCServesEverythingInWindow(t *testing.T) {
+	// Flat prices: no reason to defer; backlog drains immediately.
+	c := singleSiteCluster()
+	o := &mpcOracle{c: c, prices: [][]float64{{0.5}}, avail: 100, arrivals: [][]int{{0}}}
+	m, err := NewOracleMPC(c, o, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, _ := o.Future(0)
+	q := emptyLengths(c)
+	q.Local[0][0] = 7
+	act, err := m.Decide(0, st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act.Process[0][0] < 7-1e-6 {
+		t.Errorf("processed %v with flat prices, want all 7", act.Process[0][0])
+	}
+}
+
+func TestOracleMPCRoutesByPlanShares(t *testing.T) {
+	// Two sites, second much cheaper: central jobs must route there.
+	c := &model.Cluster{
+		DataCenters: []model.DataCenter{
+			{Name: "a", Servers: []model.ServerType{{Name: "s", Speed: 1, Power: 1}}},
+			{Name: "b", Servers: []model.ServerType{{Name: "s", Speed: 1, Power: 0.4}}},
+		},
+		JobTypes: []model.JobType{{Name: "j", Demand: 1, Eligible: []int{0, 1}, Account: 0, MaxProcess: 1000}},
+		Accounts: []model.Account{{Name: "a", Weight: 1}},
+	}
+	o := &mpcOracle{c: c, prices: [][]float64{{0.5, 0.5}}, avail: 100, arrivals: [][]int{{0}}}
+	m, err := NewOracleMPC(c, o, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, _ := o.Future(0)
+	q := emptyLengths(c)
+	q.Central[0] = 8
+	act, err := m.Decide(0, st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act.Route[1][0] != 8 {
+		t.Errorf("Route = %v, want all 8 at the cheap site", act.Route)
+	}
+}

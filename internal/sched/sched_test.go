@@ -1,0 +1,390 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"grefar/internal/model"
+	"grefar/internal/queue"
+	"grefar/internal/solve"
+)
+
+func refCluster(t *testing.T) *model.Cluster {
+	t.Helper()
+	c := model.NewReferenceCluster()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func stateWith(c *model.Cluster, avail float64, prices []float64) *model.State {
+	st := model.NewState(c)
+	for i := 0; i < c.N(); i++ {
+		for k := 0; k < c.K(i); k++ {
+			st.Avail[i][k] = avail
+		}
+		st.Price[i] = prices[i]
+	}
+	return st
+}
+
+func emptyLengths(c *model.Cluster) queue.Lengths {
+	l := queue.Lengths{Central: make([]float64, c.J()), Local: make([][]float64, c.N())}
+	for i := range l.Local {
+		l.Local[i] = make([]float64, c.J())
+	}
+	return l
+}
+
+func TestNewAlwaysRejectsInvalidCluster(t *testing.T) {
+	bad := model.NewReferenceCluster()
+	bad.JobTypes[0].Demand = -1
+	if _, err := NewAlways(bad); err == nil {
+		t.Error("invalid cluster accepted")
+	}
+}
+
+func TestAlwaysRoutesEverythingImmediately(t *testing.T) {
+	c := refCluster(t)
+	a, err := NewAlways(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := stateWith(c, 100, []float64{0.9, 0.9, 0.9}) // price must not matter
+	q := emptyLengths(c)
+	q.Central[0] = 12
+	q.Central[5] = 4
+	act, err := a.Decide(0, st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var routed0, routed5 int
+	for i := 0; i < c.N(); i++ {
+		routed0 += act.Route[i][0]
+		routed5 += act.Route[i][5]
+	}
+	if routed0 != 12 || routed5 != 4 {
+		t.Errorf("routed %d and %d, want 12 and 4", routed0, routed5)
+	}
+	if a.Name() != "always" {
+		t.Errorf("Name = %q", a.Name())
+	}
+}
+
+func TestAlwaysProcessesQueuedWorkRegardlessOfPrice(t *testing.T) {
+	c := refCluster(t)
+	a, err := NewAlways(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := stateWith(c, 100, []float64{99, 99, 99})
+	q := emptyLengths(c)
+	q.Local[0][0] = 7
+	q.Local[2][3] = 2
+	act, err := a.Decide(0, st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act.Process[0][0] < 7-1e-9 {
+		t.Errorf("processed %v of 7 queued", act.Process[0][0])
+	}
+	if act.Process[2][3] < 2-1e-9 {
+		t.Errorf("processed %v of 2 queued", act.Process[2][3])
+	}
+	if err := act.Validate(c, st); err != nil {
+		t.Errorf("infeasible action: %v", err)
+	}
+}
+
+func TestAlwaysScalesDownWhenOverCapacity(t *testing.T) {
+	c := refCluster(t)
+	a, err := NewAlways(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := stateWith(c, 5, []float64{0.4, 0.4, 0.4}) // dc1 capacity = 5 work units
+	q := emptyLengths(c)
+	q.Local[0][1] = 10 // demand 4 each: 40 work queued, 5 available
+	act, err := a.Decide(0, st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := act.WorkAt(c, 0); got > 5+1e-9 {
+		t.Errorf("scheduled %v work on capacity 5", got)
+	}
+	if act.Process[0][1] <= 0 {
+		t.Error("should still process a fraction")
+	}
+	if err := act.Validate(c, st); err != nil {
+		t.Errorf("infeasible action: %v", err)
+	}
+}
+
+func TestAlwaysSpreadsLoadAcrossSites(t *testing.T) {
+	c := refCluster(t)
+	a, err := NewAlways(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load heavy relative to capacity (capacities 10/7.5/11.5) so the
+	// slack-balancing router must use every site.
+	st := stateWith(c, 10, []float64{0.4, 0.4, 0.4})
+	q := emptyLengths(c)
+	q.Central[0] = 25
+	act, err := a.Decide(0, st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < c.N(); i++ {
+		if act.Route[i][0] == 0 {
+			t.Errorf("site %d received nothing; Always should spread by slack: %v", i, act.Route)
+		}
+	}
+}
+
+func TestLookaheadValidation(t *testing.T) {
+	c := refCluster(t)
+	if _, err := NewLookaheadPlanner(c, 0); err == nil {
+		t.Error("zero frame length accepted")
+	}
+	bad := model.NewReferenceCluster()
+	bad.Accounts = nil
+	if _, err := NewLookaheadPlanner(bad, 4); err == nil {
+		t.Error("invalid cluster accepted")
+	}
+	p, err := NewLookaheadPlanner(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.T() != 4 {
+		t.Errorf("T = %d, want 4", p.T())
+	}
+	if _, err := p.FrameCost(nil, nil); err == nil {
+		t.Error("short frame accepted")
+	}
+	if _, err := p.AverageCost(make([]*model.State, 3), make([][]int, 3)); err == nil {
+		t.Error("non-multiple horizon accepted")
+	}
+}
+
+func TestLookaheadPicksCheapSlot(t *testing.T) {
+	// Two slots, one job type, prices 1.0 then 0.2: the lookahead must do
+	// all the work in the cheap slot.
+	c := &model.Cluster{
+		DataCenters: []model.DataCenter{{Name: "dc", Servers: []model.ServerType{{Name: "s", Speed: 1, Power: 1}}}},
+		JobTypes:    []model.JobType{{Name: "j", Demand: 1, Eligible: []int{0}, Account: 0, MaxArrival: 10, MaxProcess: 100}},
+		Accounts:    []model.Account{{Name: "a", Weight: 1}},
+	}
+	p, err := NewLookaheadPlanner(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkState := func(price float64) *model.State {
+		st := model.NewState(c)
+		st.Avail[0][0] = 100
+		st.Price[0] = price
+		return st
+	}
+	states := []*model.State{mkState(1.0), mkState(0.2)}
+	arrivals := [][]int{{10}, {0}}
+	got, err := p.FrameCost(states, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 work units at price 0.2, power/speed 1, averaged over 2 slots = 1.0.
+	if math.Abs(got-1.0) > 1e-6 {
+		t.Errorf("FrameCost = %v, want 1.0 (all work in cheap slot)", got)
+	}
+}
+
+func TestLookaheadPicksCheapSite(t *testing.T) {
+	// One slot, two sites with equal price but different efficiency: work
+	// must land on the energy-efficient site.
+	c := &model.Cluster{
+		DataCenters: []model.DataCenter{
+			{Name: "a", Servers: []model.ServerType{{Name: "s", Speed: 1, Power: 1}}},
+			{Name: "b", Servers: []model.ServerType{{Name: "s", Speed: 1, Power: 0.5}}},
+		},
+		JobTypes: []model.JobType{{Name: "j", Demand: 1, Eligible: []int{0, 1}, Account: 0, MaxArrival: 10, MaxProcess: 100}},
+		Accounts: []model.Account{{Name: "a", Weight: 1}},
+	}
+	p, err := NewLookaheadPlanner(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := model.NewState(c)
+	st.Avail[0][0], st.Avail[1][0] = 100, 100
+	st.Price[0], st.Price[1] = 0.5, 0.5
+	got, err := p.FrameCost([]*model.State{st}, [][]int{{10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2.5) > 1e-6 { // 10 * 0.5(power) * 0.5(price)
+		t.Errorf("FrameCost = %v, want 2.5", got)
+	}
+}
+
+func TestLookaheadInfeasibleFrame(t *testing.T) {
+	c := &model.Cluster{
+		DataCenters: []model.DataCenter{{Name: "dc", Servers: []model.ServerType{{Name: "s", Speed: 1, Power: 1}}}},
+		JobTypes:    []model.JobType{{Name: "j", Demand: 1, Eligible: []int{0}, Account: 0, MaxProcess: 100}},
+		Accounts:    []model.Account{{Name: "a", Weight: 1}},
+	}
+	p, err := NewLookaheadPlanner(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := model.NewState(c)
+	st.Avail[0][0] = 1 // capacity 1, demand 10
+	st.Price[0] = 1
+	if _, err := p.FrameCost([]*model.State{st}, [][]int{{10}}); err == nil {
+		t.Error("infeasible frame accepted")
+	}
+}
+
+func TestLookaheadAverageCost(t *testing.T) {
+	c := &model.Cluster{
+		DataCenters: []model.DataCenter{{Name: "dc", Servers: []model.ServerType{{Name: "s", Speed: 1, Power: 1}}}},
+		JobTypes:    []model.JobType{{Name: "j", Demand: 1, Eligible: []int{0}, Account: 0, MaxProcess: 100}},
+		Accounts:    []model.Account{{Name: "a", Weight: 1}},
+	}
+	p, err := NewLookaheadPlanner(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(price float64) *model.State {
+		st := model.NewState(c)
+		st.Avail[0][0] = 100
+		st.Price[0] = price
+		return st
+	}
+	states := []*model.State{mk(1), mk(0.5), mk(0.4), mk(0.1)}
+	arrivals := [][]int{{4}, {0}, {4}, {0}}
+	got, err := p.AverageCost(states, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame 1: 4 work at 0.5 -> avg 1.0. Frame 2: 4 at 0.1 -> avg 0.2.
+	if math.Abs(got-0.6) > 1e-6 {
+		t.Errorf("AverageCost = %v, want 0.6", got)
+	}
+}
+
+func TestLongerLookaheadNeverCostsMore(t *testing.T) {
+	// Doubling T can only merge frames and reduce the optimal cost when the
+	// boundary constraints bind; it must never increase it.
+	c := &model.Cluster{
+		DataCenters: []model.DataCenter{{Name: "dc", Servers: []model.ServerType{{Name: "s", Speed: 1, Power: 1}}}},
+		JobTypes:    []model.JobType{{Name: "j", Demand: 1, Eligible: []int{0}, Account: 0, MaxProcess: 100}},
+		Accounts:    []model.Account{{Name: "a", Weight: 1}},
+	}
+	mk := func(price float64) *model.State {
+		st := model.NewState(c)
+		st.Avail[0][0] = 100
+		st.Price[0] = price
+		return st
+	}
+	states := []*model.State{mk(1), mk(0.9), mk(0.3), mk(0.2)}
+	arrivals := [][]int{{5}, {5}, {0}, {0}}
+	p2, _ := NewLookaheadPlanner(c, 2)
+	p4, _ := NewLookaheadPlanner(c, 4)
+	c2, err := p2.AverageCost(states, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c4, err := p4.AverageCost(states, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c4 > c2+1e-9 {
+		t.Errorf("T=4 cost %v exceeds T=2 cost %v", c4, c2)
+	}
+}
+
+func TestFrameCostFairReducesToLinearAtZeroBeta(t *testing.T) {
+	c := refCluster(t)
+	p, err := NewLookaheadPlanner(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := make([]*model.State, 4)
+	arrivals := make([][]int, 4)
+	for tt := range states {
+		st := model.NewState(c)
+		for i := 0; i < c.N(); i++ {
+			st.Avail[i][0] = 80
+			st.Price[i] = 0.3 + 0.1*float64(i) + 0.05*float64(tt)
+		}
+		states[tt] = st
+		arrivals[tt] = make([]int, c.J())
+		arrivals[tt][0] = 5
+		arrivals[tt][3] = 2
+	}
+	base, err := p.FrameCost(states, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.FrameCostFair(states, arrivals, 0, accountWeights(c), solve.FWOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-base) > 1e-9 {
+		t.Errorf("beta=0 FrameCostFair %v != FrameCost %v", got, base)
+	}
+}
+
+func TestFrameCostFairMonotoneInBeta(t *testing.T) {
+	// g = e - beta*f with f <= 0, so the optimal frame cost is
+	// non-decreasing in beta; and the energy-optimal plan upper-bounds it.
+	c := refCluster(t)
+	p, err := NewLookaheadPlanner(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := make([]*model.State, 3)
+	arrivals := make([][]int, 3)
+	for tt := range states {
+		st := model.NewState(c)
+		for i := 0; i < c.N(); i++ {
+			st.Avail[i][0] = 60
+			st.Price[i] = 0.4 + 0.1*float64((tt+i)%3)
+		}
+		states[tt] = st
+		arrivals[tt] = make([]int, c.J())
+		arrivals[tt][0] = 6
+		arrivals[tt][2] = 3
+	}
+	gamma := accountWeights(c)
+	opts := solve.FWOptions{MaxIters: 400, Tol: 1e-10}
+	prev := -math.MaxFloat64
+	for _, beta := range []float64{0, 1, 10, 50} {
+		got, err := p.FrameCostFair(states, arrivals, beta, gamma, opts)
+		if err != nil {
+			t.Fatalf("beta=%v: %v", beta, err)
+		}
+		if got < prev-1e-6 {
+			t.Errorf("frame cost decreased with beta: %v -> %v", prev, got)
+		}
+		prev = got
+	}
+}
+
+func TestFrameCostFairValidation(t *testing.T) {
+	c := refCluster(t)
+	p, _ := NewLookaheadPlanner(c, 2)
+	if _, err := p.FrameCostFair(nil, nil, -1, accountWeights(c), solve.FWOptions{}); err == nil {
+		t.Error("negative beta accepted")
+	}
+	if _, err := p.FrameCostFair(make([]*model.State, 2), make([][]int, 2), 1, []float64{1}, solve.FWOptions{}); err == nil {
+		t.Error("wrong weight count accepted")
+	}
+}
+
+func accountWeights(c *model.Cluster) []float64 {
+	out := make([]float64, c.M())
+	for m, a := range c.Accounts {
+		out[m] = a.Weight
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"grefar/internal/availability"
+	"grefar/internal/core"
+	"grefar/internal/model"
+	"grefar/internal/price"
+	"grefar/internal/workload"
+)
+
+func TestThresholdAdmissionValidation(t *testing.T) {
+	if _, err := NewThresholdAdmission([]float64{-1}); err == nil {
+		t.Error("negative limit accepted")
+	}
+	p, err := NewThresholdAdmission([]float64{5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestThresholdAdmissionCaps(t *testing.T) {
+	p, _ := NewThresholdAdmission([]float64{5, 0})
+	got := p.Admit(0, []int{10, 10}, []float64{3, 3})
+	if got[0] != 2 { // room = 5-3
+		t.Errorf("admitted %d, want 2", got[0])
+	}
+	if got[1] != 10 { // unlimited
+		t.Errorf("admitted %d, want 10", got[1])
+	}
+	// Already over the limit: admit nothing.
+	got = p.Admit(0, []int{4, 0}, []float64{9, 0})
+	if got[0] != 0 {
+		t.Errorf("admitted %d, want 0", got[0])
+	}
+}
+
+// overloadedInputs builds a system whose arrivals far exceed capacity, so
+// queues grow without bound unless admission control intervenes.
+func overloadedInputs(t *testing.T, slots int) Inputs {
+	t.Helper()
+	c := &model.Cluster{
+		DataCenters: []model.DataCenter{
+			{Name: "dc", Servers: []model.ServerType{{Name: "s", Speed: 1, Power: 1}}},
+		},
+		JobTypes: []model.JobType{
+			{Name: "j", Demand: 1, Eligible: []int{0}, Account: 0, MaxArrival: 100, MaxProcess: 1000},
+		},
+		Accounts: []model.Account{{Name: "a", Weight: 1}},
+	}
+	counts := make([][]int, slots)
+	for x := range counts {
+		counts[x] = []int{20} // 20 work/slot arriving
+	}
+	return Inputs{
+		Cluster:      c,
+		Prices:       []price.Source{price.Constant(0.5)},
+		Workload:     &workload.Trace{Counts: counts},
+		Availability: &availability.Static{Avail: [][]float64{{5}}}, // capacity 5
+	}
+}
+
+func TestAdmissionControlBoundsOverloadedSystem(t *testing.T) {
+	const slots = 200
+	in := overloadedInputs(t, slots)
+	g, err := core.New(in.Cluster, core.Config{V: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Without admission control the backlog grows without bound.
+	unbounded, err := Run(in, g, Options{Slots: slots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unbounded.FinalBacklog < 1000 {
+		t.Fatalf("overloaded system backlog %v; expected unbounded growth", unbounded.FinalBacklog)
+	}
+
+	// With a threshold, queues stay bounded and drops are counted.
+	adm, err := NewThresholdAdmission([]float64{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded, err := Run(in, g, Options{Slots: slots, Admission: adm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The threshold caps the central queue at 50; a local queue can hold up
+	// to roughly its own near-central level plus one full routed batch, so
+	// the system-wide bound is ~2*limit + one slot of arrivals.
+	if bounded.MaxQueue > 2*50+20 {
+		t.Errorf("max queue %v exceeds the admission-bounded region", bounded.MaxQueue)
+	}
+	// And the bound must be load-independent: twice the horizon, same bound.
+	longer, err := Run(in, g, Options{Slots: 2 * slots, Admission: adm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if longer.MaxQueue > bounded.MaxQueue+20 {
+		t.Errorf("max queue grew with horizon: %v -> %v", bounded.MaxQueue, longer.MaxQueue)
+	}
+	if bounded.TotalDropped <= 0 {
+		t.Error("no drops recorded in an overloaded system")
+	}
+	// Conservation including drops.
+	got := bounded.TotalArrived - bounded.TotalDropped - bounded.TotalProcessed - bounded.FinalBacklog
+	if math.Abs(got) > 1e-6 {
+		t.Errorf("conservation violated by %v", got)
+	}
+}
+
+func TestAdmissionRejectsMisbehavingPolicy(t *testing.T) {
+	in := overloadedInputs(t, 5)
+	g, _ := core.New(in.Cluster, core.Config{V: 1})
+	if _, err := Run(in, g, Options{Slots: 5, Admission: badPolicy{}}); err == nil {
+		t.Error("over-admitting policy accepted")
+	}
+}
+
+type badPolicy struct{}
+
+func (badPolicy) Admit(_ int, arrivals []int, _ []float64) []int {
+	out := make([]int, len(arrivals))
+	for j := range out {
+		out[j] = arrivals[j] + 5 // admit more than arrived
+	}
+	return out
+}
+
+func (badPolicy) Name() string { return "bad" }

@@ -1,0 +1,341 @@
+// Package sim is the time-slot simulator that drives a scheduler against the
+// stochastic inputs: at the beginning of each slot it reveals the data center
+// state x(t) (prices, availability), asks the scheduler for an action z(t),
+// verifies feasibility, applies the queue dynamics, and accumulates the
+// running-average metrics the paper's figures plot.
+package sim
+
+import (
+	"fmt"
+
+	"grefar/internal/availability"
+	"grefar/internal/fairness"
+	"grefar/internal/metrics"
+	"grefar/internal/model"
+	"grefar/internal/price"
+	"grefar/internal/queue"
+	"grefar/internal/sched"
+	"grefar/internal/tariff"
+	"grefar/internal/workload"
+)
+
+// Inputs bundles the system description and its stochastic drivers.
+type Inputs struct {
+	// Cluster is the static system description.
+	Cluster *model.Cluster
+	// Prices yields phi_i(t), one source per data center.
+	Prices []price.Source
+	// Workload yields the arrival counts a_j(t).
+	Workload workload.Generator
+	// Availability yields n_{i,k}(t).
+	Availability availability.Process
+	// Fairness scores allocations for the reported fairness metric. When
+	// nil, the paper's quadratic function with the account weights is used.
+	Fairness fairness.Function
+	// Tariff maps each site's energy draw to billed cost (nil means the
+	// paper's baseline linear pricing). The simulator's AvgEnergy metric is
+	// the incremental cost of the batch load under this tariff.
+	Tariff tariff.Tariff
+	// BaseLoad optionally yields the energy drawn by non-batch workloads
+	// per site (one source per data center); it shifts the operating point
+	// on convex tariffs. Nil means zero base load.
+	BaseLoad []price.Source
+}
+
+// Options tune a run.
+type Options struct {
+	// Slots is the horizon length t_end (required, > 0).
+	Slots int
+	// RecordSeries keeps per-slot prefix-average series for plotting; when
+	// false only scalar summaries are produced.
+	RecordSeries bool
+	// ValidateActions re-checks every action against the model constraints
+	// and fails the run on violation. Cheap; on by default in experiments.
+	ValidateActions bool
+	// Admission optionally filters arrivals before they enter the central
+	// queues (paper section V suggests admission control for overload).
+	// Nil admits everything.
+	Admission AdmissionPolicy
+}
+
+// Result summarizes a run.
+type Result struct {
+	// SchedulerName identifies the policy that produced this result.
+	SchedulerName string
+	// Slots is the executed horizon.
+	Slots int
+
+	// AvgEnergy is the time-average energy cost (1/t) sum e(tau) —
+	// Fig. 2a/3a/4a's final value.
+	AvgEnergy float64
+	// EnergySeries is the running average of e(t) per slot.
+	EnergySeries []float64
+
+	// AvgFairness is the time-average fairness score — Fig. 3b/4b.
+	AvgFairness float64
+	// FairnessSeries is the running average of f(t).
+	FairnessSeries []float64
+
+	// AvgLocalDelay[i] is the per-job average queueing delay in data center
+	// i (slots) — Fig. 2b/2c/3c/4c.
+	AvgLocalDelay []float64
+	// LocalDelaySeries[i] is the running per-job average delay at site i.
+	LocalDelaySeries [][]float64
+	// AvgCentralDelay is the per-job average delay at the central scheduler.
+	AvgCentralDelay float64
+
+	// AvgWorkPerDC[i] is the average work per slot processed at site i —
+	// the section VI-B1 work-share observation.
+	AvgWorkPerDC []float64
+	// WorkSeries[i] is the raw per-slot processed work at site i (kept only
+	// with RecordSeries), used for the Fig. 5 snapshot.
+	WorkSeries [][]float64
+	// PriceSeries[i] is the raw per-slot price at site i (kept only with
+	// RecordSeries).
+	PriceSeries [][]float64
+
+	// DelayHistograms[i] is the per-job delay distribution at site i; its
+	// quantiles expose the tail the mean delay of the figures hides.
+	DelayHistograms []*metrics.Histogram
+
+	// MaxQueue is the largest single queue backlog observed — the O(V)
+	// bound of Theorem 1a.
+	MaxQueue float64
+	// AvgQueue is the time-average total backlog.
+	AvgQueue float64
+	// FinalBacklog is the total backlog at the horizon.
+	FinalBacklog float64
+	// TotalArrived and TotalProcessed count jobs for conservation checks.
+	TotalArrived, TotalProcessed float64
+	// TotalDropped counts jobs rejected by the admission policy.
+	TotalDropped float64
+}
+
+// Run simulates the scheduler over the horizon.
+func Run(in Inputs, s sched.Scheduler, opt Options) (*Result, error) {
+	c := in.Cluster
+	if c == nil {
+		return nil, fmt.Errorf("nil cluster")
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("invalid cluster: %w", err)
+	}
+	if len(in.Prices) != c.N() {
+		return nil, fmt.Errorf("got %d price sources, cluster has %d data centers", len(in.Prices), c.N())
+	}
+	if in.Workload == nil || in.Availability == nil {
+		return nil, fmt.Errorf("workload and availability are required")
+	}
+	if opt.Slots <= 0 {
+		return nil, fmt.Errorf("horizon %d is not positive", opt.Slots)
+	}
+	fair := in.Fairness
+	if fair == nil {
+		weights := make([]float64, c.M())
+		for m, a := range c.Accounts {
+			weights[m] = a.Weight
+		}
+		var err error
+		fair, err = fairness.NewQuadratic(weights)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	qs := queue.NewSet(c)
+	st := model.NewState(c)
+
+	energy := metrics.NewRunning(opt.RecordSeries)
+	fairScore := metrics.NewRunning(opt.RecordSeries)
+	localDelay := make([]*metrics.Ratio, c.N())
+	workAvg := make([]*metrics.Running, c.N())
+	for i := range localDelay {
+		localDelay[i] = metrics.NewRatio(opt.RecordSeries)
+		workAvg[i] = metrics.NewRunning(false)
+	}
+	centralDelay := metrics.NewRatio(false)
+	hists := make([]*metrics.Histogram, c.N())
+	for i := range hists {
+		var err error
+		hists[i], err = metrics.NewHistogram(metrics.DelayBounds())
+		if err != nil {
+			return nil, err
+		}
+	}
+	var maxQ metrics.Max
+	var avgQ metrics.Running
+	var arrived, processed float64
+
+	res := &Result{SchedulerName: s.Name(), Slots: opt.Slots}
+	if opt.RecordSeries {
+		res.WorkSeries = make([][]float64, c.N())
+		res.PriceSeries = make([][]float64, c.N())
+	}
+
+	if in.BaseLoad != nil {
+		if len(in.BaseLoad) != c.N() {
+			return nil, fmt.Errorf("got %d base-load sources, cluster has %d data centers", len(in.BaseLoad), c.N())
+		}
+		st.BaseEnergy = make([]float64, c.N())
+	}
+	for t := 0; t < opt.Slots; t++ {
+		// Reveal x(t).
+		avail := in.Availability.At(t)
+		for i := 0; i < c.N(); i++ {
+			copy(st.Avail[i], avail[i])
+			st.Price[i] = in.Prices[i].At(t)
+			if in.BaseLoad != nil {
+				st.BaseEnergy[i] = in.BaseLoad[i].At(t)
+			}
+		}
+		if err := st.Validate(c); err != nil {
+			return nil, fmt.Errorf("slot %d: bad state: %w", t, err)
+		}
+
+		// Decide and apply.
+		lengths := qs.Lengths()
+		act, err := s.Decide(t, st, lengths)
+		if err != nil {
+			return nil, fmt.Errorf("slot %d: %s: %w", t, s.Name(), err)
+		}
+		if opt.ValidateActions {
+			if err := act.Validate(c, st); err != nil {
+				return nil, fmt.Errorf("slot %d: %s produced an infeasible action: %w", t, s.Name(), err)
+			}
+		}
+		flows, err := qs.Apply(t, act)
+		if err != nil {
+			return nil, fmt.Errorf("slot %d: applying action: %w", t, err)
+		}
+		arrivals := in.Workload.Arrivals(t)
+		admitted := arrivals
+		if opt.Admission != nil {
+			lens := make([]float64, c.J())
+			for j := range lens {
+				lens[j] = qs.CentralLen(j)
+			}
+			admitted = opt.Admission.Admit(t, arrivals, lens)
+			if len(admitted) != c.J() {
+				return nil, fmt.Errorf("slot %d: admission policy returned %d counts, want %d", t, len(admitted), c.J())
+			}
+			for j := range admitted {
+				if admitted[j] < 0 || admitted[j] > arrivals[j] {
+					return nil, fmt.Errorf("slot %d: admission policy admitted %d of %d for job type %d",
+						t, admitted[j], arrivals[j], j)
+				}
+				res.TotalDropped += float64(arrivals[j] - admitted[j])
+			}
+		}
+		if err := qs.Arrive(t, admitted); err != nil {
+			return nil, fmt.Errorf("slot %d: arrivals: %w", t, err)
+		}
+
+		// Metrics.
+		energy.Add(act.BilledCost(c, st, in.Tariff))
+		fairScore.Add(fair.Score(act.AccountWork(c), st.TotalResource(c)))
+		for i := 0; i < c.N(); i++ {
+			var dSum, dCount float64
+			for j := 0; j < c.J(); j++ {
+				dSum += flows.LocalDelaySum[i][j]
+				dCount += flows.Processed[i][j]
+				processed += flows.Processed[i][j]
+			}
+			localDelay[i].Add(dSum, dCount)
+			for _, sample := range flows.LocalDelaySamples[i] {
+				hists[i].Add(sample.Delay, sample.Jobs)
+			}
+			workAvg[i].Add(act.WorkAt(c, i))
+			if opt.RecordSeries {
+				res.WorkSeries[i] = append(res.WorkSeries[i], act.WorkAt(c, i))
+				res.PriceSeries[i] = append(res.PriceSeries[i], st.Price[i])
+			}
+		}
+		for j := 0; j < c.J(); j++ {
+			centralDelay.Add(flows.CentralDelaySum[j], flows.CentralRouted[j])
+			arrived += float64(arrivals[j])
+		}
+		post := qs.Lengths()
+		for _, v := range post.Central {
+			maxQ.Add(v)
+		}
+		for i := range post.Local {
+			for _, v := range post.Local[i] {
+				maxQ.Add(v)
+			}
+		}
+		avgQ.Add(post.Sum())
+	}
+
+	res.AvgEnergy = energy.Mean()
+	res.EnergySeries = energy.Series()
+	res.AvgFairness = fairScore.Mean()
+	res.FairnessSeries = fairScore.Series()
+	res.AvgLocalDelay = make([]float64, c.N())
+	res.AvgWorkPerDC = make([]float64, c.N())
+	if opt.RecordSeries {
+		res.LocalDelaySeries = make([][]float64, c.N())
+	}
+	for i := 0; i < c.N(); i++ {
+		res.AvgLocalDelay[i] = localDelay[i].Value()
+		res.AvgWorkPerDC[i] = workAvg[i].Mean()
+		if opt.RecordSeries {
+			res.LocalDelaySeries[i] = localDelay[i].Series()
+		}
+	}
+	res.AvgCentralDelay = centralDelay.Value()
+	res.DelayHistograms = hists
+	res.MaxQueue = maxQ.Value()
+	res.AvgQueue = avgQ.Mean()
+	res.FinalBacklog = qs.Lengths().Sum()
+	res.TotalArrived = arrived
+	res.TotalProcessed = processed
+	return res, nil
+}
+
+// CollectStates materializes the per-slot states and arrivals of the inputs
+// over a horizon, for consumers that need the whole future at once (the
+// T-step lookahead benchmark).
+func CollectStates(in Inputs, slots int) ([]*model.State, [][]int, error) {
+	c := in.Cluster
+	states := make([]*model.State, slots)
+	arrivals := make([][]int, slots)
+	for t := 0; t < slots; t++ {
+		st := model.NewState(c)
+		avail := in.Availability.At(t)
+		for i := 0; i < c.N(); i++ {
+			copy(st.Avail[i], avail[i])
+			st.Price[i] = in.Prices[i].At(t)
+		}
+		if err := st.Validate(c); err != nil {
+			return nil, nil, fmt.Errorf("slot %d: %w", t, err)
+		}
+		states[t] = st
+		arrivals[t] = in.Workload.Arrivals(t)
+	}
+	return states, arrivals, nil
+}
+
+// NewReferenceInputs assembles the paper's evaluation setup: the Table I
+// cluster, three price processes calibrated to the Table I averages, the
+// four-organization Cosmos-like workload, and slackness-respecting
+// availability. The seed makes the whole configuration deterministic.
+func NewReferenceInputs(seed int64, slots int) (Inputs, error) {
+	c := model.NewReferenceCluster()
+	prices, err := price.NewReferenceSources(seed, slots)
+	if err != nil {
+		return Inputs{}, fmt.Errorf("prices: %w", err)
+	}
+	srcs := make([]price.Source, len(prices))
+	for i, p := range prices {
+		srcs[i] = p
+	}
+	wl, err := workload.NewReferenceWorkload(seed+1, c, slots)
+	if err != nil {
+		return Inputs{}, fmt.Errorf("workload: %w", err)
+	}
+	avail, err := availability.NewReferenceAvailability(seed+2, c, slots)
+	if err != nil {
+		return Inputs{}, fmt.Errorf("availability: %w", err)
+	}
+	return Inputs{Cluster: c, Prices: srcs, Workload: wl, Availability: avail}, nil
+}

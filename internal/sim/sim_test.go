@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"grefar/internal/core"
+	"grefar/internal/price"
+	"grefar/internal/sched"
+)
+
+func refInputs(t *testing.T, slots int) Inputs {
+	t.Helper()
+	in, err := NewReferenceInputs(2012, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func runSched(t *testing.T, in Inputs, s sched.Scheduler, slots int) *Result {
+	t.Helper()
+	res, err := Run(in, s, Options{Slots: slots, RecordSeries: true, ValidateActions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunValidation(t *testing.T) {
+	in := refInputs(t, 10)
+	a, err := sched.NewAlways(in.Cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(Inputs{}, a, Options{Slots: 1}); err == nil {
+		t.Error("nil cluster accepted")
+	}
+	if _, err := Run(in, a, Options{Slots: 0}); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	bad := in
+	bad.Prices = bad.Prices[:1]
+	if _, err := Run(bad, a, Options{Slots: 1}); err == nil {
+		t.Error("short price slice accepted")
+	}
+	bad = in
+	bad.Workload = nil
+	if _, err := Run(bad, a, Options{Slots: 1}); err == nil {
+		t.Error("nil workload accepted")
+	}
+}
+
+func TestAlwaysConservationAndDelay(t *testing.T) {
+	in := refInputs(t, 24*60)
+	a, err := sched.NewAlways(in.Cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runSched(t, in, a, 24*60)
+
+	// Conservation: arrived = processed + still queued.
+	if math.Abs(res.TotalArrived-res.TotalProcessed-res.FinalBacklog) > 1e-6 {
+		t.Errorf("conservation violated: arrived %v, processed %v, backlog %v",
+			res.TotalArrived, res.TotalProcessed, res.FinalBacklog)
+	}
+	// The paper: Always' average delay is expected to be about one.
+	if res.AvgLocalDelay[0] < 0.9 || res.AvgLocalDelay[0] > 1.5 {
+		t.Errorf("Always delay in DC1 = %v, want ~1", res.AvgLocalDelay[0])
+	}
+	if res.AvgCentralDelay < 0.9 || res.AvgCentralDelay > 1.5 {
+		t.Errorf("Always central delay = %v, want ~1", res.AvgCentralDelay)
+	}
+	if res.SchedulerName != "always" {
+		t.Errorf("SchedulerName = %q", res.SchedulerName)
+	}
+}
+
+func TestGreFarStableQueues(t *testing.T) {
+	in := refInputs(t, 24*60)
+	g, err := core.New(in.Cluster, core.Config{V: 7.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runSched(t, in, g, 24*60)
+	// Queues must stay bounded (Theorem 1a): backlog comparable to a few
+	// days of arrivals at most, not growing with the 60-day horizon.
+	if res.MaxQueue > 2000 {
+		t.Errorf("max queue %v suggests instability", res.MaxQueue)
+	}
+	if math.Abs(res.TotalArrived-res.TotalProcessed-res.FinalBacklog) > 1e-6 {
+		t.Errorf("conservation violated")
+	}
+	// GreFar must actually process the work (not idle forever).
+	if res.TotalProcessed < 0.8*res.TotalArrived {
+		t.Errorf("processed only %v of %v arrived", res.TotalProcessed, res.TotalArrived)
+	}
+}
+
+func TestGreFarCheaperThanAlways(t *testing.T) {
+	// The headline result (Fig. 4a): GreFar's average energy cost is lower
+	// than Always', at the price of higher delay.
+	slots := 24 * 60
+	in := refInputs(t, slots)
+	a, _ := sched.NewAlways(in.Cluster)
+	g, err := core.New(in.Cluster, core.Config{V: 7.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := runSched(t, in, a, slots)
+	rg := runSched(t, in, g, slots)
+	if rg.AvgEnergy >= ra.AvgEnergy {
+		t.Errorf("GreFar energy %v not below Always %v", rg.AvgEnergy, ra.AvgEnergy)
+	}
+	if rg.AvgLocalDelay[0] <= ra.AvgLocalDelay[0] {
+		t.Errorf("GreFar delay %v should exceed Always %v", rg.AvgLocalDelay[0], ra.AvgLocalDelay[0])
+	}
+}
+
+func TestVTradeoff(t *testing.T) {
+	// Fig. 2: larger V gives lower energy cost and higher delay.
+	slots := 24 * 60
+	in := refInputs(t, slots)
+	var energies, delays []float64
+	for _, v := range []float64{0.1, 7.5, 20} {
+		g, err := core.New(in.Cluster, core.Config{V: v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := runSched(t, in, g, slots)
+		energies = append(energies, res.AvgEnergy)
+		delays = append(delays, res.AvgLocalDelay[0])
+	}
+	if !(energies[0] > energies[1] && energies[1] > energies[2]) {
+		t.Errorf("energy not decreasing in V: %v", energies)
+	}
+	if !(delays[0] < delays[1] && delays[1] < delays[2]) {
+		t.Errorf("delay not increasing in V: %v", delays)
+	}
+}
+
+func TestRecordSeriesShapes(t *testing.T) {
+	in := refInputs(t, 48)
+	g, err := core.New(in.Cluster, core.Config{V: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runSched(t, in, g, 48)
+	if len(res.EnergySeries) != 48 || len(res.FairnessSeries) != 48 {
+		t.Errorf("series lengths %d, %d, want 48", len(res.EnergySeries), len(res.FairnessSeries))
+	}
+	for i := 0; i < in.Cluster.N(); i++ {
+		if len(res.WorkSeries[i]) != 48 || len(res.PriceSeries[i]) != 48 || len(res.LocalDelaySeries[i]) != 48 {
+			t.Errorf("per-DC series lengths wrong at %d", i)
+		}
+	}
+}
+
+func TestCollectStates(t *testing.T) {
+	in := refInputs(t, 24)
+	states, arrivals, err := CollectStates(in, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 24 || len(arrivals) != 24 {
+		t.Fatalf("lengths %d, %d", len(states), len(arrivals))
+	}
+	// States must match what Run would see.
+	if states[3].Price[1] != in.Prices[1].At(3) {
+		t.Error("state price mismatch")
+	}
+	if states[7].Avail[2][0] != in.Availability.At(7)[2][0] {
+		t.Error("state availability mismatch")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	slots := 24 * 5
+	in1 := refInputs(t, slots)
+	in2 := refInputs(t, slots)
+	g1, _ := core.New(in1.Cluster, core.Config{V: 7.5, Beta: 100})
+	g2, _ := core.New(in2.Cluster, core.Config{V: 7.5, Beta: 100})
+	r1 := runSched(t, in1, g1, slots)
+	r2 := runSched(t, in2, g2, slots)
+	if r1.AvgEnergy != r2.AvgEnergy || r1.AvgFairness != r2.AvgFairness {
+		t.Errorf("same seed, different results: %v vs %v", r1.AvgEnergy, r2.AvgEnergy)
+	}
+}
+
+func TestConstantPriceSourcesWork(t *testing.T) {
+	// The simulator accepts any Source implementation.
+	in := refInputs(t, 24)
+	in.Prices = []price.Source{price.Constant(0.4), price.Constant(0.4), price.Constant(0.4)}
+	a, _ := sched.NewAlways(in.Cluster)
+	res, err := Run(in, a, Options{Slots: 24, ValidateActions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slots != 24 {
+		t.Errorf("Slots = %d", res.Slots)
+	}
+}
+
+func TestBetaImprovesFairness(t *testing.T) {
+	// Fig. 3b: beta=100 must yield a clearly better average fairness score
+	// than beta=0 at the same V.
+	slots := 24 * 45
+	in := refInputs(t, slots)
+	g0, err := core.New(in.Cluster, core.Config{V: 7.5, Beta: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g100, err := core.New(in.Cluster, core.Config{V: 7.5, Beta: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := runSched(t, in, g0, slots)
+	r100 := runSched(t, in, g100, slots)
+	if r100.AvgFairness <= r0.AvgFairness {
+		t.Errorf("beta=100 fairness %v not above beta=0 fairness %v", r100.AvgFairness, r0.AvgFairness)
+	}
+}
+
+func TestDelayHistograms(t *testing.T) {
+	slots := 24 * 20
+	in := refInputs(t, slots)
+	a, err := sched.NewAlways(in.Cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runSched(t, in, a, slots)
+	h := res.DelayHistograms[0]
+	if h.Total() <= 0 {
+		t.Fatal("no delay samples recorded")
+	}
+	// Always processes next slot: the median delay bucket is exactly 1.
+	if got := h.Quantile(0.5); got != 1 {
+		t.Errorf("Always p50 delay = %v, want 1", got)
+	}
+	// Histogram mean must agree with the Ratio-based mean delay.
+	if math.Abs(h.Mean()-res.AvgLocalDelay[0]) > 1e-9 {
+		t.Errorf("histogram mean %v != ratio mean %v", h.Mean(), res.AvgLocalDelay[0])
+	}
+
+	// GreFar at high V has a heavy tail: p95 well above the median.
+	g, err := core.New(in.Cluster, core.Config{V: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg := runSched(t, in, g, slots)
+	hg := rg.DelayHistograms[0]
+	if hg.Quantile(0.95) < 2*hg.Quantile(0.5) {
+		t.Errorf("GreFar delay tail p95=%v not well above p50=%v", hg.Quantile(0.95), hg.Quantile(0.5))
+	}
+}

@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"grefar/internal/core"
+	"grefar/internal/price"
+	"grefar/internal/tariff"
+)
+
+// TestTariffAwareSchedulingPaysLess checks the section III-A2 extension end
+// to end: under a convex tariff with diurnal base load, a GreFar configured
+// with the tariff pays less than a tariff-blind GreFar, and both pay more
+// than under linear pricing.
+func TestTariffAwareSchedulingPaysLess(t *testing.T) {
+	const slots = 24 * 20
+	in, err := NewReferenceInputs(2012, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := make([]price.Source, in.Cluster.N())
+	for i := range base {
+		tr, err := price.GenerateDiurnal(rand.New(rand.NewSource(int64(i))), slots, price.DiurnalParams{
+			Mean: 30, Amplitude: 15, NoiseSigma: 2, PhaseHours: i * 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base[i] = tr
+	}
+	quad, err := tariff.NewQuadratic(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(simTariff, schedTariff tariff.Tariff) float64 {
+		t.Helper()
+		inputs := in
+		inputs.Tariff = simTariff
+		inputs.BaseLoad = base
+		g, err := core.New(inputs.Cluster, core.Config{V: 7.5, Tariff: schedTariff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(inputs, g, Options{Slots: slots, ValidateActions: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AvgEnergy
+	}
+
+	linear := run(tariff.Linear{}, nil)
+	blind := run(quad, nil)
+	aware := run(quad, quad)
+
+	if blind <= linear {
+		t.Errorf("convex tariff bill %v not above linear %v", blind, linear)
+	}
+	if aware >= blind {
+		t.Errorf("tariff-aware cost %v not below tariff-blind %v", aware, blind)
+	}
+}

@@ -1,0 +1,112 @@
+package solve
+
+import (
+	"errors"
+	"math"
+)
+
+// LinearOracle solves the linearized subproblem of Frank-Wolfe: given the
+// current gradient, it writes into out a minimizer of grad . v over the
+// feasible polytope. The oracle defines the feasible set; the solver never
+// needs an explicit constraint description.
+type LinearOracle func(grad []float64, out []float64)
+
+// FWOptions tunes the Frank-Wolfe solver. Zero values select defaults.
+type FWOptions struct {
+	// MaxIters caps the number of iterations (default 200).
+	MaxIters int
+	// Tol is the duality-gap stopping tolerance (default 1e-7), measured
+	// relative to 1+|f(x)|.
+	Tol float64
+}
+
+func (o FWOptions) withDefaults() FWOptions {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 200
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-7
+	}
+	return o
+}
+
+// FWResult reports the outcome of a Frank-Wolfe run.
+type FWResult struct {
+	// X is the final iterate.
+	X []float64
+	// Value is f(X).
+	Value float64
+	// Gap is the final Frank-Wolfe duality gap grad.(x - v), an upper bound
+	// on f(X) - f*.
+	Gap float64
+	// Iters is the number of iterations performed.
+	Iters int
+	// Converged reports whether the gap tolerance was met.
+	Converged bool
+}
+
+// ErrDimensionMismatch is returned when the starting point and oracle output
+// have different lengths.
+var ErrDimensionMismatch = errors.New("solve: dimension mismatch between x0 and oracle output")
+
+// FrankWolfe minimizes a convex objective over the polytope implicitly
+// defined by the linear oracle, starting from the feasible point x0.
+//
+// Each iteration calls the oracle at the current gradient to obtain a vertex
+// v, forms the direction d = v - x, and steps by an exact line search when
+// the objective exposes CurvatureAlong (always the case for Quadratic), or by
+// the classic diminishing step 2/(k+2) otherwise. The duality gap
+// grad.(x - v) >= f(x) - f* provides a certified stopping criterion.
+func FrankWolfe(obj Objective, oracle LinearOracle, x0 []float64, opts FWOptions) (FWResult, error) {
+	opts = opts.withDefaults()
+	n := len(x0)
+	x := append([]float64(nil), x0...)
+	grad := make([]float64, n)
+	v := make([]float64, n)
+	dir := make([]float64, n)
+	curv, hasCurv := obj.(CurvatureAlong)
+
+	res := FWResult{}
+	for k := 0; k < opts.MaxIters; k++ {
+		res.Iters = k + 1
+		obj.Grad(x, grad)
+		for j := range v {
+			v[j] = 0
+		}
+		oracle(grad, v)
+		if len(v) != n {
+			return FWResult{}, ErrDimensionMismatch
+		}
+		var gdotd float64
+		for j := range dir {
+			dir[j] = v[j] - x[j]
+			gdotd += grad[j] * dir[j]
+		}
+		gap := -gdotd // grad.(x - v)
+		res.Gap = gap
+		if gap <= opts.Tol*(1+math.Abs(obj.Value(x))) {
+			res.Converged = true
+			break
+		}
+		alpha := 2 / float64(k+2)
+		if hasCurv {
+			if c := curv.CurvatureAlong(x, dir); c > 0 {
+				alpha = -gdotd / c
+			} else {
+				// Linear along dir: jump to the vertex.
+				alpha = 1
+			}
+			if alpha > 1 {
+				alpha = 1
+			} else if alpha < 0 {
+				alpha = 0
+			}
+		}
+		for j := range x {
+			x[j] += alpha * dir[j]
+		}
+	}
+	res.X = x
+	res.Value = obj.Value(x)
+	return res, nil
+}

@@ -1,0 +1,141 @@
+// Package solve provides the convex-optimization machinery used by the
+// GreFar scheduler when the energy-fairness parameter beta is positive: the
+// per-slot problem (paper eq. 14) is then a convex quadratic program over the
+// scheduling polytope. The package offers a Frank-Wolfe (conditional
+// gradient) solver, whose linear subproblem is exactly the beta=0 greedy
+// oracle, and a projected-gradient solver used to cross-validate it, plus the
+// projection and line-search primitives they need.
+package solve
+
+import "fmt"
+
+// Objective is a differentiable convex function on R^n.
+type Objective interface {
+	// Value evaluates the function at x.
+	Value(x []float64) float64
+	// Grad writes the gradient at x into grad, which has the same length
+	// as x.
+	Grad(x, grad []float64)
+}
+
+// CurvatureAlong is implemented by objectives that can report the exact
+// directional curvature d' H(x) d. For quadratics this is constant in x and
+// enables exact line search.
+type CurvatureAlong interface {
+	CurvatureAlong(x, dir []float64) float64
+}
+
+// AffineSquare is one term w * (coef . x[idx] + offset)^2 of a Quadratic.
+type AffineSquare struct {
+	// Weight is w >= 0.
+	Weight float64
+	// Index and Coef describe the sparse linear form.
+	Index []int
+	Coef  []float64
+	// Offset is the constant added inside the square.
+	Offset float64
+}
+
+// value returns the affine form's value at x.
+func (a *AffineSquare) value(x []float64) float64 {
+	v := a.Offset
+	for t, j := range a.Index {
+		v += a.Coef[t] * x[j]
+	}
+	return v
+}
+
+// dot returns the affine form's directional derivative coef . d.
+func (a *AffineSquare) dot(d []float64) float64 {
+	var v float64
+	for t, j := range a.Index {
+		v += a.Coef[t] * d[j]
+	}
+	return v
+}
+
+// Quadratic is a convex function of the form
+//
+//	f(x) = Const + Linear.x + sum_t Weight_t * (Coef_t . x + Offset_t)^2
+//
+// — a linear part plus a weighted sum of squared affine forms. The GreFar
+// slot objective has exactly this shape: the energy and queue-backlog terms
+// are linear in (h, b) and the fairness penalty is a sum of squared account
+// share deviations.
+type Quadratic struct {
+	// Linear is the linear coefficient vector (length n).
+	Linear []float64
+	// Squares are the squared affine terms.
+	Squares []AffineSquare
+	// Const is an additive constant (irrelevant to minimizers, relevant for
+	// reporting objective values).
+	Const float64
+}
+
+var (
+	_ Objective      = (*Quadratic)(nil)
+	_ CurvatureAlong = (*Quadratic)(nil)
+)
+
+// Validate checks index ranges and weight signs for dimension n.
+func (q *Quadratic) Validate(n int) error {
+	if len(q.Linear) != n {
+		return fmt.Errorf("linear part has %d coefficients, want %d", len(q.Linear), n)
+	}
+	for t := range q.Squares {
+		s := &q.Squares[t]
+		if s.Weight < 0 {
+			return fmt.Errorf("square %d: negative weight %v makes the function non-convex", t, s.Weight)
+		}
+		if len(s.Index) != len(s.Coef) {
+			return fmt.Errorf("square %d: %d indices but %d coefficients", t, len(s.Index), len(s.Coef))
+		}
+		for _, j := range s.Index {
+			if j < 0 || j >= n {
+				return fmt.Errorf("square %d: index %d out of range [0,%d)", t, j, n)
+			}
+		}
+	}
+	return nil
+}
+
+// Value evaluates f(x).
+func (q *Quadratic) Value(x []float64) float64 {
+	v := q.Const
+	for j, c := range q.Linear {
+		v += c * x[j]
+	}
+	for t := range q.Squares {
+		s := &q.Squares[t]
+		a := s.value(x)
+		v += s.Weight * a * a
+	}
+	return v
+}
+
+// Grad writes the gradient at x.
+func (q *Quadratic) Grad(x, grad []float64) {
+	copy(grad, q.Linear)
+	for t := range q.Squares {
+		s := &q.Squares[t]
+		scale := 2 * s.Weight * s.value(x)
+		if scale == 0 {
+			continue
+		}
+		for u, j := range s.Index {
+			grad[j] += scale * s.Coef[u]
+		}
+	}
+}
+
+// CurvatureAlong returns d' H d = sum_t 2*Weight_t*(Coef_t . d)^2, which is
+// independent of x for a quadratic.
+func (q *Quadratic) CurvatureAlong(_, dir []float64) float64 {
+	var v float64
+	for t := range q.Squares {
+		s := &q.Squares[t]
+		dd := s.dot(dir)
+		v += 2 * s.Weight * dd * dd
+	}
+	return v
+}

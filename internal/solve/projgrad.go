@@ -1,0 +1,222 @@
+package solve
+
+import "math"
+
+// Projector maps a point to its Euclidean projection onto the feasible set,
+// in place.
+type Projector func(x []float64)
+
+// PGOptions tunes the projected-gradient solver. Zero values select
+// defaults.
+type PGOptions struct {
+	// MaxIters caps iterations (default 500).
+	MaxIters int
+	// Step is the initial step size (default 1.0); each iteration uses
+	// Armijo backtracking from this value.
+	Step float64
+	// Tol stops when the projected step moves less than Tol in L-infinity
+	// norm (default 1e-9).
+	Tol float64
+}
+
+func (o PGOptions) withDefaults() PGOptions {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 500
+	}
+	if o.Step <= 0 {
+		o.Step = 1.0
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	return o
+}
+
+// PGResult reports the outcome of a projected-gradient run.
+type PGResult struct {
+	// X is the final iterate.
+	X []float64
+	// Value is f(X).
+	Value float64
+	// Iters is the number of iterations performed.
+	Iters int
+	// Converged reports whether the movement tolerance was met.
+	Converged bool
+}
+
+// ProjectedGradient minimizes a convex objective over the set defined by the
+// projector, starting from the feasible point x0, using Armijo backtracking
+// line search on the projected step.
+func ProjectedGradient(obj Objective, project Projector, x0 []float64, opts PGOptions) PGResult {
+	opts = opts.withDefaults()
+	n := len(x0)
+	x := append([]float64(nil), x0...)
+	project(x)
+	grad := make([]float64, n)
+	cand := make([]float64, n)
+
+	res := PGResult{}
+	fx := obj.Value(x)
+	step := opts.Step
+	for k := 0; k < opts.MaxIters; k++ {
+		res.Iters = k + 1
+		obj.Grad(x, grad)
+
+		// Backtrack until the projected point improves the objective.
+		accepted := false
+		for bt := 0; bt < 40; bt++ {
+			for j := range cand {
+				cand[j] = x[j] - step*grad[j]
+			}
+			project(cand)
+			fc := obj.Value(cand)
+			if fc <= fx-1e-12 {
+				accepted = true
+				break
+			}
+			// No sufficient decrease: also accept stationarity (projection
+			// returned essentially x).
+			if maxAbsDiff(cand, x) <= opts.Tol {
+				res.Converged = true
+				res.X = x
+				res.Value = fx
+				return res
+			}
+			step /= 2
+		}
+		if !accepted {
+			res.Converged = true
+			break
+		}
+		move := maxAbsDiff(cand, x)
+		copy(x, cand)
+		fx = obj.Value(x)
+		if move <= opts.Tol {
+			res.Converged = true
+			break
+		}
+		// Gentle step growth so a single cautious backtrack does not keep
+		// the step small forever.
+		step *= 1.3
+		if step > 1e6 {
+			step = 1e6
+		}
+	}
+	res.X = x
+	res.Value = fx
+	return res
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for j := range a {
+		if d := math.Abs(a[j] - b[j]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// ProjectBox projects x onto the box [lo, hi] element-wise, in place. A nil
+// lo means zero lower bounds; a nil hi means no upper bounds.
+func ProjectBox(x, lo, hi []float64) {
+	for j := range x {
+		l := 0.0
+		if lo != nil {
+			l = lo[j]
+		}
+		if x[j] < l {
+			x[j] = l
+		}
+		if hi != nil && x[j] > hi[j] {
+			x[j] = hi[j]
+		}
+	}
+}
+
+// ProjectWeightedCapBox projects y (in place) onto the set
+//
+//	{ x : 0 <= x_j <= hi_j,  sum_j w_j * x_j <= cap }
+//
+// with all w_j > 0, by bisecting on the Lagrange multiplier of the capacity
+// constraint. This is the feasible region of the processing variables of a
+// single data center (paper eq. 11) expressed in job units.
+func ProjectWeightedCapBox(y, w, hi []float64, cap float64) {
+	// The KKT conditions give x_j = clamp(y0_j - lambda*w_j, 0, hi_j) in
+	// terms of the ORIGINAL point, so keep it before any clipping.
+	y0 := append([]float64(nil), y...)
+	clip := func(lambda float64) float64 {
+		var total float64
+		for j := range y0 {
+			v := y0[j] - lambda*w[j]
+			if v < 0 {
+				v = 0
+			}
+			if hi != nil && v > hi[j] {
+				v = hi[j]
+			}
+			total += w[j] * v
+		}
+		return total
+	}
+	ProjectBox(y, nil, hi)
+	var used float64
+	for j := range y {
+		used += w[j] * y[j]
+	}
+	if used <= cap {
+		return
+	}
+	// Find lambda such that the clipped point meets the capacity.
+	lo, hiL := 0.0, 1.0
+	for clip(hiL) > cap {
+		hiL *= 2
+		if hiL > 1e18 {
+			break
+		}
+	}
+	for it := 0; it < 100; it++ {
+		mid := (lo + hiL) / 2
+		if clip(mid) > cap {
+			lo = mid
+		} else {
+			hiL = mid
+		}
+	}
+	lambda := hiL
+	for j := range y {
+		v := y0[j] - lambda*w[j]
+		if v < 0 {
+			v = 0
+		}
+		if hi != nil && v > hi[j] {
+			v = hi[j]
+		}
+		y[j] = v
+	}
+}
+
+// GoldenSection minimizes a unimodal function on [a, b] to within tol and
+// returns the minimizing point. It is used as a generic line-search fallback
+// and in tests as an independent check on exact line searches.
+func GoldenSection(f func(float64) float64, a, b, tol float64) float64 {
+	const invPhi = 0.6180339887498949
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for b-a > tol {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = f(x2)
+		}
+	}
+	return (a + b) / 2
+}

@@ -1,0 +1,166 @@
+// Package tariff models how a data center's power draw maps to money. The
+// paper's baseline treats the electricity price as constant within a slot
+// (cost = phi * energy), but section III-A2 explicitly allows "an increasing
+// and convex (or other) function of the energy consumption", with the energy
+// consumed by other (interactive) workloads entering the data center state.
+// This package provides that generalization: a Tariff turns a slot's total
+// energy draw — batch plus base load — into cost, and exposes the marginal
+// price the optimizer needs.
+package tariff
+
+import "fmt"
+
+// Tariff maps a data center's total energy use in one slot to its cost.
+// Implementations must be increasing and convex in the energy argument so
+// the slot problem stays convex.
+type Tariff interface {
+	// Cost returns the money charged when the site draws energy units in
+	// one slot at posted price phi.
+	Cost(phi, energy float64) float64
+	// Marginal returns d Cost / d energy at the given draw — the price the
+	// next unit of energy actually costs. For convex tariffs this is
+	// non-decreasing in energy.
+	Marginal(phi, energy float64) float64
+	// Name identifies the tariff in reports.
+	Name() string
+}
+
+// SecondDerivative is implemented by tariffs whose cost has a constant,
+// finite second derivative in energy, enabling exact line search in the
+// slot optimizer. Piecewise-linear tariffs (Tiered) deliberately do not
+// implement it.
+type SecondDerivative interface {
+	// CostCurvature returns d^2 Cost / d energy^2 at posted price phi.
+	CostCurvature(phi float64) float64
+}
+
+// Linear is the paper's baseline: cost = phi * energy.
+type Linear struct{}
+
+var _ Tariff = Linear{}
+
+// Cost implements Tariff.
+func (Linear) Cost(phi, energy float64) float64 { return phi * energy }
+
+// Marginal implements Tariff.
+func (Linear) Marginal(phi, _ float64) float64 { return phi }
+
+// Name implements Tariff.
+func (Linear) Name() string { return "linear" }
+
+// CostCurvature implements SecondDerivative: a linear tariff has none.
+func (Linear) CostCurvature(float64) float64 { return 0 }
+
+var _ SecondDerivative = Linear{}
+
+// Quadratic adds a convex surcharge: cost = phi*E + Surcharge*phi*E^2/Scale.
+// It models demand charges and peak pricing: the more a site draws in one
+// slot, the more each additional unit costs. Scale sets the draw at which
+// the marginal price has doubled.
+type Quadratic struct {
+	// Scale is the energy draw at which the marginal price is 2*phi. Must
+	// be positive.
+	Scale float64
+}
+
+var _ Tariff = Quadratic{}
+
+// NewQuadratic validates and builds the tariff.
+func NewQuadratic(scale float64) (Quadratic, error) {
+	if scale <= 0 {
+		return Quadratic{}, fmt.Errorf("scale %v is not positive", scale)
+	}
+	return Quadratic{Scale: scale}, nil
+}
+
+// Cost implements Tariff: phi*E*(1 + E/(2*Scale)).
+func (q Quadratic) Cost(phi, energy float64) float64 {
+	return phi * energy * (1 + energy/(2*q.Scale))
+}
+
+// Marginal implements Tariff: phi*(1 + E/Scale).
+func (q Quadratic) Marginal(phi, energy float64) float64 {
+	return phi * (1 + energy/q.Scale)
+}
+
+// Name implements Tariff.
+func (q Quadratic) Name() string { return fmt.Sprintf("quadratic(scale=%g)", q.Scale) }
+
+// CostCurvature implements SecondDerivative: phi/Scale, constant in energy.
+func (q Quadratic) CostCurvature(phi float64) float64 { return phi / q.Scale }
+
+var _ SecondDerivative = Quadratic{}
+
+// Tiered charges each block of energy at an increasing multiple of the
+// posted price — a piecewise-linear convex tariff like real block rates.
+type Tiered struct {
+	// Limits are the upper boundaries of each block except the last, which
+	// is unbounded; must be strictly increasing.
+	Limits []float64
+	// Multipliers scale phi within each block; len = len(Limits)+1 and must
+	// be non-decreasing for convexity.
+	Multipliers []float64
+}
+
+var _ Tariff = (*Tiered)(nil)
+
+// NewTiered validates and builds a block-rate tariff.
+func NewTiered(limits, multipliers []float64) (*Tiered, error) {
+	if len(multipliers) != len(limits)+1 {
+		return nil, fmt.Errorf("need %d multipliers for %d limits, got %d", len(limits)+1, len(limits), len(multipliers))
+	}
+	prev := 0.0
+	for b, l := range limits {
+		if l <= prev {
+			return nil, fmt.Errorf("block limit %d (%v) is not increasing", b, l)
+		}
+		prev = l
+	}
+	prevM := 0.0
+	for b, m := range multipliers {
+		if m < prevM {
+			return nil, fmt.Errorf("multiplier %d (%v) decreases; tariff would be non-convex", b, m)
+		}
+		if m < 0 {
+			return nil, fmt.Errorf("multiplier %d (%v) is negative", b, m)
+		}
+		prevM = m
+	}
+	return &Tiered{
+		Limits:      append([]float64(nil), limits...),
+		Multipliers: append([]float64(nil), multipliers...),
+	}, nil
+}
+
+// Cost implements Tariff.
+func (t *Tiered) Cost(phi, energy float64) float64 {
+	var cost, prev float64
+	for b, limit := range t.Limits {
+		if energy <= prev {
+			break
+		}
+		upper := limit
+		if energy < upper {
+			upper = energy
+		}
+		cost += phi * t.Multipliers[b] * (upper - prev)
+		prev = limit
+	}
+	if energy > prev {
+		cost += phi * t.Multipliers[len(t.Multipliers)-1] * (energy - prev)
+	}
+	return cost
+}
+
+// Marginal implements Tariff.
+func (t *Tiered) Marginal(phi, energy float64) float64 {
+	for b, limit := range t.Limits {
+		if energy < limit {
+			return phi * t.Multipliers[b]
+		}
+	}
+	return phi * t.Multipliers[len(t.Multipliers)-1]
+}
+
+// Name implements Tariff.
+func (t *Tiered) Name() string { return fmt.Sprintf("tiered(%d blocks)", len(t.Multipliers)) }

@@ -1,0 +1,126 @@
+package tariff
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinear(t *testing.T) {
+	var l Linear
+	if got := l.Cost(0.5, 10); got != 5 {
+		t.Errorf("Cost = %v, want 5", got)
+	}
+	if got := l.Marginal(0.5, 99); got != 0.5 {
+		t.Errorf("Marginal = %v, want 0.5", got)
+	}
+	if l.CostCurvature(0.5) != 0 {
+		t.Error("linear curvature should be 0")
+	}
+	if l.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestQuadratic(t *testing.T) {
+	if _, err := NewQuadratic(0); err == nil {
+		t.Error("zero scale accepted")
+	}
+	q, err := NewQuadratic(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At E = Scale, marginal price has doubled.
+	if got := q.Marginal(0.5, 100); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("Marginal at scale = %v, want 1.0", got)
+	}
+	// Cost(E) = phi*E*(1+E/(2S)): at E=100, 0.5*100*1.5 = 75.
+	if got := q.Cost(0.5, 100); math.Abs(got-75) > 1e-12 {
+		t.Errorf("Cost = %v, want 75", got)
+	}
+	if got := q.CostCurvature(0.5); math.Abs(got-0.005) > 1e-12 {
+		t.Errorf("CostCurvature = %v, want 0.005", got)
+	}
+	if q.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestQuadraticDerivativeConsistency(t *testing.T) {
+	q, _ := NewQuadratic(42)
+	f := func(e16 uint16) bool {
+		e := float64(e16) / 100
+		const phi, eps = 0.7, 1e-5
+		fd := (q.Cost(phi, e+eps) - q.Cost(phi, e-eps)) / (2 * eps)
+		return math.Abs(fd-q.Marginal(phi, e)) < 1e-6*(1+fd)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTieredValidation(t *testing.T) {
+	if _, err := NewTiered([]float64{10}, []float64{1}); err == nil {
+		t.Error("wrong multiplier count accepted")
+	}
+	if _, err := NewTiered([]float64{10, 5}, []float64{1, 2, 3}); err == nil {
+		t.Error("non-increasing limits accepted")
+	}
+	if _, err := NewTiered([]float64{10}, []float64{2, 1}); err == nil {
+		t.Error("decreasing multipliers (non-convex) accepted")
+	}
+	if _, err := NewTiered(nil, []float64{-1}); err == nil {
+		t.Error("negative multiplier accepted")
+	}
+}
+
+func TestTieredCostAndMarginal(t *testing.T) {
+	// Blocks: [0,10) at 1x, [10,30) at 2x, beyond at 4x.
+	tr, err := NewTiered([]float64{10, 30}, []float64{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const phi = 0.5
+	cases := []struct{ e, cost, marginal float64 }{
+		{0, 0, 0.5},
+		{5, 2.5, 0.5},
+		{10, 5, 1.0},
+		{20, 15, 1.0},
+		{30, 25, 2.0},
+		{40, 45, 2.0},
+	}
+	for _, tc := range cases {
+		if got := tr.Cost(phi, tc.e); math.Abs(got-tc.cost) > 1e-12 {
+			t.Errorf("Cost(%v) = %v, want %v", tc.e, got, tc.cost)
+		}
+		if got := tr.Marginal(phi, tc.e); math.Abs(got-tc.marginal) > 1e-12 {
+			t.Errorf("Marginal(%v) = %v, want %v", tc.e, got, tc.marginal)
+		}
+	}
+	if tr.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+// TestTariffsAreConvex property: for every tariff, cost is increasing and
+// marginal is non-decreasing in energy.
+func TestTariffsAreConvex(t *testing.T) {
+	quad, _ := NewQuadratic(50)
+	tiered, _ := NewTiered([]float64{5, 20}, []float64{1, 1.5, 3})
+	for _, tr := range []Tariff{Linear{}, quad, tiered} {
+		f := func(a, b uint16) bool {
+			e1, e2 := float64(a)/100, float64(b)/100
+			if e1 > e2 {
+				e1, e2 = e2, e1
+			}
+			const phi = 0.4
+			if tr.Cost(phi, e2) < tr.Cost(phi, e1)-1e-12 {
+				return false
+			}
+			return tr.Marginal(phi, e2) >= tr.Marginal(phi, e1)-1e-12
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", tr.Name(), err)
+		}
+	}
+}

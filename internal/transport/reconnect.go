@@ -1,0 +1,98 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ReconnectClient wraps Dial with lazy connection establishment and
+// bounded-retry reconnection: if a call fails because the connection broke
+// (agent restart, transient network fault), the client redials and replays
+// the request. Because the control-loop requests are idempotent snapshots
+// and slot-tagged commands, replay is safe: an agent that already applied an
+// allocation for a slot would only be asked again if its reply was lost, and
+// the controller aborts the run on a genuine remote error rather than
+// retrying it.
+type ReconnectClient struct {
+	addr    string
+	timeout time.Duration
+	retries int
+
+	mu     sync.Mutex
+	client *Client
+	closed bool
+}
+
+// NewReconnectClient builds a client for addr that (re)connects on demand
+// and retries a failed call up to retries times (default 2).
+func NewReconnectClient(addr string, timeout time.Duration, retries int) *ReconnectClient {
+	if retries <= 0 {
+		retries = 2
+	}
+	return &ReconnectClient{addr: addr, timeout: timeout, retries: retries}
+}
+
+// ensure returns a live client, dialing if necessary. Caller holds mu.
+func (r *ReconnectClient) ensure() (*Client, error) {
+	if r.closed {
+		return nil, ErrClosed
+	}
+	if r.client != nil {
+		return r.client, nil
+	}
+	c, err := Dial(r.addr, r.timeout)
+	if err != nil {
+		return nil, err
+	}
+	r.client = c
+	return c, nil
+}
+
+// Call sends a request, redialing and retrying on transport failures.
+// Remote handler errors (RemoteError) are not retried: the remote side saw
+// the request and rejected it, so replaying cannot help.
+func (r *ReconnectClient) Call(kind string, reqBody, respBody any) error {
+	var lastErr error
+	for attempt := 0; attempt <= r.retries; attempt++ {
+		r.mu.Lock()
+		c, err := r.ensure()
+		if err != nil {
+			r.mu.Unlock()
+			if err == ErrClosed {
+				return err
+			}
+			lastErr = err
+			continue
+		}
+		err = c.Call(kind, reqBody, respBody)
+		if err == nil {
+			r.mu.Unlock()
+			return nil
+		}
+		if _, remote := err.(*RemoteError); remote {
+			r.mu.Unlock()
+			return err
+		}
+		// Transport failure: drop the connection so the next attempt
+		// redials.
+		c.Close()
+		r.client = nil
+		r.mu.Unlock()
+		lastErr = err
+	}
+	return fmt.Errorf("after %d attempts: %w", r.retries+1, lastErr)
+}
+
+// Close shuts the client down permanently.
+func (r *ReconnectClient) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	if r.client != nil {
+		err := r.client.Close()
+		r.client = nil
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// pingHandler answers pings and fails "boom" requests.
+func pingHandler(kind string, body []byte) (any, error) {
+	switch kind {
+	case KindPing:
+		var p Ping
+		if err := Unmarshal(body, &p); err != nil {
+			return nil, err
+		}
+		return p, nil
+	default:
+		return nil, errors.New("kaboom")
+	}
+}
+
+func TestReconnectClientSurvivesServerRestart(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	srv := NewServer(lis, pingHandler)
+	go srv.Serve()
+
+	c := NewReconnectClient(addr, time.Second, 3)
+	defer c.Close()
+	var resp Ping
+	if err := c.Call(KindPing, Ping{Nonce: 1}, &resp); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the server; the established connection is now dead.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart on the same address.
+	lis2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := NewServer(lis2, pingHandler)
+	go srv2.Serve()
+	defer srv2.Close()
+
+	// The call must transparently redial and succeed.
+	if err := c.Call(KindPing, Ping{Nonce: 2}, &resp); err != nil {
+		t.Fatalf("call after restart: %v", err)
+	}
+	if resp.Nonce != 2 {
+		t.Errorf("Nonce = %d, want 2", resp.Nonce)
+	}
+}
+
+func TestReconnectClientGivesUpEventually(t *testing.T) {
+	// No server at all: the call must fail after bounded retries, not hang.
+	c := NewReconnectClient("127.0.0.1:1", 100*time.Millisecond, 2)
+	defer c.Close()
+	start := time.Now()
+	if err := c.Call(KindPing, Ping{}, nil); err == nil {
+		t.Error("call with no server succeeded")
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Error("retries took too long")
+	}
+}
+
+func TestReconnectClientDoesNotRetryRemoteErrors(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(lis, pingHandler)
+	go srv.Serve()
+	defer srv.Close()
+
+	c := NewReconnectClient(srv.Addr(), time.Second, 3)
+	defer c.Close()
+	err = c.Call("boom", Ping{}, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError (no retries)", err)
+	}
+}
+
+func TestReconnectClientClosed(t *testing.T) {
+	c := NewReconnectClient("127.0.0.1:1", 100*time.Millisecond, 1)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Call(KindPing, Ping{}, nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+}

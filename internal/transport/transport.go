@@ -1,0 +1,294 @@
+// Package transport implements the wire protocol between the central GreFar
+// controller and the per-data-center agents: a minimal synchronous
+// request/response RPC over TCP with gob encoding, plus the typed messages
+// of the scheduling control loop. The paper's system model — a central
+// scheduler observing per-site state x_i(t) and issuing per-site decisions —
+// maps directly onto this protocol.
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Message kinds understood by agents.
+const (
+	// KindState asks an agent for its slot state (availability, price,
+	// local queue lengths).
+	KindState = "state"
+	// KindAllocate delivers the controller's slot decision to an agent.
+	KindAllocate = "allocate"
+	// KindPing checks liveness.
+	KindPing = "ping"
+)
+
+// StateRequest asks an agent to reveal its state for a slot.
+type StateRequest struct {
+	Slot int
+}
+
+// StateReport is an agent's view of its data center at the beginning of a
+// slot: the components of x_i(t) plus its local queue backlogs q_{i,j}(t).
+type StateReport struct {
+	Slot int
+	// DataCenter is the agent's site index i.
+	DataCenter int
+	// Avail[k] is n_{i,k}(t).
+	Avail []float64
+	// Price is phi_i(t).
+	Price float64
+	// QueueLens[j] is q_{i,j}(t).
+	QueueLens []float64
+}
+
+// Allocate carries the controller's decision for one site and slot: the jobs
+// being routed in, the jobs to process, and the servers to keep busy.
+type Allocate struct {
+	Slot int
+	// Route[j] is r_{i,j}(t): jobs of type j being dispatched to this site.
+	Route []int
+	// Process[j] is h_{i,j}(t).
+	Process []float64
+	// Busy[k] is b_{i,k}(t).
+	Busy []float64
+}
+
+// AllocateAck reports what the agent actually did.
+type AllocateAck struct {
+	Slot int
+	// Processed[j] is the number of type-j jobs actually completed (capped
+	// at queue content).
+	Processed []float64
+	// DelaySum[j] is the summed waiting time of the processed jobs.
+	DelaySum []float64
+	// Energy is e_i(t) under the agent's local price.
+	Energy float64
+	// Work is the processed service demand this slot.
+	Work float64
+}
+
+// Ping is a liveness probe; agents echo it.
+type Ping struct {
+	Nonce uint64
+}
+
+// frame is the wire envelope. Bodies are gob-encoded separately so the
+// dispatcher can route on Kind without knowing every body type.
+type frame struct {
+	ID   uint64
+	Kind string
+	Err  string
+	Body []byte
+}
+
+// Marshal gob-encodes a message body.
+func Marshal(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("encode %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal gob-decodes a message body.
+func Unmarshal(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("decode %T: %w", v, err)
+	}
+	return nil
+}
+
+// Handler processes one request body and returns a response body.
+type Handler func(kind string, body []byte) (any, error)
+
+// Server accepts connections and dispatches frames to a handler.
+type Server struct {
+	lis     net.Listener
+	handler Handler
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps a listener. Call Serve to start accepting.
+func NewServer(lis net.Listener, handler Handler) *Server {
+	return &Server{lis: lis, handler: handler, conns: make(map[net.Conn]struct{})}
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Serve accepts connections until the server is closed. It blocks; run it in
+// a goroutine and call Close to stop.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req frame
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or broken connection ends the session
+		}
+		resp := frame{ID: req.ID, Kind: req.Kind}
+		body, err := s.handler(req.Kind, req.Body)
+		if err != nil {
+			resp.Err = err.Error()
+		} else if encoded, merr := Marshal(body); merr != nil {
+			resp.Err = merr.Error()
+		} else {
+			resp.Body = encoded
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes open connections, and waits for in-flight
+// requests to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.lis.Close()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// ErrClosed is returned by calls on a closed client.
+var ErrClosed = errors.New("transport: client closed")
+
+// Client is a synchronous RPC client. Calls are serialized over a single
+// connection; the control loop issues one request per agent per phase, so no
+// pipelining is needed.
+type Client struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+	nextID  uint64
+	timeout time.Duration
+	closed  bool
+}
+
+// Dial connects to a server. timeout bounds both the dial and each call;
+// zero means 10 seconds.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w", addr, err)
+	}
+	return &Client{
+		conn:    conn,
+		enc:     gob.NewEncoder(conn),
+		dec:     gob.NewDecoder(conn),
+		timeout: timeout,
+	}, nil
+}
+
+// Call sends a request and decodes the response into respBody (which may be
+// nil to discard).
+func (c *Client) Call(kind string, reqBody, respBody any) error {
+	body, err := Marshal(reqBody)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	c.nextID++
+	req := frame{ID: c.nextID, Kind: kind, Body: body}
+	if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		return err
+	}
+	if err := c.enc.Encode(&req); err != nil {
+		return fmt.Errorf("send %s: %w", kind, err)
+	}
+	var resp frame
+	if err := c.dec.Decode(&resp); err != nil {
+		return fmt.Errorf("receive %s: %w", kind, err)
+	}
+	if resp.ID != req.ID {
+		return fmt.Errorf("response id %d does not match request %d", resp.ID, req.ID)
+	}
+	if resp.Err != "" {
+		return &RemoteError{Kind: kind, Message: resp.Err}
+	}
+	if respBody == nil {
+		return nil
+	}
+	return Unmarshal(resp.Body, respBody)
+}
+
+// Close shuts down the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}
+
+// RemoteError is an error returned by the remote handler, preserving the
+// request kind for context.
+type RemoteError struct {
+	Kind    string
+	Message string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("remote %s: %s", e.Kind, e.Message)
+}

@@ -1,0 +1,213 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func echoServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(lis, func(kind string, body []byte) (any, error) {
+		switch kind {
+		case KindPing:
+			var p Ping
+			if err := Unmarshal(body, &p); err != nil {
+				return nil, err
+			}
+			return p, nil
+		case "boom":
+			return nil, errors.New("kaboom")
+		default:
+			return nil, fmt.Errorf("unknown kind %q", kind)
+		}
+	})
+	go func() {
+		if err := srv.Serve(); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+	t.Cleanup(func() { srv.Close() })
+	return srv, srv.Addr()
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	_, addr := echoServer(t)
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var resp Ping
+	if err := c.Call(KindPing, Ping{Nonce: 42}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Nonce != 42 {
+		t.Errorf("Nonce = %d, want 42", resp.Nonce)
+	}
+}
+
+func TestCallRemoteError(t *testing.T) {
+	_, addr := echoServer(t)
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Call("boom", Ping{}, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+	if re.Kind != "boom" || !strings.Contains(re.Error(), "kaboom") {
+		t.Errorf("unexpected error: %v", re)
+	}
+	// The connection survives a remote error.
+	var resp Ping
+	if err := c.Call(KindPing, Ping{Nonce: 7}, &resp); err != nil || resp.Nonce != 7 {
+		t.Errorf("call after error failed: %v", err)
+	}
+}
+
+func TestCallUnknownKind(t *testing.T) {
+	_, addr := echoServer(t)
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Call("nope", Ping{}, nil); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestConcurrentCallsSerialized(t *testing.T) {
+	_, addr := echoServer(t)
+	c, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	for n := 0; n < 20; n++ {
+		wg.Add(1)
+		go func(n uint64) {
+			defer wg.Done()
+			var resp Ping
+			if err := c.Call(KindPing, Ping{Nonce: n}, &resp); err != nil {
+				t.Errorf("call %d: %v", n, err)
+				return
+			}
+			if resp.Nonce != n {
+				t.Errorf("call %d got nonce %d", n, resp.Nonce)
+			}
+		}(uint64(n))
+	}
+	wg.Wait()
+}
+
+func TestMultipleClients(t *testing.T) {
+	_, addr := echoServer(t)
+	for n := 0; n < 5; n++ {
+		c, err := Dial(addr, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var resp Ping
+		if err := c.Call(KindPing, Ping{Nonce: uint64(n)}, &resp); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+}
+
+func TestClientClosed(t *testing.T) {
+	_, addr := echoServer(t)
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if err := c.Call(KindPing, Ping{}, nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, _ := echoServer(t)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", 200*time.Millisecond); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	// A server that never answers must trip the client deadline.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 1024)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	c, err := Dial(lis.Addr().String(), 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if err := c.Call(KindPing, Ping{}, nil); err == nil {
+		t.Error("call to mute server succeeded")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("timeout took far too long")
+	}
+}
+
+func TestMarshalUnmarshal(t *testing.T) {
+	rep := StateReport{Slot: 3, DataCenter: 1, Avail: []float64{5}, Price: 0.42, QueueLens: []float64{1, 2}}
+	data, err := Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got StateReport
+	if err := Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Slot != 3 || got.Price != 0.42 || got.QueueLens[1] != 2 {
+		t.Errorf("round trip mangled: %+v", got)
+	}
+	if err := Unmarshal([]byte("garbage"), &got); err == nil {
+		t.Error("garbage decoded")
+	}
+}

@@ -1,0 +1,45 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ReadCSV loads an arrival trace from CSV: one column per job type, one row
+// per slot, with a header row of job type names. It is the inverse of the
+// tracegen tool's output and the hook for replaying a real trace (the role
+// the Microsoft Cosmos trace plays in the paper) instead of the synthetic
+// generator.
+func ReadCSV(r io.Reader) (names []string, trace *Trace, err error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, nil, fmt.Errorf("read csv: %w", err)
+	}
+	if len(rows) < 2 {
+		return nil, nil, fmt.Errorf("csv needs a header and at least one data row, got %d rows", len(rows))
+	}
+	names = rows[0]
+	counts := make([][]int, 0, len(rows)-1)
+	for rIdx, row := range rows[1:] {
+		if len(row) != len(names) {
+			return nil, nil, fmt.Errorf("row %d has %d fields, header has %d", rIdx+2, len(row), len(names))
+		}
+		slot := make([]int, len(names))
+		for col, cell := range row {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("row %d column %q: %w", rIdx+2, names[col], err)
+			}
+			if v < 0 || v != float64(int(v)) {
+				return nil, nil, fmt.Errorf("row %d column %q: arrival count %v is not a non-negative integer", rIdx+2, names[col], v)
+			}
+			slot[col] = int(v)
+		}
+		counts = append(counts, slot)
+	}
+	return names, &Trace{Counts: counts}, nil
+}

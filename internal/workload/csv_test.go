@@ -1,0 +1,42 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWorkloadReadCSVRoundTrip(t *testing.T) {
+	in := "a,b\n3,0\n1,5\n"
+	names, tr, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[1] != "b" {
+		t.Errorf("names = %v", names)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	got := tr.Arrivals(1)
+	if got[0] != 1 || got[1] != 5 {
+		t.Errorf("Arrivals(1) = %v", got)
+	}
+}
+
+func TestWorkloadReadCSVErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"header only", "a\n"},
+		{"ragged", "a,b\n1\n"},
+		{"non numeric", "a\nx\n"},
+		{"negative", "a\n-1\n"},
+		{"fractional", "a\n1.5\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := ReadCSV(strings.NewReader(tc.in)); err == nil {
+				t.Errorf("input %q accepted", tc.in)
+			}
+		})
+	}
+}

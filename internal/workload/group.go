@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"grefar/internal/model"
+)
+
+// RawJob is one job as it appears in a raw trace before type grouping: an
+// arrival slot, an exact service demand, the submitting account, and the
+// sites its data allows.
+type RawJob struct {
+	// Slot is the arrival time in slots from trace start.
+	Slot int
+	// Demand is the exact service demand in work units.
+	Demand float64
+	// Account is the submitting organization index.
+	Account int
+	// Eligible are the data center indices the job may run in.
+	Eligible []int
+}
+
+// GroupOptions tune the job-type quantization.
+type GroupOptions struct {
+	// DemandQuantum rounds demands up to multiples of this value before
+	// grouping; jobs with the same rounded demand, account, and eligible
+	// set share a type (default 1).
+	DemandQuantum float64
+	// MaxRouteFactor and MaxProcessFactor derive each type's r_max and
+	// h_max bounds from its observed peak arrivals (defaults 3 and 5).
+	MaxRouteFactor, MaxProcessFactor float64
+}
+
+func (o GroupOptions) withDefaults() GroupOptions {
+	if o.DemandQuantum <= 0 {
+		o.DemandQuantum = 1
+	}
+	if o.MaxRouteFactor <= 0 {
+		o.MaxRouteFactor = 3
+	}
+	if o.MaxProcessFactor <= 0 {
+		o.MaxProcessFactor = 5
+	}
+	return o
+}
+
+// GroupJobs implements the paper's preprocessing step ("in practice, we can
+// group jobs having approximately the same characteristics into the same
+// type"): it quantizes a raw job log into job types and an arrival trace.
+// Rounding demands *up* keeps the derived trace's capacity needs a safe
+// over-estimate of the raw log's. The returned job types are ordered
+// deterministically (by account, demand, then eligible set), and the trace
+// spans [0, maxSlot].
+func GroupJobs(jobs []RawJob, numAccounts int, opts GroupOptions) ([]model.JobType, *Trace, error) {
+	if len(jobs) == 0 {
+		return nil, nil, fmt.Errorf("empty job log")
+	}
+	opts = opts.withDefaults()
+
+	type key struct {
+		account  int
+		demand   float64
+		eligible string
+	}
+	groups := make(map[key][]RawJob)
+	maxSlot := 0
+	for idx, job := range jobs {
+		if job.Slot < 0 {
+			return nil, nil, fmt.Errorf("job %d: negative slot %d", idx, job.Slot)
+		}
+		if job.Demand <= 0 {
+			return nil, nil, fmt.Errorf("job %d: demand %v is not positive", idx, job.Demand)
+		}
+		if job.Account < 0 || job.Account >= numAccounts {
+			return nil, nil, fmt.Errorf("job %d: account %d out of range [0,%d)", idx, job.Account, numAccounts)
+		}
+		if len(job.Eligible) == 0 {
+			return nil, nil, fmt.Errorf("job %d: empty eligible set", idx)
+		}
+		k := key{
+			account:  job.Account,
+			demand:   math.Ceil(job.Demand/opts.DemandQuantum) * opts.DemandQuantum,
+			eligible: eligibleKey(job.Eligible),
+		}
+		groups[k] = append(groups[k], job)
+		if job.Slot > maxSlot {
+			maxSlot = job.Slot
+		}
+	}
+
+	keys := make([]key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].account != keys[b].account {
+			return keys[a].account < keys[b].account
+		}
+		if keys[a].demand != keys[b].demand {
+			return keys[a].demand < keys[b].demand
+		}
+		return keys[a].eligible < keys[b].eligible
+	})
+
+	types := make([]model.JobType, len(keys))
+	counts := make([][]int, maxSlot+1)
+	for t := range counts {
+		counts[t] = make([]int, len(keys))
+	}
+	for j, k := range keys {
+		members := groups[k]
+		peak := 0
+		perSlot := make(map[int]int)
+		for _, job := range members {
+			perSlot[job.Slot]++
+			if perSlot[job.Slot] > peak {
+				peak = perSlot[job.Slot]
+			}
+			counts[job.Slot][j]++
+		}
+		types[j] = model.JobType{
+			Name:       fmt.Sprintf("acct%d-d%g", k.account, k.demand),
+			Demand:     k.demand,
+			Eligible:   parseEligible(members[0].Eligible),
+			Account:    k.account,
+			MaxArrival: peak,
+			MaxRoute:   int(math.Ceil(float64(peak) * opts.MaxRouteFactor)),
+			MaxProcess: float64(peak) * opts.MaxProcessFactor,
+		}
+	}
+	return types, &Trace{Counts: counts}, nil
+}
+
+// eligibleKey canonicalizes an eligible set into a map key.
+func eligibleKey(eligible []int) string {
+	sorted := append([]int(nil), eligible...)
+	sort.Ints(sorted)
+	out := make([]byte, 0, len(sorted)*3)
+	for _, e := range sorted {
+		out = append(out, byte('0'+e/10), byte('0'+e%10), ',')
+	}
+	return string(out)
+}
+
+// parseEligible returns a sorted, deduplicated copy of an eligible set.
+func parseEligible(eligible []int) []int {
+	sorted := append([]int(nil), eligible...)
+	sort.Ints(sorted)
+	out := make([]int, 0, len(sorted))
+	for i, e := range sorted {
+		if i == 0 || e != sorted[i-1] {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"testing"
+
+	"grefar/internal/model"
+)
+
+func rawLog() []RawJob {
+	return []RawJob{
+		{Slot: 0, Demand: 0.7, Account: 0, Eligible: []int{0, 1}},
+		{Slot: 0, Demand: 0.9, Account: 0, Eligible: []int{1, 0}}, // same type (rounded to 1, same set)
+		{Slot: 1, Demand: 0.5, Account: 0, Eligible: []int{0, 1}},
+		{Slot: 0, Demand: 3.2, Account: 1, Eligible: []int{0}}, // rounds to 4
+		{Slot: 2, Demand: 3.9, Account: 1, Eligible: []int{0}}, // same type
+		{Slot: 2, Demand: 1.0, Account: 0, Eligible: []int{0}}, // different eligible set -> own type
+	}
+}
+
+func TestGroupJobs(t *testing.T) {
+	types, tr, err := GroupJobs(rawLog(), 2, GroupOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(types) != 3 {
+		t.Fatalf("got %d types, want 3: %+v", len(types), types)
+	}
+	// Deterministic order: account then demand then eligible-set.
+	if types[0].Account != 0 || types[0].Demand != 1 {
+		t.Errorf("type 0 = %+v", types[0])
+	}
+	if types[2].Account != 1 || types[2].Demand != 4 {
+		t.Errorf("type 2 = %+v", types[2])
+	}
+	// Eligible sets are sorted.
+	if len(types[0].Eligible) != 1 && len(types[1].Eligible) != 1 {
+		t.Errorf("one of the account-0 types should have the single-site set")
+	}
+	// Trace spans slots 0..2 and counts match.
+	if tr.Len() != 3 {
+		t.Fatalf("trace length %d, want 3", tr.Len())
+	}
+	var total int
+	for slot := 0; slot < tr.Len(); slot++ {
+		for _, a := range tr.Arrivals(slot) {
+			total += a
+		}
+	}
+	if total != len(rawLog()) {
+		t.Errorf("trace has %d jobs, log has %d", total, len(rawLog()))
+	}
+	// MaxArrival reflects the observed per-slot peak (2 for the two-site
+	// account-0 type at slot 0).
+	if types[duoIndex(types)].MaxArrival != 2 {
+		t.Errorf("MaxArrival = %d, want 2", types[duoIndex(types)].MaxArrival)
+	}
+}
+
+// duoIndex finds the account-0 type with the two-site eligible set.
+func duoIndex(types []model.JobType) int {
+	for j, jt := range types {
+		if jt.Account == 0 && len(jt.Eligible) == 2 {
+			return j
+		}
+	}
+	return -1
+}
+
+func TestGroupJobsBuildsValidCluster(t *testing.T) {
+	// The grouped types must drop into a model.Cluster and simulate.
+	types, tr, err := GroupJobs(rawLog(), 2, GroupOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &model.Cluster{
+		DataCenters: []model.DataCenter{
+			{Name: "a", Servers: []model.ServerType{{Name: "s", Speed: 1, Power: 1}}},
+			{Name: "b", Servers: []model.ServerType{{Name: "s", Speed: 1, Power: 0.8}}},
+		},
+		JobTypes: types,
+		Accounts: []model.Account{{Name: "x", Weight: 0.5}, {Name: "y", Weight: 0.5}},
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("grouped cluster invalid: %v", err)
+	}
+	if got := tr.TotalWork(c, 0); got <= 0 {
+		t.Errorf("TotalWork(0) = %v", got)
+	}
+}
+
+func TestGroupJobsValidation(t *testing.T) {
+	if _, _, err := GroupJobs(nil, 1, GroupOptions{}); err == nil {
+		t.Error("empty log accepted")
+	}
+	if _, _, err := GroupJobs([]RawJob{{Slot: -1, Demand: 1, Eligible: []int{0}}}, 1, GroupOptions{}); err == nil {
+		t.Error("negative slot accepted")
+	}
+	if _, _, err := GroupJobs([]RawJob{{Slot: 0, Demand: 0, Eligible: []int{0}}}, 1, GroupOptions{}); err == nil {
+		t.Error("zero demand accepted")
+	}
+	if _, _, err := GroupJobs([]RawJob{{Slot: 0, Demand: 1, Account: 5, Eligible: []int{0}}}, 1, GroupOptions{}); err == nil {
+		t.Error("out-of-range account accepted")
+	}
+	if _, _, err := GroupJobs([]RawJob{{Slot: 0, Demand: 1}}, 1, GroupOptions{}); err == nil {
+		t.Error("empty eligible set accepted")
+	}
+}
+
+func TestGroupJobsQuantum(t *testing.T) {
+	jobs := []RawJob{
+		{Slot: 0, Demand: 1.2, Account: 0, Eligible: []int{0}},
+		{Slot: 0, Demand: 2.4, Account: 0, Eligible: []int{0}},
+	}
+	// Quantum 2: demands round to 2 and 4 -> two types.
+	types, _, err := GroupJobs(jobs, 1, GroupOptions{DemandQuantum: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(types) != 2 || types[0].Demand != 2 || types[1].Demand != 4 {
+		t.Errorf("types = %+v", types)
+	}
+	// Quantum 4: both round to 4 -> one type.
+	types, _, err = GroupJobs(jobs, 1, GroupOptions{DemandQuantum: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(types) != 1 || types[0].Demand != 4 {
+		t.Errorf("types = %+v", types)
+	}
+}
+
+func TestGroupJobsDemandNeverRoundsDown(t *testing.T) {
+	jobs := []RawJob{{Slot: 0, Demand: 2.0001, Account: 0, Eligible: []int{0}}}
+	types, _, err := GroupJobs(jobs, 1, GroupOptions{DemandQuantum: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if types[0].Demand < 2.0001 {
+		t.Errorf("demand rounded down: %v", types[0].Demand)
+	}
+}
