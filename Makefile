@@ -1,0 +1,33 @@
+# GreFar build targets. The module is stdlib-only; everything here is plain
+# go tooling.
+
+GO ?= go
+
+.PHONY: all build test tier1 vet race bench clean
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# tier1 is the merge gate: compile, vet, and the full test suite under the
+# race detector.
+tier1:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+clean:
+	$(GO) clean ./...

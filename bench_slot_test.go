@@ -1,20 +1,22 @@
 package grefar_test
 
 import (
+	"fmt"
 	"testing"
 
 	"grefar"
 	"grefar/internal/queue"
 )
 
-// benchmarkSlotDecision times a single Decide call on a realistic backlog.
-func benchmarkSlotDecision(b *testing.B, beta float64) {
+// benchmarkSlotDecision times a single Decide call on a realistic backlog;
+// extra options stack on top of the reference configuration.
+func benchmarkSlotDecision(b *testing.B, beta float64, opts ...grefar.Option) {
 	inputs, err := grefar.ReferenceInputs(2012, 48)
 	if err != nil {
 		b.Fatal(err)
 	}
 	c := inputs.Cluster
-	g, err := grefar.New(c, grefar.Config{V: 7.5, Beta: beta})
+	g, err := grefar.New(c, append([]grefar.Option{grefar.Config{V: 7.5, Beta: beta}}, opts...)...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -52,4 +54,22 @@ func buildState(in grefar.SimInputs, t int) *grefar.State {
 		st.Price[i] = in.Prices[i].At(t)
 	}
 	return st
+}
+
+// noopObserver receives every slot event and discards it, isolating the cost
+// of building and delivering telemetry from the cost of consuming it.
+type noopObserver struct{}
+
+func (noopObserver) ObserveSlot(grefar.SlotEvent) {}
+
+// BenchmarkSlotDecisionObserved is the telemetry regression guard: compare
+// against BenchmarkSlotDecision to measure the observation overhead. With no
+// observer attached Decide must not regress at all (the hook is a nil
+// check); with a no-op observer the extra cost is one event struct per slot.
+func BenchmarkSlotDecisionObserved(b *testing.B) {
+	for _, beta := range []float64{0, 100} {
+		b.Run(fmt.Sprintf("beta=%g", beta), func(b *testing.B) {
+			benchmarkSlotDecision(b, beta, grefar.WithObserver(noopObserver{}))
+		})
+	}
 }

@@ -1,7 +1,11 @@
 package main
 
 import (
+	"context"
+	"io"
 	"net"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
@@ -48,13 +52,13 @@ func startAgents(t *testing.T, seed int64, slots int) string {
 
 func TestControllerMainEndToEnd(t *testing.T) {
 	agents := startAgents(t, 2012, 256)
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-agents", agents,
 		"-slots", "96",
 		"-V", "7.5",
 		"-beta", "0",
 		"-seed", "2012",
-	})
+	}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,26 +66,102 @@ func TestControllerMainEndToEnd(t *testing.T) {
 
 func TestControllerMainAlwaysPolicy(t *testing.T) {
 	agents := startAgents(t, 7, 128)
-	if err := run([]string{"-agents", agents, "-slots", "48", "-policy", "always", "-seed", "7"}); err != nil {
+	if err := run(context.Background(), []string{"-agents", agents, "-slots", "48", "-policy", "always", "-seed", "7"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestControllerMainValidation(t *testing.T) {
-	if err := run([]string{"-agents", ""}); err == nil {
+	bg := context.Background()
+	if err := run(bg, []string{"-agents", ""}, io.Discard); err == nil {
 		t.Error("missing agents accepted")
 	}
-	if err := run([]string{"-agents", "a,b"}); err == nil {
+	if err := run(bg, []string{"-agents", "a,b"}, io.Discard); err == nil {
 		t.Error("wrong agent count accepted")
 	}
-	if err := run([]string{"-agents", "127.0.0.1:1,127.0.0.1:1,127.0.0.1:1", "-timeout", "200ms"}); err == nil {
+	if err := run(bg, []string{"-agents", "127.0.0.1:1,127.0.0.1:1,127.0.0.1:1", "-timeout", "200ms"}, io.Discard); err == nil {
 		t.Error("unreachable agents accepted")
 	}
 	agents := startAgents(t, 7, 64)
-	if err := run([]string{"-agents", agents, "-policy", "nope"}); err == nil {
+	if err := run(bg, []string{"-agents", agents, "-policy", "nope"}, io.Discard); err == nil {
 		t.Error("unknown policy accepted")
 	}
-	if err := run([]string{"-not-a-flag"}); err == nil {
+	if err := run(bg, []string{"-not-a-flag"}, io.Discard); err == nil {
 		t.Error("bad flag accepted")
+	}
+}
+
+func TestControllerMainCanceledContext(t *testing.T) {
+	agents := startAgents(t, 7, 64)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, []string{"-agents", agents, "-slots", "32", "-seed", "7"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "canceled") {
+		t.Fatalf("got %v, want cancellation error", err)
+	}
+}
+
+// TestControllerMetricsEndpoint runs a short distributed loop and scrapes the
+// controller's mux exactly as Prometheus would, asserting the grefar_ series
+// the ISSUE promises: queue backlog, per-DC energy, and solver iterations.
+func TestControllerMetricsEndpoint(t *testing.T) {
+	agents := startAgents(t, 2012, 64)
+	a, err := buildApp([]string{
+		"-agents", agents,
+		"-slots", "3",
+		"-V", "7.5",
+		"-beta", "100",
+		"-seed", "2012",
+		"-pprof",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.runLoop(context.Background(), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(a.Metrics)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	for _, want := range []string{
+		`grefar_slots_total{origin="controller"} 3`,
+		`grefar_slots_total{origin="decide"} 3`,
+		`grefar_queue_backlog{`,
+		`grefar_dc_energy_cost_total{dc="dc1"}`,
+		`grefar_dc_energy_cost_total{dc="dc3"}`,
+		`grefar_solver_iterations_count{solver="frank-wolfe"} 3`,
+		`grefar_drift`,
+		`grefar_penalty`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\nbody:\n%s", want, body)
+		}
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q, want 200 ok", code, body)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d with -pprof, want 200", code)
 	}
 }

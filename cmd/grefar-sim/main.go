@@ -5,35 +5,50 @@
 // Usage:
 //
 //	grefar-sim -experiment table1|fig1|fig2|fig3|fig4|fig5|workshare|theorem1|\
-//	           ablation|robustness|delays|mpc|all \
-//	           [-slots 2000] [-seed 2012] [-day 30] [-csv out.csv]
+//	           ablation|robustness|delays|mpc|events|all \
+//	           [-slots 2000] [-seed 2012] [-day 30] [-csv out.csv] [-events out.jsonl]
+//
+// The events experiment streams one JSON object per simulated slot (the
+// telemetry.SlotEvent schema) to -events, or to stdout when the flag is
+// empty; it is not part of -experiment all. SIGINT stops a long run at the
+// next slot boundary.
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 
+	"grefar"
 	"grefar/internal/experiments"
 	"grefar/internal/report"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "grefar-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("grefar-sim", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "which experiment to run: table1, fig1, fig2, fig3, fig4, fig5, workshare, theorem1, ablation, robustness, delays, mpc, or all")
+	experiment := fs.String("experiment", "all", "which experiment to run: table1, fig1, fig2, fig3, fig4, fig5, workshare, theorem1, ablation, robustness, delays, mpc, events, or all")
 	slots := fs.Int("slots", 2000, "simulation horizon in hourly slots")
 	seed := fs.Int64("seed", 2012, "seed for every stochastic input")
 	day := fs.Int("day", 30, "snapshot day for fig5")
 	csvPath := fs.String("csv", "", "optional path to write the experiment's series as CSV")
+	eventsPath := fs.String("events", "", "optional path for the events experiment's JSONL stream (default stdout)")
+	v := fs.Float64("V", 7.5, "cost-delay parameter for the events experiment")
+	beta := fs.Float64("beta", 100, "energy-fairness parameter for the events experiment")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,6 +63,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	runners := map[string]func() error{
+		"events":    func() error { return runEvents(ctx, out, cfg, *v, *beta, *eventsPath) },
 		"table1":    func() error { return runTableI(out, cfg) },
 		"fig1":      func() error { return runFig1(out, cfg, *csvPath) },
 		"fig2":      func() error { return runFig2(out, cfg, *csvPath) },
@@ -396,6 +412,61 @@ func runAblation(out io.Writer, cfg experiments.Config) error {
 	}
 	fmt.Fprintf(out, "routing ties at V=0.1: split-ties energy %.3f (work %v) vs first-site %.3f (work %v)\n",
 		tb.SplitEnergy, tb.SplitWork, tb.FirstEnergy, tb.FirstWork)
+	return nil
+}
+
+// runEvents replays the reference simulation through the public facade with
+// a JSONL slot-event observer attached to both the scheduler and the
+// simulator, streaming two telemetry.SlotEvents per slot — origin "decide"
+// (with solver diagnostics) and origin "sim" (with realized energy,
+// fairness, and job counts) — for external analysis.
+func runEvents(ctx context.Context, out io.Writer, cfg experiments.Config, v, beta float64, path string) error {
+	in, err := grefar.ReferenceInputs(cfg.Seed, cfg.Slots)
+	if err != nil {
+		return err
+	}
+	w := out
+	var f *os.File
+	if path != "" {
+		f, err = os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	jsonl := grefar.NewJSONLObserver(bw)
+	s, err := grefar.New(in.Cluster,
+		grefar.WithV(v),
+		grefar.WithBeta(beta),
+		grefar.WithObserver(jsonl),
+	)
+	if err != nil {
+		return err
+	}
+	res, simErr := grefar.Simulate(in, s,
+		grefar.WithSlots(cfg.Slots),
+		grefar.WithContext(ctx),
+		grefar.WithObserver(jsonl),
+	)
+	// Flush even when the run stopped early (cancellation), so the stream
+	// never ends mid-line.
+	if err := jsonl.Err(); err != nil {
+		return fmt.Errorf("writing events: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if simErr != nil {
+		return simErr
+	}
+	if f != nil {
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote slot events for %d slots to %s\n", res.Slots, path)
+	}
 	return nil
 }
 

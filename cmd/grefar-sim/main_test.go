@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,7 +12,7 @@ import (
 func runCLI(t *testing.T, args ...string) string {
 	t.Helper()
 	var sb strings.Builder
-	if err := run(args, &sb); err != nil {
+	if err := run(context.Background(), args, &sb); err != nil {
 		t.Fatalf("run(%v): %v", args, err)
 	}
 	return sb.String()
@@ -96,14 +98,14 @@ func TestRunAblation(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-experiment", "nope"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-experiment", "nope"}, &sb); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-definitely-not-a-flag"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-definitely-not-a-flag"}, &sb); err == nil {
 		t.Error("bad flag accepted")
 	}
 }
@@ -123,7 +125,51 @@ func TestRunAllClampsSnapshotDay(t *testing.T) {
 		t.Errorf("fig5 output wrong:\n%s", out)
 	}
 	var sb strings.Builder
-	if err := run([]string{"-experiment", "fig5", "-slots", "480", "-day", "30"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-experiment", "fig5", "-slots", "480", "-day", "30"}, &sb); err == nil {
 		t.Error("explicit out-of-range day accepted for a single experiment")
+	}
+}
+
+func TestRunEventsJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	out := runCLI(t, "-experiment", "events", "-slots", "24", "-events", path)
+	if !strings.Contains(out, "wrote slot events for 24 slots") {
+		t.Errorf("missing summary line:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	// Two events per slot: one from the scheduler, one from the simulator.
+	if len(lines) != 48 {
+		t.Fatalf("got %d JSONL lines, want 48", len(lines))
+	}
+	var ev struct {
+		Slot   int     `json:"slot"`
+		Origin string  `json:"origin"`
+		Energy float64 `json:"energy"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("first line is not JSON: %v", err)
+	}
+	if ev.Origin != "decide" || ev.Slot != 0 {
+		t.Errorf("first event = %+v, want slot 0 origin decide", ev)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Origin != "sim" {
+		t.Errorf("second event origin = %q, want sim", ev.Origin)
+	}
+}
+
+func TestRunEventsCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var sb strings.Builder
+	err := run(ctx, []string{"-experiment", "events", "-slots", "24"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "canceled") {
+		t.Fatalf("got %v, want cancellation error", err)
 	}
 }

@@ -1,0 +1,34 @@
+package grefar
+
+import (
+	"grefar/internal/core"
+	"grefar/internal/model"
+	"grefar/internal/sim"
+	"grefar/internal/solve"
+)
+
+// Sentinel errors re-exported from the implementation packages. Every
+// validation or solver failure wraps one of these, so callers can classify
+// outcomes with errors.Is regardless of how much slot or site context has
+// been layered on top:
+//
+//	if _, err := grefar.New(c, grefar.WithV(v)); errors.Is(err, grefar.ErrInvalidCluster) { ... }
+var (
+	// ErrInvalidCluster marks a structurally inconsistent system description.
+	ErrInvalidCluster = model.ErrInvalidCluster
+	// ErrInvalidState marks a slot state malformed for its cluster.
+	ErrInvalidState = model.ErrInvalidState
+	// ErrInfeasibleAction marks an action violating the model constraints.
+	ErrInfeasibleAction = model.ErrInfeasibleAction
+	// ErrBadConfig marks a rejected scheduler knob (negative V or beta).
+	ErrBadConfig = core.ErrBadConfig
+	// ErrBadInputs marks rejected simulation inputs or options.
+	ErrBadInputs = sim.ErrBadInputs
+	// ErrNotConverged marks a solver stopping at its iteration cap with the
+	// tolerance unmet (only surfaced under FWOptions.RequireConvergence).
+	ErrNotConverged = solve.ErrNotConverged
+)
+
+// NotConvergedError carries the solver, iteration count, and residual of a
+// convergence failure; retrieve it with errors.As.
+type NotConvergedError = solve.NotConvergedError

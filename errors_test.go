@@ -1,0 +1,96 @@
+package grefar_test
+
+import (
+	"errors"
+	"testing"
+
+	"grefar"
+	"grefar/internal/solve"
+)
+
+// TestSentinelClassification exercises errors.Is across every wrapped layer
+// the facade re-exports: construction, validation, and simulation inputs.
+func TestSentinelClassification(t *testing.T) {
+	if _, err := grefar.New(nil); !errors.Is(err, grefar.ErrInvalidCluster) {
+		t.Errorf("New(nil): got %v, want ErrInvalidCluster", err)
+	}
+
+	bad := grefar.ReferenceCluster()
+	bad.DataCenters[0].Servers = nil
+	if _, err := grefar.New(bad); !errors.Is(err, grefar.ErrInvalidCluster) {
+		t.Errorf("New(bad cluster): got %v, want ErrInvalidCluster", err)
+	}
+
+	c := grefar.ReferenceCluster()
+	if _, err := grefar.New(c, grefar.WithV(-1)); !errors.Is(err, grefar.ErrBadConfig) {
+		t.Errorf("WithV(-1): got %v, want ErrBadConfig", err)
+	}
+	if _, err := grefar.New(c, grefar.WithBeta(-1)); !errors.Is(err, grefar.ErrBadConfig) {
+		t.Errorf("WithBeta(-1): got %v, want ErrBadConfig", err)
+	}
+
+	s, err := grefar.New(c)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := grefar.Simulate(grefar.SimInputs{}, s); !errors.Is(err, grefar.ErrBadInputs) {
+		t.Errorf("Simulate(empty inputs): got %v, want ErrBadInputs", err)
+	}
+	in, err := grefar.ReferenceInputs(1, 10)
+	if err != nil {
+		t.Fatalf("ReferenceInputs: %v", err)
+	}
+	if _, err := grefar.Simulate(in, s, grefar.WithSlots(-3)); !errors.Is(err, grefar.ErrBadInputs) {
+		t.Errorf("WithSlots(-3): got %v, want ErrBadInputs", err)
+	}
+}
+
+// TestNotConvergedErrorAs forces Frank-Wolfe to stop short of its tolerance
+// and checks the typed error carries the solver diagnostics through both
+// errors.Is and errors.As.
+func TestNotConvergedErrorAs(t *testing.T) {
+	// Minimize (x0-1)^2 + 2(x1-2)^2 over the box [0,5]^2: the interior
+	// optimum makes Frank-Wolfe zigzag between vertices, so two iterations
+	// cannot close the gap to 1e-12.
+	obj := &solve.Quadratic{
+		Linear: []float64{0, 0},
+		Squares: []solve.AffineSquare{
+			{Weight: 1, Index: []int{0}, Coef: []float64{1}, Offset: -1},
+			{Weight: 2, Index: []int{1}, Coef: []float64{1}, Offset: -2},
+		},
+	}
+	oracle := solve.LinearOracle(func(grad, out []float64) {
+		for j := range out {
+			if grad[j] < 0 {
+				out[j] = 5
+			} else {
+				out[j] = 0
+			}
+		}
+	})
+	_, err := solve.FrankWolfe(obj, oracle, []float64{0, 0}, solve.FWOptions{
+		MaxIters:           2,
+		Tol:                1e-12,
+		RequireConvergence: true,
+	})
+	if !errors.Is(err, grefar.ErrNotConverged) {
+		t.Fatalf("got %v, want ErrNotConverged", err)
+	}
+	var nc *grefar.NotConvergedError
+	if !errors.As(err, &nc) {
+		t.Fatalf("errors.As(NotConvergedError) failed on %v", err)
+	}
+	if nc.Solver != "frank-wolfe" || nc.Iters != 2 {
+		t.Errorf("diagnostics = %+v, want solver frank-wolfe after 2 iters", nc)
+	}
+	if nc.Residual <= 0 {
+		t.Errorf("residual = %g, want positive duality gap", nc.Residual)
+	}
+
+	// Without RequireConvergence the same run must stay silent.
+	if _, err := solve.FrankWolfe(obj, oracle, []float64{0, 0}, solve.FWOptions{
+		MaxIters: 2, Tol: 1e-12,
+	}); err != nil {
+		t.Errorf("without RequireConvergence: unexpected error %v", err)
+	}
+}

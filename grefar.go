@@ -13,13 +13,28 @@
 //
 // This package is the public facade over the implementation packages: the
 // domain model, the scheduler and its baselines, the time-slot simulator,
-// the stochastic input generators, and the distributed controller/agent
-// deployment. A minimal session:
+// the stochastic input generators, the distributed controller/agent
+// deployment, and the telemetry layer. A minimal session:
 //
 //	inputs, _ := grefar.ReferenceInputs(2012, 2000)
-//	scheduler, _ := grefar.New(inputs.Cluster, grefar.Config{V: 7.5, Beta: 100})
-//	result, _ := grefar.Simulate(inputs, scheduler, grefar.SimOptions{Slots: 2000})
+//	scheduler, _ := grefar.New(inputs.Cluster, grefar.WithV(7.5), grefar.WithBeta(100))
+//	result, _ := grefar.Simulate(inputs, scheduler, grefar.WithSlots(2000))
 //	fmt.Println(result.AvgEnergy, result.AvgFairness, result.AvgLocalDelay)
+//
+// Construction uses functional options (WithV, WithBeta, WithTelemetry,
+// WithSlots, ...). The former struct-based style still works — Config and
+// SimOptions satisfy the Option and SimOption interfaces themselves — so
+// grefar.New(cluster, grefar.Config{V: 7.5}) remains valid, deprecated in
+// favor of the options.
+//
+// For observability, pass WithTelemetry(reg) to New or Simulate and expose
+// reg over HTTP (it is an http.Handler), or stream per-slot records with
+// NewJSONLObserver:
+//
+//	reg := grefar.NewRegistry()
+//	scheduler, _ := grefar.New(inputs.Cluster, grefar.WithV(7.5), grefar.WithTelemetry(reg))
+//	result, _ := grefar.Simulate(inputs, scheduler, grefar.WithSlots(2000), grefar.WithTelemetry(reg))
+//	http.Handle("/metrics", reg)
 package grefar
 
 import (
@@ -30,6 +45,7 @@ import (
 	"grefar/internal/sched"
 	"grefar/internal/sim"
 	"grefar/internal/tariff"
+	"grefar/internal/telemetry"
 	"grefar/internal/workload"
 )
 
@@ -75,8 +91,27 @@ type (
 	SimResult = sim.Result
 )
 
-// New builds a GreFar scheduler for the cluster (Algorithm 1 of the paper).
-func New(c *Cluster, cfg Config) (*core.GreFar, error) {
+// New builds a GreFar scheduler for the cluster (Algorithm 1 of the paper),
+// configured by functional options:
+//
+//	grefar.New(cluster, grefar.WithV(7.5), grefar.WithBeta(100), grefar.WithTelemetry(reg))
+//
+// Options apply in order. A legacy Config literal is itself an option that
+// replaces the whole configuration, so the former call style
+// grefar.New(cluster, grefar.Config{V: 7.5, Beta: 100}) builds an identical
+// scheduler.
+func New(c *Cluster, opts ...Option) (*core.GreFar, error) {
+	var cfg Config
+	for _, o := range opts {
+		if o != nil {
+			o.ApplyScheduler(&cfg)
+		}
+	}
+	if c != nil {
+		if n, ok := cfg.Observer.(telemetry.DCNamer); ok {
+			n.SetDCNames(dataCenterNames(c))
+		}
+	}
 	return core.New(c, cfg)
 }
 
@@ -93,8 +128,26 @@ func NewLookaheadPlanner(c *Cluster, t int) (*sched.LookaheadPlanner, error) {
 }
 
 // Simulate drives a scheduler over the horizon and aggregates the paper's
-// metrics (running-average energy cost, fairness score, per-site delays).
-func Simulate(in SimInputs, s Scheduler, opt SimOptions) (*SimResult, error) {
+// metrics (running-average energy cost, fairness score, per-site delays),
+// configured by functional options:
+//
+//	grefar.Simulate(in, s, grefar.WithSlots(2000), grefar.WithAdmission(p))
+//
+// Options apply in order. A legacy SimOptions literal is itself an option
+// that replaces the whole option set, so the former call style
+// grefar.Simulate(in, s, grefar.SimOptions{Slots: 2000}) runs identically.
+func Simulate(in SimInputs, s Scheduler, opts ...SimOption) (*SimResult, error) {
+	var opt SimOptions
+	for _, o := range opts {
+		if o != nil {
+			o.ApplySim(&opt)
+		}
+	}
+	if in.Cluster != nil {
+		if n, ok := opt.Observer.(telemetry.DCNamer); ok {
+			n.SetDCNames(dataCenterNames(in.Cluster))
+		}
+	}
 	return sim.Run(in, s, opt)
 }
 

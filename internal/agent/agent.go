@@ -16,6 +16,7 @@ import (
 	"grefar/internal/model"
 	"grefar/internal/price"
 	"grefar/internal/queue"
+	"grefar/internal/telemetry"
 	"grefar/internal/transport"
 )
 
@@ -30,6 +31,10 @@ type Config struct {
 	// Availability is the local server availability process. Only this
 	// site's row is consulted.
 	Availability availability.Process
+	// Observer, when non-nil, receives one telemetry.SlotEvent per executed
+	// allocation (origin "agent") with this site's backlog, energy, and
+	// processed counts. Nil costs nothing.
+	Observer telemetry.SlotObserver
 }
 
 // Agent is the running site daemon. It is safe for concurrent RPCs, though
@@ -47,7 +52,7 @@ func New(cfg Config) (*Agent, error) {
 		return nil, fmt.Errorf("nil cluster")
 	}
 	if err := cfg.Cluster.Validate(); err != nil {
-		return nil, fmt.Errorf("invalid cluster: %w", err)
+		return nil, err
 	}
 	if cfg.DataCenter < 0 || cfg.DataCenter >= cfg.Cluster.N() {
 		return nil, fmt.Errorf("data center %d out of range [0,%d)", cfg.DataCenter, cfg.Cluster.N())
@@ -141,6 +146,19 @@ func (a *Agent) allocate(req transport.Allocate) (transport.AllocateAck, error) 
 			return transport.AllocateAck{}, fmt.Errorf("negative busy count for server type %d", k)
 		}
 		ack.Energy += priceNow * b * c.DataCenters[a.cfg.DataCenter].Servers[k].Power
+	}
+	if a.cfg.Observer != nil {
+		ev := telemetry.SlotEvent{
+			Slot:       req.Slot,
+			Origin:     telemetry.OriginAgent,
+			DataCenter: a.cfg.DataCenter,
+			Energy:     ack.Energy,
+		}
+		for j := range a.ledgers {
+			ev.TotalBacklog += a.ledgers[j].Len()
+			ev.Processed += ack.Processed[j]
+		}
+		a.cfg.Observer.ObserveSlot(ev)
 	}
 	return ack, nil
 }

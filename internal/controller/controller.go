@@ -7,6 +7,7 @@
 package controller
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -16,6 +17,7 @@ import (
 	"grefar/internal/queue"
 	"grefar/internal/sched"
 	"grefar/internal/sim"
+	"grefar/internal/telemetry"
 	"grefar/internal/transport"
 	"grefar/internal/workload"
 )
@@ -34,15 +36,26 @@ type Controller struct {
 	sch     sched.Scheduler
 	agents  []AgentConn // index i is data center i
 	fair    fairness.Function
+	obs     telemetry.SlotObserver
 
 	central []queue.Ledger
 }
 
+// Option customizes a Controller.
+type Option func(*Controller)
+
+// WithObserver attaches a telemetry observer: the controller emits one
+// SlotEvent per slot (origin "controller") from its run loop, carrying the
+// realized energy, fairness, flows, and the central backlog it owns.
+func WithObserver(obs telemetry.SlotObserver) Option {
+	return func(ct *Controller) { ct.obs = obs }
+}
+
 // New builds a controller. agents[i] must be connected to the agent serving
 // data center i.
-func New(c *model.Cluster, sch sched.Scheduler, agents []AgentConn) (*Controller, error) {
+func New(c *model.Cluster, sch sched.Scheduler, agents []AgentConn, opts ...Option) (*Controller, error) {
 	if err := c.Validate(); err != nil {
-		return nil, fmt.Errorf("invalid cluster: %w", err)
+		return nil, err
 	}
 	if sch == nil {
 		return nil, fmt.Errorf("nil scheduler")
@@ -58,13 +71,17 @@ func New(c *model.Cluster, sch sched.Scheduler, agents []AgentConn) (*Controller
 	if err != nil {
 		return nil, err
 	}
-	return &Controller{
+	ct := &Controller{
 		cluster: c,
 		sch:     sch,
 		agents:  agents,
 		fair:    fair,
 		central: make([]queue.Ledger, c.J()),
-	}, nil
+	}
+	for _, opt := range opts {
+		opt(ct)
+	}
+	return ct, nil
 }
 
 // CentralLens returns the central backlog per job type.
@@ -203,6 +220,12 @@ func (ct *Controller) RunSlot(t int, arrivals []int) (*model.Action, *model.Stat
 // Run drives the loop for the given horizon and aggregates the same metrics
 // as the single-process simulator, so results are directly comparable.
 func (ct *Controller) Run(slots int, wl workload.Generator) (*sim.Result, error) {
+	return ct.RunContext(context.Background(), slots, wl)
+}
+
+// RunContext is Run with cancellation: the loop stops between slots as soon
+// as the context is done, returning an error wrapping the context's error.
+func (ct *Controller) RunContext(ctx context.Context, slots int, wl workload.Generator) (*sim.Result, error) {
 	if slots <= 0 {
 		return nil, fmt.Errorf("horizon %d is not positive", slots)
 	}
@@ -221,29 +244,60 @@ func (ct *Controller) Run(slots int, wl workload.Generator) (*sim.Result, error)
 
 	res := &sim.Result{SchedulerName: ct.sch.Name(), Slots: slots}
 	for t := 0; t < slots; t++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("slot %d: run canceled: %w", t, err)
+			}
+		}
 		arrivals := wl.Arrivals(t)
 		act, st, acks, err := ct.RunSlot(t, arrivals)
 		if err != nil {
 			return nil, err
 		}
-		var e float64
+		var e, slotProcessed float64
+		energyPerDC := make([]float64, c.N())
 		alloc := make([]float64, c.M())
 		for i, ack := range acks {
 			e += ack.Energy
+			energyPerDC[i] = ack.Energy
 			var dSum, dCount float64
 			for j := 0; j < c.J(); j++ {
 				dSum += ack.DelaySum[j]
 				dCount += ack.Processed[j]
 				alloc[c.JobTypes[j].Account] += ack.Processed[j] * c.JobTypes[j].Demand
 				res.TotalProcessed += ack.Processed[j]
+				slotProcessed += ack.Processed[j]
 			}
 			localDelay[i].Add(dSum, dCount)
 			workAvg[i].Add(ack.Work)
 		}
+		slotFairness := ct.fair.Score(alloc, st.TotalResource(c))
 		energy.Add(e)
-		fairScore.Add(ct.fair.Score(alloc, st.TotalResource(c)))
+		fairScore.Add(slotFairness)
+		var slotArrived float64
 		for _, a := range arrivals {
 			res.TotalArrived += float64(a)
+			slotArrived += float64(a)
+		}
+		if ct.obs != nil {
+			ev := telemetry.SlotEvent{
+				Slot:       t,
+				Origin:     telemetry.OriginController,
+				Scheduler:  ct.sch.Name(),
+				DataCenter: -1,
+				Energy:     e,
+				// The controller owns only the central queues; local
+				// backlogs are reported by the agents themselves.
+				EnergyPerDC: energyPerDC,
+				Fairness:    slotFairness,
+				Arrived:     slotArrived,
+				Processed:   slotProcessed,
+			}
+			for _, q := range ct.CentralLens() {
+				ev.CentralBacklog += q
+			}
+			ev.TotalBacklog = ev.CentralBacklog
+			ct.obs.ObserveSlot(ev)
 		}
 		_ = act
 	}

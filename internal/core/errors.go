@@ -1,0 +1,9 @@
+package core
+
+import "errors"
+
+// ErrBadConfig is the sentinel wrapped by every Config rejection (negative V
+// or beta), so callers can classify construction failures with errors.Is and
+// distinguish them from cluster-validation failures, which wrap
+// model.ErrInvalidCluster instead.
+var ErrBadConfig = errors.New("bad scheduler config")

@@ -10,6 +10,7 @@ import (
 	"grefar/internal/sched"
 	"grefar/internal/solve"
 	"grefar/internal/tariff"
+	"grefar/internal/telemetry"
 )
 
 // Config carries GreFar's two control knobs (paper section IV-B).
@@ -40,7 +41,20 @@ type Config struct {
 	// which routes r_max to every tied site; FirstSiteWins is the naive
 	// alternative kept for the DESIGN.md ablation.
 	Routing RoutingRule
+	// Observer, when non-nil, receives one telemetry.SlotEvent per Decide
+	// call (origin "decide") carrying the backlog snapshot, the drift and
+	// V*g(t) penalty decomposition of the chosen action, and solver
+	// statistics. Nil costs nothing on the decision path.
+	Observer telemetry.SlotObserver
 }
+
+// ApplyScheduler replaces the whole configuration with c, making a Config
+// literal usable wherever a scheduler option is accepted. This is the
+// compatibility bridge for the pre-options construction style
+// (grefar.New(cluster, grefar.Config{...})): a Config used as an option
+// resets every knob, so combine it with finer-grained options only before
+// them, not after.
+func (c Config) ApplyScheduler(dst *Config) { *dst = c }
 
 // RoutingRule selects the tie-breaking behavior of the routing step.
 type RoutingRule int
@@ -66,16 +80,21 @@ type GreFar struct {
 
 var _ sched.Scheduler = (*GreFar)(nil)
 
-// New builds a GreFar scheduler for the cluster.
+// New builds a GreFar scheduler for the cluster. A malformed cluster yields
+// an error wrapping model.ErrInvalidCluster; a bad knob yields one wrapping
+// ErrBadConfig.
 func New(c *model.Cluster, cfg Config) (*GreFar, error) {
+	if c == nil {
+		return nil, fmt.Errorf("%w: nil cluster", model.ErrInvalidCluster)
+	}
 	if err := c.Validate(); err != nil {
-		return nil, fmt.Errorf("invalid cluster: %w", err)
+		return nil, err
 	}
 	if cfg.V < 0 {
-		return nil, fmt.Errorf("cost-delay parameter V = %v is negative", cfg.V)
+		return nil, fmt.Errorf("%w: cost-delay parameter V = %v is negative", ErrBadConfig, cfg.V)
 	}
 	if cfg.Beta < 0 {
-		return nil, fmt.Errorf("energy-fairness parameter beta = %v is negative", cfg.Beta)
+		return nil, fmt.Errorf("%w: energy-fairness parameter beta = %v is negative", ErrBadConfig, cfg.Beta)
 	}
 	weights := make([]float64, c.M())
 	for m, a := range c.Accounts {
@@ -101,10 +120,67 @@ func (g *GreFar) Name() string {
 func (g *GreFar) Decide(t int, st *model.State, q queue.Lengths) (*model.Action, error) {
 	act := model.NewAction(g.cluster)
 	g.decideRouting(q, act)
-	if err := g.decideProcessing(st, q, act); err != nil {
+	var stats *telemetry.SolveStats
+	if g.cfg.Observer != nil {
+		stats = &telemetry.SolveStats{}
+	}
+	if err := g.decideProcessing(st, q, act, stats); err != nil {
 		return nil, err
 	}
+	if g.cfg.Observer != nil {
+		g.cfg.Observer.ObserveSlot(g.slotEvent(t, st, q, act, stats))
+	}
 	return act, nil
+}
+
+// slotEvent assembles the origin-"decide" telemetry event for the chosen
+// action: the pre-decision backlog snapshot, the drift and penalty
+// components whose sum is the drift-plus-penalty value (14) the decision
+// minimizes, and the solver statistics collected by decideProcessing.
+func (g *GreFar) slotEvent(t int, st *model.State, q queue.Lengths, act *model.Action, stats *telemetry.SolveStats) telemetry.SlotEvent {
+	c := g.cluster
+	ev := telemetry.SlotEvent{
+		Slot:      t,
+		Origin:    telemetry.OriginDecide,
+		Scheduler: g.Name(),
+		// A scheduler sees the whole cluster, not one site.
+		DataCenter: -1,
+		Solve:      stats,
+	}
+	for _, v := range q.Central {
+		ev.CentralBacklog += v
+	}
+	ev.LocalBacklog = make([]float64, c.N())
+	for i := range q.Local {
+		for _, v := range q.Local[i] {
+			ev.LocalBacklog[i] += v
+		}
+	}
+	ev.TotalBacklog = ev.CentralBacklog
+	for _, v := range ev.LocalBacklog {
+		ev.TotalBacklog += v
+	}
+
+	// Penalty = V*g(t) where g = billed energy + beta*P(alloc, total); the
+	// fairness term's P equals -f, so this matches eq. 6.
+	ev.Energy = act.BilledCost(c, st, g.cfg.Tariff)
+	fairPenalty := 0.0
+	if g.cfg.Beta != 0 {
+		p := g.cfg.Fairness.Penalty(act.AccountWork(c), st.TotalResource(c))
+		fairPenalty = g.cfg.Beta * p
+		ev.Fairness = -p
+	}
+	ev.Penalty = g.cfg.V * (ev.Energy + fairPenalty)
+
+	// Drift: the routing and processing queue terms of (14).
+	for j := 0; j < c.J(); j++ {
+		for _, i := range c.JobTypes[j].Eligible {
+			r := float64(act.Route[i][j])
+			ev.Drift += q.Local[i][j]*(r-act.Process[i][j]) - q.Central[j]*r
+		}
+	}
+	ev.Objective = ev.Drift + ev.Penalty
+	return ev
 }
 
 // decideRouting solves the routing part of (14). The routing terms are
@@ -187,7 +263,7 @@ func routeBudgetFor(jt model.JobType) int {
 // rule: process type j at site i only while q_{i,j}/d_j > V * phi_i * p_k/s_k.
 // With beta > 0 it is a convex QP solved by Frank-Wolfe with the greedy as
 // its linear oracle and exact line search.
-func (g *GreFar) decideProcessing(st *model.State, q queue.Lengths, act *model.Action) error {
+func (g *GreFar) decideProcessing(st *model.State, q queue.Lengths, act *model.Action, stats *telemetry.SolveStats) error {
 	c := g.cluster
 
 	// Per-pair processing caps: physical queue content and h_max.
@@ -224,6 +300,9 @@ func (g *GreFar) decideProcessing(st *model.State, q queue.Lengths, act *model.A
 			return err
 		}
 		process = la.process
+		if stats != nil {
+			*stats = telemetry.SolveStats{Solver: telemetry.SolverGreedy, Iterations: 1, Converged: true}
+		}
 	case g.linearSlot():
 		// Auxiliary resource constraints (footnote 3) break the
 		// single-constraint greedy; the simplex solves the linear slot
@@ -233,9 +312,12 @@ func (g *GreFar) decideProcessing(st *model.State, q queue.Lengths, act *model.A
 			return err
 		}
 		process = p
+		if stats != nil {
+			*stats = telemetry.SolveStats{Solver: telemetry.SolverLP, Iterations: 1, Converged: true}
+		}
 	default:
 		var err error
-		process, err = g.solveQuadraticSlot(st, cH, cB, hCap)
+		process, err = g.solveQuadraticSlot(st, cH, cB, hCap, stats)
 		if err != nil {
 			return err
 		}
@@ -285,7 +367,7 @@ func (g *GreFar) linearSlot() bool {
 // types of the same account across sites; everything else is linear. With
 // the paper's quadratic fairness the program is a QP solved with exact line
 // search; other convex penalties (alpha-fair) use diminishing steps.
-func (g *GreFar) solveQuadraticSlot(st *model.State, cH, cB, hCap [][]float64) ([][]float64, error) {
+func (g *GreFar) solveQuadraticSlot(st *model.State, cH, cB, hCap [][]float64, stats *telemetry.SolveStats) ([][]float64, error) {
 	c := g.cluster
 	hVars := c.N() * c.J()
 	bOffset := make([]int, c.N())
@@ -370,6 +452,14 @@ func (g *GreFar) solveQuadraticSlot(st *model.State, cH, cB, hCap [][]float64) (
 	res, err := solve.FrankWolfe(obj, solve.LinearOracle(oracle), make([]float64, total), opts)
 	if err != nil {
 		return nil, fmt.Errorf("frank-wolfe: %w", err)
+	}
+	if stats != nil {
+		*stats = telemetry.SolveStats{
+			Solver:     telemetry.SolverFrankWolfe,
+			Iterations: res.Iters,
+			Converged:  res.Converged,
+			Residual:   res.Gap,
+		}
 	}
 
 	process := make([][]float64, c.N())

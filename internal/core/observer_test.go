@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"grefar/internal/telemetry"
+)
+
+// TestSlotEventMatchesDriftPlusPenalty checks the telemetry contract of the
+// decide-origin event: Drift + Penalty must equal Objective exactly, and
+// Objective must equal the drift-plus-penalty expression (paper eq. 14) that
+// the independent DriftPlusPenalty oracle computes for the chosen action.
+func TestSlotEventMatchesDriftPlusPenalty(t *testing.T) {
+	c := refCluster(t)
+	rng := rand.New(rand.NewSource(99))
+	gamma := AccountWeights(c)
+	for _, cfg := range []Config{{V: 5}, {V: 7.5, Beta: 100}} {
+		var events []telemetry.SlotEvent
+		cfg.Observer = telemetry.ObserverFunc(func(ev telemetry.SlotEvent) {
+			events = append(events, ev)
+		})
+		g, err := New(c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := stateWith(c, 80, []float64{0.39, 0.43, 0.55})
+		q := randomLengths(rng, c, 50)
+		act, err := g.Decide(3, st, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if len(events) != 1 {
+			t.Fatalf("beta=%g: got %d events, want 1", cfg.Beta, len(events))
+		}
+		ev := events[0]
+		if ev.Slot != 3 || ev.Origin != telemetry.OriginDecide || ev.DataCenter != -1 {
+			t.Errorf("beta=%g: event header = slot %d origin %q dc %d", cfg.Beta, ev.Slot, ev.Origin, ev.DataCenter)
+		}
+
+		if ev.Drift+ev.Penalty != ev.Objective {
+			t.Errorf("beta=%g: Drift %g + Penalty %g != Objective %g", cfg.Beta, ev.Drift, ev.Penalty, ev.Objective)
+		}
+		want := DriftPlusPenalty(c, cfg, st, q, act, gamma)
+		if diff := math.Abs(ev.Objective - want); diff > 1e-9*(1+math.Abs(want)) {
+			t.Errorf("beta=%g: Objective = %g, DriftPlusPenalty = %g (diff %g)", cfg.Beta, ev.Objective, want, diff)
+		}
+
+		// The backlog snapshot is the pre-decision queue state.
+		var central float64
+		for _, v := range q.Central {
+			central += v
+		}
+		if ev.CentralBacklog != central {
+			t.Errorf("beta=%g: CentralBacklog = %g, want %g", cfg.Beta, ev.CentralBacklog, central)
+		}
+		total := central
+		for i := range q.Local {
+			var local float64
+			for _, v := range q.Local[i] {
+				local += v
+			}
+			total += local
+			if ev.LocalBacklog[i] != local {
+				t.Errorf("beta=%g: LocalBacklog[%d] = %g, want %g", cfg.Beta, i, ev.LocalBacklog[i], local)
+			}
+		}
+		if ev.TotalBacklog != total {
+			t.Errorf("beta=%g: TotalBacklog = %g, want %g", cfg.Beta, ev.TotalBacklog, total)
+		}
+
+		// Energy is the billed cost of the chosen action.
+		if got, want := ev.Energy, act.BilledCost(c, st, cfg.Tariff); got != want {
+			t.Errorf("beta=%g: Energy = %g, want %g", cfg.Beta, got, want)
+		}
+
+		// Solver diagnostics: greedy for beta=0, Frank-Wolfe otherwise.
+		if ev.Solve == nil {
+			t.Fatalf("beta=%g: missing Solve stats", cfg.Beta)
+		}
+		if cfg.Beta == 0 {
+			if ev.Solve.Solver != telemetry.SolverGreedy {
+				t.Errorf("beta=0: solver = %q, want greedy", ev.Solve.Solver)
+			}
+		} else {
+			if ev.Solve.Solver != telemetry.SolverFrankWolfe {
+				t.Errorf("beta=%g: solver = %q, want frank-wolfe", cfg.Beta, ev.Solve.Solver)
+			}
+			if ev.Solve.Iterations <= 0 {
+				t.Errorf("beta=%g: Iterations = %d, want > 0", cfg.Beta, ev.Solve.Iterations)
+			}
+		}
+	}
+}
+
+// TestDecideWithoutObserverAllocatesNoStats pins the nil-observer fast path:
+// Decide must not build telemetry when nobody listens.
+func TestDecideWithoutObserverAllocatesNoStats(t *testing.T) {
+	c := refCluster(t)
+	g, err := New(c, Config{V: 7.5, Beta: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	st := stateWith(c, 80, []float64{0.39, 0.43, 0.55})
+	q := randomLengths(rng, c, 50)
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := g.Decide(0, st, q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	withObs := func() float64 {
+		g2, err := New(c, Config{V: 7.5, Beta: 100, Observer: telemetry.ObserverFunc(func(telemetry.SlotEvent) {})})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(20, func() {
+			if _, err := g2.Decide(0, st, q); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}()
+	if allocs >= withObs+1 {
+		t.Errorf("nil-observer Decide allocates %v, observed Decide %v; expected fewer allocations without observer", allocs, withObs)
+	}
+}

@@ -61,6 +61,10 @@ func (h *Histogram) Add(value, weight float64) {
 // Total returns the accumulated weight.
 func (h *Histogram) Total() float64 { return h.total }
 
+// Sum returns the weighted sum of the observed values — the numerator of
+// Mean, exposed for Prometheus-style histogram exposition.
+func (h *Histogram) Sum() float64 { return h.sum }
+
 // Mean returns the weighted mean of the observations.
 func (h *Histogram) Mean() float64 {
 	if h.total == 0 {

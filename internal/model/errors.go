@@ -1,0 +1,18 @@
+package model
+
+import "errors"
+
+// Sentinel errors for the three validation surfaces of the domain model.
+// Every error returned by Cluster.Validate, State.Validate, and
+// Action.Validate wraps the matching sentinel, so callers can classify
+// failures with errors.Is regardless of how many layers of slot or site
+// context have been wrapped around them.
+var (
+	// ErrInvalidCluster marks a structurally inconsistent system description.
+	ErrInvalidCluster = errors.New("invalid cluster")
+	// ErrInvalidState marks a slot state that is malformed for its cluster.
+	ErrInvalidState = errors.New("invalid state")
+	// ErrInfeasibleAction marks an action violating the model constraints
+	// (shape, eligibility, bounds, or the capacity constraint of eq. 11).
+	ErrInfeasibleAction = errors.New("infeasible action")
+)

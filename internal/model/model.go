@@ -132,8 +132,16 @@ func (c *Cluster) Aux() int {
 
 // Validate checks structural consistency: non-empty components, positive
 // speeds/demands, non-negative powers and weights, eligible and account
-// indices in range, and sane bounds. It returns the first problem found.
+// indices in range, and sane bounds. It returns the first problem found,
+// wrapping ErrInvalidCluster so callers can classify it with errors.Is.
 func (c *Cluster) Validate() error {
+	if err := c.validate(); err != nil {
+		return fmt.Errorf("%w: %w", ErrInvalidCluster, err)
+	}
+	return nil
+}
+
+func (c *Cluster) validate() error {
 	if len(c.DataCenters) == 0 {
 		return errors.New("cluster has no data centers")
 	}
@@ -292,8 +300,15 @@ func (s *State) TotalResource(c *Cluster) float64 {
 }
 
 // Validate checks the state is shaped for the cluster with non-negative
-// availability and prices.
+// availability and prices. Failures wrap ErrInvalidState.
 func (s *State) Validate(c *Cluster) error {
+	if err := s.validate(c); err != nil {
+		return fmt.Errorf("%w: %w", ErrInvalidState, err)
+	}
+	return nil
+}
+
+func (s *State) validate(c *Cluster) error {
 	if len(s.Avail) != c.N() || len(s.Price) != c.N() {
 		return fmt.Errorf("state shaped for %d data centers, cluster has %d", len(s.Avail), c.N())
 	}
@@ -424,19 +439,27 @@ func (a *Action) Energy(c *Cluster, s *State) float64 {
 // increment the batch load adds on top of the state's base load — the
 // section III-A2 generalization.
 func (a *Action) BilledCost(c *Cluster, s *State, trf tariff.Tariff) float64 {
-	if trf == nil {
-		return a.Energy(c, s)
-	}
 	var e float64
 	for i := range a.Busy {
-		var draw float64
-		for k, b := range a.Busy[i] {
-			draw += b * c.DataCenters[i].Servers[k].Power
-		}
-		base := s.BaseEnergyAt(i)
-		e += trf.Cost(s.Price[i], base+draw) - trf.Cost(s.Price[i], base)
+		e += a.BilledCostAt(c, s, i, trf)
 	}
 	return e
+}
+
+// BilledCostAt returns data center i's share of BilledCost: the billed cost
+// of the batch energy drawn at site i under the tariff (nil means linear
+// pricing, i.e. EnergyAt). Summing BilledCostAt over all sites in index order
+// reproduces BilledCost exactly.
+func (a *Action) BilledCostAt(c *Cluster, s *State, i int, trf tariff.Tariff) float64 {
+	if trf == nil {
+		return a.EnergyAt(c, s, i)
+	}
+	var draw float64
+	for k, b := range a.Busy[i] {
+		draw += b * c.DataCenters[i].Servers[k].Power
+	}
+	base := s.BaseEnergyAt(i)
+	return trf.Cost(s.Price[i], base+draw) - trf.Cost(s.Price[i], base)
 }
 
 // AccountWork returns r_m(t) for every account m: the computing resource
@@ -459,7 +482,15 @@ const feasibilityTol = 1e-6
 // the state: non-negative decisions, b_{i,k} <= n_{i,k}, routing and
 // processing restricted to eligible data centers, per-slot bounds respected,
 // and the capacity constraint sum_j h*d <= sum_k b*s (paper eq. 11).
+// Failures wrap ErrInfeasibleAction.
 func (a *Action) Validate(c *Cluster, s *State) error {
+	if err := a.validate(c, s); err != nil {
+		return fmt.Errorf("%w: %w", ErrInfeasibleAction, err)
+	}
+	return nil
+}
+
+func (a *Action) validate(c *Cluster, s *State) error {
 	if len(a.Route) != c.N() || len(a.Process) != c.N() || len(a.Busy) != c.N() {
 		return fmt.Errorf("action shaped for %d data centers, cluster has %d", len(a.Route), c.N())
 	}

@@ -23,7 +23,7 @@ var _ Scheduler = (*Always)(nil)
 // NewAlways builds the policy for a cluster.
 func NewAlways(c *model.Cluster) (*Always, error) {
 	if err := c.Validate(); err != nil {
-		return nil, fmt.Errorf("invalid cluster: %w", err)
+		return nil, err
 	}
 	return &Always{cluster: c}, nil
 }

@@ -24,7 +24,7 @@ var _ Scheduler = (*LocalGreedy)(nil)
 // NewLocalGreedy builds the policy for a cluster.
 func NewLocalGreedy(c *model.Cluster) (*LocalGreedy, error) {
 	if err := c.Validate(); err != nil {
-		return nil, fmt.Errorf("invalid cluster: %w", err)
+		return nil, err
 	}
 	return &LocalGreedy{cluster: c}, nil
 }

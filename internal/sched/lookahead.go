@@ -23,7 +23,7 @@ type LookaheadPlanner struct {
 // NewLookaheadPlanner builds a planner with frame length t >= 1.
 func NewLookaheadPlanner(c *model.Cluster, t int) (*LookaheadPlanner, error) {
 	if err := c.Validate(); err != nil {
-		return nil, fmt.Errorf("invalid cluster: %w", err)
+		return nil, err
 	}
 	if t < 1 {
 		return nil, fmt.Errorf("frame length %d is not positive", t)

@@ -39,7 +39,7 @@ var _ Scheduler = (*OracleMPC)(nil)
 // slots.
 func NewOracleMPC(c *model.Cluster, oracle Oracle, window int) (*OracleMPC, error) {
 	if err := c.Validate(); err != nil {
-		return nil, fmt.Errorf("invalid cluster: %w", err)
+		return nil, err
 	}
 	if oracle == nil {
 		return nil, fmt.Errorf("nil oracle")

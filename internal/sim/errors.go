@@ -1,0 +1,9 @@
+package sim
+
+import "errors"
+
+// ErrBadInputs is the sentinel wrapped by every pre-run rejection of Run:
+// missing drivers, mismatched source counts, or a non-positive horizon.
+// Classify with errors.Is; a structurally malformed cluster wraps
+// model.ErrInvalidCluster instead.
+var ErrBadInputs = errors.New("bad simulation inputs")

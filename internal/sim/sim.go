@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"grefar/internal/availability"
@@ -16,6 +17,7 @@ import (
 	"grefar/internal/queue"
 	"grefar/internal/sched"
 	"grefar/internal/tariff"
+	"grefar/internal/telemetry"
 	"grefar/internal/workload"
 )
 
@@ -56,7 +58,23 @@ type Options struct {
 	// queues (paper section V suggests admission control for overload).
 	// Nil admits everything.
 	Admission AdmissionPolicy
+	// Observer, when non-nil, receives one telemetry.SlotEvent per slot
+	// (origin "sim") after the action is applied: realized energy per site,
+	// fairness, job flows, and post-slot backlogs. Nil costs nothing.
+	Observer telemetry.SlotObserver
+	// Context, when non-nil, cancels the run between slots: Run returns an
+	// error wrapping the context's error as soon as cancellation is observed.
+	// Nil means the run cannot be interrupted.
+	Context context.Context
 }
+
+// ApplySim replaces the whole option set with o, making an Options literal
+// usable wherever a simulation option is accepted. This is the compatibility
+// bridge for the pre-options call style
+// (grefar.Simulate(in, s, grefar.SimOptions{...})): an Options used as an
+// option resets every knob, so combine it with finer-grained options only
+// before them, not after.
+func (o Options) ApplySim(dst *Options) { *dst = o }
 
 // Result summarizes a run.
 type Result struct {
@@ -111,23 +129,25 @@ type Result struct {
 	TotalDropped float64
 }
 
-// Run simulates the scheduler over the horizon.
+// Run simulates the scheduler over the horizon. Malformed inputs or options
+// yield an error wrapping ErrBadInputs (a malformed cluster wraps
+// model.ErrInvalidCluster instead).
 func Run(in Inputs, s sched.Scheduler, opt Options) (*Result, error) {
 	c := in.Cluster
 	if c == nil {
-		return nil, fmt.Errorf("nil cluster")
+		return nil, fmt.Errorf("%w: nil cluster", ErrBadInputs)
 	}
 	if err := c.Validate(); err != nil {
-		return nil, fmt.Errorf("invalid cluster: %w", err)
+		return nil, err
 	}
 	if len(in.Prices) != c.N() {
-		return nil, fmt.Errorf("got %d price sources, cluster has %d data centers", len(in.Prices), c.N())
+		return nil, fmt.Errorf("%w: got %d price sources, cluster has %d data centers", ErrBadInputs, len(in.Prices), c.N())
 	}
 	if in.Workload == nil || in.Availability == nil {
-		return nil, fmt.Errorf("workload and availability are required")
+		return nil, fmt.Errorf("%w: workload and availability are required", ErrBadInputs)
 	}
 	if opt.Slots <= 0 {
-		return nil, fmt.Errorf("horizon %d is not positive", opt.Slots)
+		return nil, fmt.Errorf("%w: horizon %d is not positive", ErrBadInputs, opt.Slots)
 	}
 	fair := in.Fairness
 	if fair == nil {
@@ -174,11 +194,16 @@ func Run(in Inputs, s sched.Scheduler, opt Options) (*Result, error) {
 
 	if in.BaseLoad != nil {
 		if len(in.BaseLoad) != c.N() {
-			return nil, fmt.Errorf("got %d base-load sources, cluster has %d data centers", len(in.BaseLoad), c.N())
+			return nil, fmt.Errorf("%w: got %d base-load sources, cluster has %d data centers", ErrBadInputs, len(in.BaseLoad), c.N())
 		}
 		st.BaseEnergy = make([]float64, c.N())
 	}
 	for t := 0; t < opt.Slots; t++ {
+		if opt.Context != nil {
+			if err := opt.Context.Err(); err != nil {
+				return nil, fmt.Errorf("slot %d: run canceled: %w", t, err)
+			}
+		}
 		// Reveal x(t).
 		avail := in.Availability.At(t)
 		for i := 0; i < c.N(); i++ {
@@ -209,6 +234,7 @@ func Run(in Inputs, s sched.Scheduler, opt Options) (*Result, error) {
 		}
 		arrivals := in.Workload.Arrivals(t)
 		admitted := arrivals
+		var slotDropped float64
 		if opt.Admission != nil {
 			lens := make([]float64, c.J())
 			for j := range lens {
@@ -223,22 +249,27 @@ func Run(in Inputs, s sched.Scheduler, opt Options) (*Result, error) {
 					return nil, fmt.Errorf("slot %d: admission policy admitted %d of %d for job type %d",
 						t, admitted[j], arrivals[j], j)
 				}
-				res.TotalDropped += float64(arrivals[j] - admitted[j])
+				slotDropped += float64(arrivals[j] - admitted[j])
 			}
 		}
 		if err := qs.Arrive(t, admitted); err != nil {
 			return nil, fmt.Errorf("slot %d: arrivals: %w", t, err)
 		}
+		res.TotalDropped += slotDropped
 
 		// Metrics.
-		energy.Add(act.BilledCost(c, st, in.Tariff))
-		fairScore.Add(fair.Score(act.AccountWork(c), st.TotalResource(c)))
+		slotEnergy := act.BilledCost(c, st, in.Tariff)
+		slotFairness := fair.Score(act.AccountWork(c), st.TotalResource(c))
+		energy.Add(slotEnergy)
+		fairScore.Add(slotFairness)
+		var slotProcessed float64
 		for i := 0; i < c.N(); i++ {
 			var dSum, dCount float64
 			for j := 0; j < c.J(); j++ {
 				dSum += flows.LocalDelaySum[i][j]
 				dCount += flows.Processed[i][j]
 				processed += flows.Processed[i][j]
+				slotProcessed += flows.Processed[i][j]
 			}
 			localDelay[i].Add(dSum, dCount)
 			for _, sample := range flows.LocalDelaySamples[i] {
@@ -250,9 +281,11 @@ func Run(in Inputs, s sched.Scheduler, opt Options) (*Result, error) {
 				res.PriceSeries[i] = append(res.PriceSeries[i], st.Price[i])
 			}
 		}
+		var slotArrived float64
 		for j := 0; j < c.J(); j++ {
 			centralDelay.Add(flows.CentralDelaySum[j], flows.CentralRouted[j])
 			arrived += float64(arrivals[j])
+			slotArrived += float64(arrivals[j])
 		}
 		post := qs.Lengths()
 		for _, v := range post.Central {
@@ -264,6 +297,11 @@ func Run(in Inputs, s sched.Scheduler, opt Options) (*Result, error) {
 			}
 		}
 		avgQ.Add(post.Sum())
+
+		if opt.Observer != nil {
+			opt.Observer.ObserveSlot(slotEvent(c, s.Name(), t, post, act, st, in.Tariff,
+				slotEnergy, slotFairness, slotArrived, slotProcessed, slotDropped))
+		}
 	}
 
 	res.AvgEnergy = energy.Mean()
@@ -290,6 +328,42 @@ func Run(in Inputs, s sched.Scheduler, opt Options) (*Result, error) {
 	res.TotalArrived = arrived
 	res.TotalProcessed = processed
 	return res, nil
+}
+
+// slotEvent assembles the origin-"sim" telemetry event for one applied slot:
+// realized billed energy (total and per site), the fairness score, the job
+// flows, and the post-slot backlog snapshot.
+func slotEvent(c *model.Cluster, scheduler string, t int, post queue.Lengths, act *model.Action,
+	st *model.State, trf tariff.Tariff, energy, fairness, arrived, processed, dropped float64) telemetry.SlotEvent {
+	ev := telemetry.SlotEvent{
+		Slot:       t,
+		Origin:     telemetry.OriginSim,
+		Scheduler:  scheduler,
+		DataCenter: -1,
+		Energy:     energy,
+		Fairness:   fairness,
+		Arrived:    arrived,
+		Processed:  processed,
+		Dropped:    dropped,
+	}
+	ev.EnergyPerDC = make([]float64, c.N())
+	for i := 0; i < c.N(); i++ {
+		ev.EnergyPerDC[i] = act.BilledCostAt(c, st, i, trf)
+	}
+	for _, v := range post.Central {
+		ev.CentralBacklog += v
+	}
+	ev.LocalBacklog = make([]float64, c.N())
+	for i := range post.Local {
+		for _, v := range post.Local[i] {
+			ev.LocalBacklog[i] += v
+		}
+	}
+	ev.TotalBacklog = ev.CentralBacklog
+	for _, v := range ev.LocalBacklog {
+		ev.TotalBacklog += v
+	}
+	return ev
 }
 
 // CollectStates materializes the per-slot states and arrivals of the inputs

@@ -2,6 +2,7 @@ package solve
 
 import (
 	"errors"
+	"fmt"
 	"math"
 )
 
@@ -18,6 +19,12 @@ type FWOptions struct {
 	// Tol is the duality-gap stopping tolerance (default 1e-7), measured
 	// relative to 1+|f(x)|.
 	Tol float64
+	// RequireConvergence makes FrankWolfe return a NotConvergedError
+	// (wrapping ErrNotConverged) when the gap tolerance is not met within
+	// MaxIters, instead of silently returning the last iterate. Off by
+	// default: the last iterate is feasible and its gap bounds the
+	// suboptimality, which is usually good enough for a slot decision.
+	RequireConvergence bool
 }
 
 func (o FWOptions) withDefaults() FWOptions {
@@ -48,6 +55,32 @@ type FWResult struct {
 // ErrDimensionMismatch is returned when the starting point and oracle output
 // have different lengths.
 var ErrDimensionMismatch = errors.New("solve: dimension mismatch between x0 and oracle output")
+
+// ErrNotConverged is the sentinel wrapped by every convergence failure, so
+// callers can classify solver outcomes with errors.Is without knowing which
+// backend ran.
+var ErrNotConverged = errors.New("solve: did not converge")
+
+// NotConvergedError reports a solver stopping at its iteration cap with the
+// tolerance unmet. It wraps ErrNotConverged (matchable with errors.Is) and
+// carries the diagnosis for errors.As.
+type NotConvergedError struct {
+	// Solver names the backend, e.g. "frank-wolfe".
+	Solver string
+	// Iters is the number of iterations performed.
+	Iters int
+	// Residual is the final convergence residual (the duality gap for
+	// Frank-Wolfe).
+	Residual float64
+}
+
+// Error implements error.
+func (e *NotConvergedError) Error() string {
+	return fmt.Sprintf("solve: %s did not converge after %d iterations (residual %g)", e.Solver, e.Iters, e.Residual)
+}
+
+// Unwrap makes errors.Is(err, ErrNotConverged) true.
+func (e *NotConvergedError) Unwrap() error { return ErrNotConverged }
 
 // FrankWolfe minimizes a convex objective over the polytope implicitly
 // defined by the linear oracle, starting from the feasible point x0.
@@ -108,5 +141,8 @@ func FrankWolfe(obj Objective, oracle LinearOracle, x0 []float64, opts FWOptions
 	}
 	res.X = x
 	res.Value = obj.Value(x)
+	if opts.RequireConvergence && !res.Converged {
+		return res, &NotConvergedError{Solver: "frank-wolfe", Iters: res.Iters, Residual: res.Gap}
+	}
 	return res, nil
 }

@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"sync"
+
+	"grefar/internal/metrics"
+)
+
+// Histogram is a concurrency-safe wrapper over metrics.Histogram shaped for
+// Prometheus exposition: fixed bucket bounds, cumulative rendering, and a
+// _sum/_count pair.
+type Histogram struct {
+	mu sync.Mutex
+	h  *metrics.Histogram
+}
+
+// newHistogram builds a histogram over the bounds; the bounds were validated
+// at family registration.
+func newHistogram(bounds []float64) *Histogram {
+	h, err := metrics.NewHistogram(bounds)
+	if err != nil {
+		panic("telemetry: " + err.Error())
+	}
+	return &Histogram{h: h}
+}
+
+// Observe records one observation of v.
+func (h *Histogram) Observe(v float64) { h.ObserveN(v, 1) }
+
+// ObserveN records weight observations of v (non-positive weights are
+// ignored, matching metrics.Histogram).
+func (h *Histogram) ObserveN(v, weight float64) {
+	h.mu.Lock()
+	h.h.Add(v, weight)
+	h.mu.Unlock()
+}
+
+// snapshot returns the bucket bounds (ending with +Inf), per-bucket counts,
+// the weighted sum of observations, and the total weight.
+func (h *Histogram) snapshot() (bounds, counts []float64, sum, total float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bounds, counts = h.h.Buckets()
+	return bounds, counts, h.h.Sum(), h.h.Total()
+}
+
+// IterationBounds is a default bucket layout for solver iteration counts:
+// fine resolution near the greedy/LP single-shot regime, expanding to the
+// Frank-Wolfe iteration caps.
+func IterationBounds() []float64 {
+	return []float64{1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377}
+}

@@ -1,0 +1,39 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// JSONLObserver writes one JSON object per SlotEvent, newline-delimited —
+// the offline-analysis twin of the Prometheus exposition. The first write
+// error sticks and silences all later events; check Err after the run.
+type JSONLObserver struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLObserver builds an observer writing to w. The caller owns w's
+// lifecycle (flush/close).
+func NewJSONLObserver(w io.Writer) *JSONLObserver {
+	return &JSONLObserver{enc: json.NewEncoder(w)}
+}
+
+// ObserveSlot implements SlotObserver.
+func (o *JSONLObserver) ObserveSlot(ev SlotEvent) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.err != nil {
+		return
+	}
+	o.err = o.enc.Encode(ev)
+}
+
+// Err returns the first write error, if any.
+func (o *JSONLObserver) Err() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.err
+}

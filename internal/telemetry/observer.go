@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"strconv"
+	"sync"
+)
+
+// RegistryObserver translates SlotEvents into the standard grefar_* metric
+// families of a Registry. It is the default bridge between the control loops
+// and Prometheus exposition: wire it as the observer of a scheduler, a
+// simulation, a controller, or an agent (any combination sharing one
+// registry is fine — counters are origin- or site-labeled so they never
+// double-count).
+//
+// Families maintained:
+//
+//	grefar_slots_total{origin}                 counter
+//	grefar_queue_backlog{queue}                gauge   ("central" or a DC name)
+//	grefar_drift                               gauge
+//	grefar_penalty                             gauge
+//	grefar_slot_objective                      gauge
+//	grefar_dc_energy_cost{dc}                  gauge   (last slot)
+//	grefar_dc_energy_cost_total{dc}            counter
+//	grefar_fairness                            gauge
+//	grefar_jobs_arrived_total                  counter
+//	grefar_jobs_processed_total                counter
+//	grefar_jobs_dropped_total                  counter
+//	grefar_solver_slots_total{solver}          counter
+//	grefar_solver_iterations{solver}           histogram
+//	grefar_solver_residual                     gauge
+//	grefar_solver_unconverged_total{solver}    counter
+type RegistryObserver struct {
+	slots       *CounterVec
+	backlog     *GaugeVec
+	drift       *GaugeVec
+	penalty     *GaugeVec
+	objective   *GaugeVec
+	dcEnergy    *GaugeVec
+	dcEnergyTot *CounterVec
+	fairness    *GaugeVec
+	arrived     *CounterVec
+	processed   *CounterVec
+	dropped     *CounterVec
+	solverSlots *CounterVec
+	solverIters *HistogramVec
+	solverRes   *GaugeVec
+	unconverged *CounterVec
+
+	mu      sync.RWMutex
+	dcNames []string
+}
+
+// NewRegistryObserver registers the standard grefar_* families in the
+// registry and returns the observer. Call SetDCNames to label per-site
+// series with data-center names; unnamed sites fall back to "dc<i>".
+func NewRegistryObserver(reg *Registry) *RegistryObserver {
+	return &RegistryObserver{
+		slots:       reg.Counter("grefar_slots_total", "Control-loop slot events observed, by emitting loop.", "origin"),
+		backlog:     reg.Gauge("grefar_queue_backlog", "Queue backlog Theta(t) in jobs, central and per data center.", "queue"),
+		drift:       reg.Gauge("grefar_drift", "Queue-drift component of the last slot objective (paper eq. 14)."),
+		penalty:     reg.Gauge("grefar_penalty", "V*g(t) penalty component of the last slot objective."),
+		objective:   reg.Gauge("grefar_slot_objective", "Drift-plus-penalty value of the last slot decision."),
+		dcEnergy:    reg.Gauge("grefar_dc_energy_cost", "Billed energy cost of the last slot per data center.", "dc"),
+		dcEnergyTot: reg.Counter("grefar_dc_energy_cost_total", "Cumulative billed energy cost per data center.", "dc"),
+		fairness:    reg.Gauge("grefar_fairness", "Fairness score f(t) of the last slot."),
+		arrived:     reg.Counter("grefar_jobs_arrived_total", "Jobs arrived at the central scheduler."),
+		processed:   reg.Counter("grefar_jobs_processed_total", "Jobs processed across all data centers."),
+		dropped:     reg.Counter("grefar_jobs_dropped_total", "Jobs rejected by admission control."),
+		solverSlots: reg.Counter("grefar_solver_slots_total", "Slot decisions per solver backend.", "solver"),
+		solverIters: reg.Histogram("grefar_solver_iterations", "Iterations per slot solve.", IterationBounds(), "solver"),
+		solverRes:   reg.Gauge("grefar_solver_residual", "Convergence residual (Frank-Wolfe duality gap) of the last solve."),
+		unconverged: reg.Counter("grefar_solver_unconverged_total", "Slot solves that stopped at the iteration cap.", "solver"),
+	}
+}
+
+// DCNamer is implemented by observers that label per-site series with
+// data-center names. MultiObserver forwards to every member that implements
+// it, so facades can inject names without knowing the observer composition.
+type DCNamer interface {
+	SetDCNames(names []string)
+}
+
+// SetDCNames provides data-center names for per-site labels. Safe to call
+// concurrently with ObserveSlot; later calls win.
+func (o *RegistryObserver) SetDCNames(names []string) {
+	o.mu.Lock()
+	o.dcNames = append([]string(nil), names...)
+	o.mu.Unlock()
+}
+
+// dcName maps a site index to its label value.
+func (o *RegistryObserver) dcName(i int) string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if i >= 0 && i < len(o.dcNames) {
+		return o.dcNames[i]
+	}
+	return "dc" + strconv.Itoa(i)
+}
+
+// ObserveSlot implements SlotObserver.
+func (o *RegistryObserver) ObserveSlot(ev SlotEvent) {
+	o.slots.With(ev.Origin).Inc()
+	switch ev.Origin {
+	case OriginDecide:
+		o.observeBacklogs(ev)
+		o.drift.With().Set(ev.Drift)
+		o.penalty.With().Set(ev.Penalty)
+		o.objective.With().Set(ev.Objective)
+		if s := ev.Solve; s != nil {
+			o.solverSlots.With(s.Solver).Inc()
+			o.solverIters.With(s.Solver).Observe(float64(s.Iterations))
+			o.solverRes.With().Set(s.Residual)
+			if !s.Converged {
+				o.unconverged.With(s.Solver).Inc()
+			}
+		}
+	case OriginAgent:
+		// A single site's view: only its own backlog and energy.
+		dc := o.dcName(ev.DataCenter)
+		o.backlog.With(dc).Set(ev.TotalBacklog)
+		o.dcEnergy.With(dc).Set(ev.Energy)
+		o.dcEnergyTot.With(dc).Add(ev.Energy)
+		o.processed.With().Add(ev.Processed)
+	default: // OriginSim, OriginController
+		o.observeBacklogs(ev)
+		for i, e := range ev.EnergyPerDC {
+			dc := o.dcName(i)
+			o.dcEnergy.With(dc).Set(e)
+			o.dcEnergyTot.With(dc).Add(e)
+		}
+		o.fairness.With().Set(ev.Fairness)
+		o.arrived.With().Add(ev.Arrived)
+		o.processed.With().Add(ev.Processed)
+		o.dropped.With().Add(ev.Dropped)
+	}
+}
+
+// observeBacklogs updates the backlog gauges from a cluster-wide event.
+func (o *RegistryObserver) observeBacklogs(ev SlotEvent) {
+	o.backlog.With("central").Set(ev.CentralBacklog)
+	for i, q := range ev.LocalBacklog {
+		o.backlog.With(o.dcName(i)).Set(q)
+	}
+}

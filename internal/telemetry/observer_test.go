@@ -1,0 +1,210 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func decideEvent(slot int) SlotEvent {
+	return SlotEvent{
+		Slot: slot, Origin: OriginDecide, Scheduler: "test", DataCenter: -1,
+		CentralBacklog: 5, LocalBacklog: []float64{1, 2}, TotalBacklog: 8,
+		Drift: -3, Penalty: 10, Objective: 7,
+		Solve: &SolveStats{Solver: "frank-wolfe", Iterations: 12, Converged: false, Residual: 0.25},
+	}
+}
+
+func simEvent(slot int) SlotEvent {
+	return SlotEvent{
+		Slot: slot, Origin: OriginSim, Scheduler: "test", DataCenter: -1,
+		CentralBacklog: 4, LocalBacklog: []float64{2, 1}, TotalBacklog: 7,
+		Energy: 3, EnergyPerDC: []float64{1, 2}, Fairness: -0.01,
+		Arrived: 6, Processed: 5, Dropped: 1,
+	}
+}
+
+func TestRegistryObserverSeries(t *testing.T) {
+	reg := NewRegistry()
+	obs := NewRegistryObserver(reg)
+	obs.SetDCNames([]string{"east", "west"})
+	for slot := 0; slot < 3; slot++ {
+		obs.ObserveSlot(decideEvent(slot))
+		obs.ObserveSlot(simEvent(slot))
+	}
+	obs.ObserveSlot(SlotEvent{Slot: 3, Origin: OriginAgent, DataCenter: 1, TotalBacklog: 9, Energy: 2, Processed: 4})
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`grefar_slots_total{origin="decide"} 3`,
+		`grefar_slots_total{origin="sim"} 3`,
+		`grefar_slots_total{origin="agent"} 1`,
+		`grefar_queue_backlog{queue="central"} 4`,
+		`grefar_queue_backlog{queue="east"} 2`,
+		`grefar_queue_backlog{queue="west"} 9`, // agent event wrote last
+		`grefar_drift -3`,
+		`grefar_penalty 10`,
+		`grefar_slot_objective 7`,
+		`grefar_dc_energy_cost_total{dc="east"} 3`,
+		`grefar_dc_energy_cost_total{dc="west"} 8`, // 3 sim slots *2 + agent 2
+		`grefar_fairness -0.01`,
+		`grefar_jobs_arrived_total 18`,
+		`grefar_jobs_processed_total 19`, // 3*5 sim + 4 agent
+		`grefar_jobs_dropped_total 3`,
+		`grefar_solver_slots_total{solver="frank-wolfe"} 3`,
+		`grefar_solver_unconverged_total{solver="frank-wolfe"} 3`,
+		`grefar_solver_residual 0.25`,
+		`grefar_solver_iterations_count{solver="frank-wolfe"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full exposition:\n%s", out)
+	}
+}
+
+func TestRegistryObserverUnnamedDCFallback(t *testing.T) {
+	reg := NewRegistry()
+	obs := NewRegistryObserver(reg)
+	obs.ObserveSlot(SlotEvent{Slot: 0, Origin: OriginAgent, DataCenter: 2, TotalBacklog: 1, Energy: 1})
+	out := captureExposition(t, reg)
+	if !strings.Contains(out, `grefar_queue_backlog{queue="dc2"} 1`) {
+		t.Errorf("fallback dc label missing:\n%s", out)
+	}
+}
+
+func captureExposition(t *testing.T, reg *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestMultiObserver(t *testing.T) {
+	var a, b int
+	obs := Multi(nil, ObserverFunc(func(SlotEvent) { a++ }), nil, ObserverFunc(func(SlotEvent) { b++ }))
+	obs.ObserveSlot(SlotEvent{})
+	obs.ObserveSlot(SlotEvent{})
+	if a != 2 || b != 2 {
+		t.Errorf("fan-out counts = %d, %d, want 2, 2", a, b)
+	}
+	if Multi(nil, nil) != nil {
+		t.Error("Multi of nils should collapse to nil")
+	}
+	single := ObserverFunc(func(SlotEvent) {})
+	if got := Multi(nil, single); got == nil {
+		t.Error("Multi with one live observer returned nil")
+	}
+}
+
+func TestJSONLObserver(t *testing.T) {
+	var buf strings.Builder
+	obs := NewJSONLObserver(&buf)
+	obs.ObserveSlot(decideEvent(0))
+	obs.ObserveSlot(simEvent(0))
+	if err := obs.Err(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	var lines int
+	for sc.Scan() {
+		var ev SlotEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Errorf("wrote %d lines, want 2", lines)
+	}
+	if !strings.Contains(buf.String(), `"solver":"frank-wolfe"`) {
+		t.Errorf("decide line lacks solver stats: %s", buf.String())
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }
+
+func TestJSONLObserverStickyError(t *testing.T) {
+	obs := NewJSONLObserver(failWriter{})
+	obs.ObserveSlot(SlotEvent{})
+	obs.ObserveSlot(SlotEvent{})
+	if obs.Err() == nil {
+		t.Error("write error not surfaced")
+	}
+}
+
+func TestMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	obs := NewRegistryObserver(reg)
+	obs.ObserveSlot(simEvent(0))
+	healthy := true
+	mux := NewMux(reg, MuxOptions{EnablePprof: true, Healthy: func() bool { return healthy }})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	body, ctype := get(t, ts.URL+"/metrics", http.StatusOK)
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Errorf("metrics content type = %q", ctype)
+	}
+	if !strings.Contains(body, "grefar_slots_total") {
+		t.Errorf("metrics body missing series:\n%s", body)
+	}
+
+	body, _ = get(t, ts.URL+"/healthz", http.StatusOK)
+	if body != "ok\n" {
+		t.Errorf("healthz body = %q", body)
+	}
+	healthy = false
+	get(t, ts.URL+"/healthz", http.StatusServiceUnavailable)
+	healthy = true
+
+	body, _ = get(t, ts.URL+"/debug/pprof/", http.StatusOK)
+	if !strings.Contains(body, "profile") {
+		t.Errorf("pprof index looks wrong: %q", body[:min(len(body), 120)])
+	}
+}
+
+func TestMuxWithoutPprof(t *testing.T) {
+	mux := NewMux(NewRegistry(), MuxOptions{})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("pprof mounted although disabled")
+	}
+}
+
+func get(t *testing.T, url string, wantStatus int) (body, contentType string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s = %d, want %d (body %q)", url, resp.StatusCode, wantStatus, raw)
+	}
+	return string(raw), resp.Header.Get("Content-Type")
+}

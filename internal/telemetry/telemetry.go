@@ -1,0 +1,359 @@
+// Package telemetry is the live-observability layer of the GreFar system:
+// stdlib-only counters, gauges, and histograms behind a Registry with
+// Prometheus text exposition, plus the SlotObserver hook the scheduler, the
+// simulator, and the distributed controller/agent loops invoke each slot.
+//
+// The offline prefix-average statistics in internal/metrics answer "what did
+// the run average to"; this package answers "what is the deployment doing
+// right now": queue backlogs Theta(t), the drift and V*g(t) penalty
+// components of the per-slot objective (paper eq. 14), per-data-center
+// energy spend, and solver health (which solver ran, how many iterations,
+// whether it converged).
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metricType is the Prometheus metric family type.
+type metricType string
+
+const (
+	typeCounter   metricType = "counter"
+	typeGauge     metricType = "gauge"
+	typeHistogram metricType = "histogram"
+)
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. All methods are safe for concurrent use. Registering
+// the same family twice returns the existing one, so independent components
+// can share a registry without coordinating.
+type Registry struct {
+	mu   sync.RWMutex
+	fams map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// family is one metric family: a name, help text, a type, and children keyed
+// by label values.
+type family struct {
+	name   string
+	help   string
+	typ    metricType
+	labels []string
+	bounds []float64 // histogram bucket upper bounds
+
+	mu       sync.Mutex
+	children map[string]*sample
+	order    []string
+}
+
+// sample is one child of a family: a concrete label-value combination and
+// its metric.
+type sample struct {
+	labelValues []string
+	value       *atomicFloat // counters and gauges
+	hist        *Histogram   // histograms
+}
+
+// register returns the family, creating it if absent. A name collision with
+// a different type or label set is a programming error and panics.
+func (r *Registry) register(name, help string, typ metricType, labels []string, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.typ != typ || !equalStrings(f.labels, labels) {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered as %s%v, was %s%v",
+				name, typ, labels, f.typ, f.labels))
+		}
+		return f
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		typ:      typ,
+		labels:   append([]string(nil), labels...),
+		bounds:   append([]float64(nil), bounds...),
+		children: make(map[string]*sample),
+	}
+	r.fams[name] = f
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// child returns the sample for the label values, creating it on first use.
+func (f *family) child(labelValues []string) *sample {
+	if len(labelValues) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: metric %q got %d label values, want %d",
+			f.name, len(labelValues), len(f.labels)))
+	}
+	key := strings.Join(labelValues, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.children[key]; ok {
+		return s
+	}
+	s := &sample{labelValues: append([]string(nil), labelValues...)}
+	if f.typ == typeHistogram {
+		s.hist = newHistogram(f.bounds)
+	} else {
+		s.value = &atomicFloat{}
+	}
+	f.children[key] = s
+	f.order = append(f.order, key)
+	return s
+}
+
+// atomicFloat is a float64 updated atomically via its bit pattern.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (a *atomicFloat) load() float64 { return math.Float64frombits(a.bits.Load()) }
+
+func (a *atomicFloat) store(v float64) { a.bits.Store(math.Float64bits(v)) }
+
+func (a *atomicFloat) add(delta float64) {
+	for {
+		old := a.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if a.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// CounterVec is a family of monotonically increasing counters.
+type CounterVec struct{ fam *family }
+
+// Counter registers (or fetches) a counter family. labels are the label
+// names; a family with no labels has a single child reached via With().
+func (r *Registry) Counter(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, typeCounter, labels, nil)}
+}
+
+// With returns the counter for the given label values.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return &Counter{v.fam.child(labelValues).value}
+}
+
+// Counter is one monotonically increasing series.
+type Counter struct{ v *atomicFloat }
+
+// Add increases the counter; negative deltas are ignored to preserve
+// monotonicity.
+func (c *Counter) Add(delta float64) {
+	if delta > 0 {
+		c.v.add(delta)
+	}
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.v.add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v.load() }
+
+// GaugeVec is a family of gauges.
+type GaugeVec struct{ fam *family }
+
+// Gauge registers (or fetches) a gauge family.
+func (r *Registry) Gauge(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, typeGauge, labels, nil)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return &Gauge{v.fam.child(labelValues).value}
+}
+
+// Gauge is one series that can go up and down.
+type Gauge struct{ v *atomicFloat }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v.store(v) }
+
+// Add shifts the gauge value.
+func (g *Gauge) Add(delta float64) { g.v.add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.load() }
+
+// HistogramVec is a family of histograms sharing bucket bounds.
+type HistogramVec struct{ fam *family }
+
+// Histogram registers (or fetches) a histogram family with the given
+// strictly increasing bucket upper bounds (observations above the last bound
+// land in the implicit +Inf bucket).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.register(name, help, typeHistogram, labels, bounds)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return v.fam.child(labelValues).hist
+}
+
+// WritePrometheus renders every family in Prometheus text exposition format
+// (version 0.0.4). Families and children are emitted in sorted order so the
+// output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.fams[name])
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		f.write(&b)
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// write renders one family (header plus all children).
+func (f *family) write(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+	f.mu.Lock()
+	keys := append([]string(nil), f.order...)
+	children := make([]*sample, len(keys))
+	for i, k := range keys {
+		children[i] = f.children[k]
+	}
+	f.mu.Unlock()
+	sort.Sort(&sampleSorter{keys, children})
+	for _, s := range children {
+		if f.typ == typeHistogram {
+			f.writeHistogram(b, s)
+			continue
+		}
+		b.WriteString(f.name)
+		writeLabels(b, f.labels, s.labelValues, "", 0)
+		b.WriteByte(' ')
+		b.WriteString(formatValue(s.value.load()))
+		b.WriteByte('\n')
+	}
+}
+
+// writeHistogram renders one histogram child as cumulative le-buckets plus
+// _sum and _count series.
+func (f *family) writeHistogram(b *strings.Builder, s *sample) {
+	bounds, counts, sum, total := s.hist.snapshot()
+	var cum float64
+	for i, bound := range bounds {
+		cum += counts[i]
+		b.WriteString(f.name)
+		b.WriteString("_bucket")
+		writeLabels(b, f.labels, s.labelValues, "le", bound)
+		b.WriteByte(' ')
+		b.WriteString(formatValue(cum))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(b, "%s_sum", f.name)
+	writeLabels(b, f.labels, s.labelValues, "", 0)
+	fmt.Fprintf(b, " %s\n", formatValue(sum))
+	fmt.Fprintf(b, "%s_count", f.name)
+	writeLabels(b, f.labels, s.labelValues, "", 0)
+	fmt.Fprintf(b, " %s\n", formatValue(total))
+}
+
+// writeLabels renders the {k="v",...} block, appending an le label when
+// leName is non-empty. Nothing is written when there are no labels at all.
+func writeLabels(b *strings.Builder, names, values []string, leName string, le float64) {
+	if len(names) == 0 && leName == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if leName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(leName)
+		b.WriteString(`="`)
+		b.WriteString(formatValue(le))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// sampleSorter sorts children by their label-value key.
+type sampleSorter struct {
+	keys     []string
+	children []*sample
+}
+
+func (s *sampleSorter) Len() int           { return len(s.keys) }
+func (s *sampleSorter) Less(a, b int) bool { return s.keys[a] < s.keys[b] }
+func (s *sampleSorter) Swap(a, b int) {
+	s.keys[a], s.keys[b] = s.keys[b], s.keys[a]
+	s.children[a], s.children[b] = s.children[b], s.children[a]
+}
+
+// formatValue renders a float the way Prometheus expects, including the
+// "+Inf" spelling for the overflow bucket bound.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// escapeHelp escapes help text per the exposition format.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}

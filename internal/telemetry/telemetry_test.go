@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func expose(t *testing.T, reg *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("grefar_test_total", "A test counter.", "kind")
+	c.With("a").Add(2)
+	c.With("a").Inc()
+	c.With("b").Inc()
+	c.With("b").Add(-5) // ignored: counters are monotone
+	g := reg.Gauge("grefar_test_gauge", "A test gauge.")
+	g.With().Set(1.5)
+	g.With().Add(-0.5)
+
+	out := expose(t, reg)
+	for _, want := range []string{
+		"# HELP grefar_test_total A test counter.\n",
+		"# TYPE grefar_test_total counter\n",
+		`grefar_test_total{kind="a"} 3` + "\n",
+		`grefar_test_total{kind="b"} 1` + "\n",
+		"# TYPE grefar_test_gauge gauge\n",
+		"grefar_test_gauge 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("grefar_test_iters", "Iterations.", []float64{1, 5, 10}, "solver")
+	fw := h.With("fw")
+	fw.Observe(1)
+	fw.Observe(3)
+	fw.Observe(7)
+	fw.Observe(40)
+
+	out := expose(t, reg)
+	for _, want := range []string{
+		"# TYPE grefar_test_iters histogram\n",
+		`grefar_test_iters_bucket{solver="fw",le="1"} 1` + "\n",
+		`grefar_test_iters_bucket{solver="fw",le="5"} 2` + "\n",
+		`grefar_test_iters_bucket{solver="fw",le="10"} 3` + "\n",
+		`grefar_test_iters_bucket{solver="fw",le="+Inf"} 4` + "\n",
+		`grefar_test_iters_sum{solver="fw"} 51` + "\n",
+		`grefar_test_iters_count{solver="fw"} 4` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistrationIsIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("grefar_same_total", "One.", "x")
+	b := reg.Counter("grefar_same_total", "Two.", "x")
+	a.With("v").Inc()
+	b.With("v").Inc()
+	if got := a.With("v").Value(); got != 2 {
+		t.Errorf("shared counter = %v, want 2", got)
+	}
+}
+
+func TestRegistrationMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("grefar_clash_total", "Counter.")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering with a different type did not panic")
+		}
+	}()
+	reg.Gauge("grefar_clash_total", "Gauge.")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("grefar_esc", "Esc.", "name").With(`a"b\c` + "\nd").Set(1)
+	out := expose(t, reg)
+	want := `grefar_esc{name="a\"b\\c\nd"} 1` + "\n"
+	if !strings.Contains(out, want) {
+		t.Errorf("exposition missing %q:\n%s", want, out)
+	}
+}
+
+func TestFormatValueSpecials(t *testing.T) {
+	if got := formatValue(math.Inf(1)); got != "+Inf" {
+		t.Errorf("formatValue(+Inf) = %q", got)
+	}
+	if got := formatValue(math.Inf(-1)); got != "-Inf" {
+		t.Errorf("formatValue(-Inf) = %q", got)
+	}
+	if got := formatValue(0.25); got != "0.25" {
+		t.Errorf("formatValue(0.25) = %q", got)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("grefar_conc_total", "Concurrent.", "w")
+	h := reg.Histogram("grefar_conc_hist", "Concurrent.", []float64{10, 100}, "w")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lab := string(rune('a' + w%2))
+			for n := 0; n < 1000; n++ {
+				c.With(lab).Inc()
+				h.With(lab).Observe(float64(n % 150))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.With("a").Value() + c.With("b").Value(); got != 8000 {
+		t.Errorf("total count = %v, want 8000", got)
+	}
+}

@@ -1,0 +1,176 @@
+package grefar
+
+import (
+	"context"
+	"io"
+
+	"grefar/internal/core"
+	"grefar/internal/solve"
+	"grefar/internal/telemetry"
+)
+
+// Option configures a GreFar scheduler built by New. Options apply in order;
+// later options win. The legacy Config struct itself satisfies Option (it
+// replaces the whole configuration), so the pre-options call style
+// grefar.New(cluster, grefar.Config{V: 7.5}) keeps working unchanged.
+type Option interface {
+	ApplyScheduler(*Config)
+}
+
+// SimOption configures a simulation run driven by Simulate. Options apply in
+// order; later options win. The legacy SimOptions struct itself satisfies
+// SimOption, so grefar.Simulate(in, s, grefar.SimOptions{Slots: 2000}) keeps
+// working unchanged.
+type SimOption interface {
+	ApplySim(*SimOptions)
+}
+
+// SchedulerSimOption is accepted by both New and Simulate — observer wiring
+// is meaningful on either side of the control loop.
+type SchedulerSimOption interface {
+	Option
+	SimOption
+}
+
+type optionFunc func(*Config)
+
+func (f optionFunc) ApplyScheduler(cfg *Config) { f(cfg) }
+
+type simOptionFunc func(*SimOptions)
+
+func (f simOptionFunc) ApplySim(o *SimOptions) { f(o) }
+
+// WithV sets the cost-delay parameter V >= 0: larger V weighs the
+// energy-fairness cost more heavily against queue drift, reducing cost at the
+// expense of O(V) queue backlog (Theorem 1).
+func WithV(v float64) Option {
+	return optionFunc(func(cfg *Config) { cfg.V = v })
+}
+
+// WithBeta sets the energy-fairness parameter beta >= 0: 0 ignores fairness
+// entirely; large values prioritize fairness over energy cost.
+func WithBeta(beta float64) Option {
+	return optionFunc(func(cfg *Config) { cfg.Beta = beta })
+}
+
+// WithFairness selects the fairness penalty entering the slot objective
+// (paper footnote 5). NewQuadraticFairness and NewAlphaFairness both build
+// suitable terms. Nil restores the default quadratic penalty.
+func WithFairness(term core.FairnessTerm) Option {
+	return optionFunc(func(cfg *Config) { cfg.Fairness = term })
+}
+
+// WithTariff selects the energy tariff the scheduler optimizes against
+// (paper section III-A2). Nil restores the baseline linear pricing.
+func WithTariff(trf Tariff) Option {
+	return optionFunc(func(cfg *Config) { cfg.Tariff = trf })
+}
+
+// WithRouting selects the routing tie-break rule (core.SplitTies or
+// core.FirstSiteWins).
+func WithRouting(rule core.RoutingRule) Option {
+	return optionFunc(func(cfg *Config) { cfg.Routing = rule })
+}
+
+// WithFrankWolfe tunes the Frank-Wolfe solver used when beta > 0.
+func WithFrankWolfe(opts solve.FWOptions) Option {
+	return optionFunc(func(cfg *Config) { cfg.FW = opts })
+}
+
+// WithSlots sets the simulation horizon t_end (required, > 0).
+func WithSlots(n int) SimOption {
+	return simOptionFunc(func(o *SimOptions) { o.Slots = n })
+}
+
+// WithAdmission installs an admission policy filtering arrivals before they
+// enter the central queues (paper section V). Nil admits everything.
+func WithAdmission(p AdmissionPolicy) SimOption {
+	return simOptionFunc(func(o *SimOptions) { o.Admission = p })
+}
+
+// WithRecordedSeries toggles keeping per-slot prefix-average series for
+// plotting; off, only scalar summaries are produced.
+func WithRecordedSeries(on bool) SimOption {
+	return simOptionFunc(func(o *SimOptions) { o.RecordSeries = on })
+}
+
+// WithActionValidation toggles re-checking every action against the model
+// constraints, failing the run on violation.
+func WithActionValidation(on bool) SimOption {
+	return simOptionFunc(func(o *SimOptions) { o.ValidateActions = on })
+}
+
+// WithContext makes the simulation cancelable: Simulate returns an error
+// wrapping ctx.Err() as soon as cancellation is observed between slots.
+func WithContext(ctx context.Context) SimOption {
+	return simOptionFunc(func(o *SimOptions) { o.Context = ctx })
+}
+
+// observerOption attaches a SlotObserver on either side of the control loop,
+// composing with (never replacing) observers installed by earlier options.
+type observerOption struct {
+	obs telemetry.SlotObserver
+}
+
+func (oo observerOption) ApplyScheduler(cfg *Config) {
+	cfg.Observer = telemetry.Multi(cfg.Observer, oo.obs)
+}
+
+func (oo observerOption) ApplySim(o *SimOptions) {
+	o.Observer = telemetry.Multi(o.Observer, oo.obs)
+}
+
+// WithObserver attaches a slot observer. Passed to New it receives one
+// origin-"decide" event per scheduling decision; passed to Simulate it
+// receives one origin-"sim" event per applied slot. Observers compose:
+// several WithObserver/WithTelemetry options all receive events.
+func WithObserver(obs SlotObserver) SchedulerSimOption {
+	return observerOption{obs: obs}
+}
+
+// WithTelemetry bridges slot events into reg's grefar_* Prometheus metric
+// families (see telemetry.RegistryObserver for the family list). New and
+// Simulate label per-site series with the cluster's data-center names.
+func WithTelemetry(reg *Registry) SchedulerSimOption {
+	return observerOption{obs: telemetry.NewRegistryObserver(reg)}
+}
+
+// dataCenterNames lists the cluster's site names for per-site metric labels.
+func dataCenterNames(c *Cluster) []string {
+	names := make([]string, len(c.DataCenters))
+	for i, dc := range c.DataCenters {
+		names[i] = dc.Name
+	}
+	return names
+}
+
+// Telemetry types (see internal/telemetry for full documentation).
+type (
+	// Registry is a stdlib-only metrics registry with Prometheus text
+	// exposition; it is an http.Handler serving /metrics.
+	Registry = telemetry.Registry
+	// SlotEvent is the structured record one control-loop iteration emits.
+	SlotEvent = telemetry.SlotEvent
+	// SlotObserver receives one SlotEvent per control-loop iteration.
+	SlotObserver = telemetry.SlotObserver
+	// SolveStats describes how a slot's optimization was solved.
+	SolveStats = telemetry.SolveStats
+)
+
+// NewRegistry builds an empty telemetry registry for WithTelemetry.
+func NewRegistry() *Registry {
+	return telemetry.NewRegistry()
+}
+
+// NewJSONLObserver builds an observer writing one JSON object per SlotEvent
+// to w — the offline-analysis twin of the Prometheus exposition. Check its
+// Err method after the run.
+func NewJSONLObserver(w io.Writer) *telemetry.JSONLObserver {
+	return telemetry.NewJSONLObserver(w)
+}
+
+// MultiObserver bundles observers into one, dropping nils; it returns nil
+// when nothing remains so callers keep the fast nil-observer path.
+func MultiObserver(obs ...SlotObserver) SlotObserver {
+	return telemetry.Multi(obs...)
+}
