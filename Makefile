@@ -2,8 +2,9 @@
 # go tooling.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build test tier1 vet race bench clean
+.PHONY: all build test tier1 vet race bench fuzz golden check clean
 
 all: tier1
 
@@ -19,12 +20,32 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# tier1 is the merge gate: compile, vet, and the full test suite under the
-# race detector.
+# tier1 is the merge gate: compile, vet, the full test suite under the race
+# detector, and a short fuzz smoke of both native fuzz targets.
 tier1:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -run '^$$' -fuzz FuzzSimplex -fuzztime $(FUZZTIME) ./internal/lp
+	$(GO) test -run '^$$' -fuzz FuzzApply -fuzztime $(FUZZTIME) ./internal/queue
+
+# fuzz runs the native fuzz targets for FUZZTIME each (default 10s); raise it
+# for a deeper soak, e.g. make fuzz FUZZTIME=5m.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzSimplex -fuzztime $(FUZZTIME) ./internal/lp
+	$(GO) test -run '^$$' -fuzz FuzzApply -fuzztime $(FUZZTIME) ./internal/queue
+
+# golden regenerates the committed golden traces under
+# internal/invariant/testdata/golden after an intentional behavior change.
+# Inspect the diff before committing: every changed line is a behavior change.
+golden:
+	$(GO) test ./internal/invariant -run TestGoldenTraces -update
+
+# check replays the paper's reference experiment with the invariant checker
+# attached: queue dynamics (12)-(13), action feasibility, job conservation,
+# and the drift-plus-penalty objective are re-verified every slot.
+check: build
+	$(GO) run ./cmd/grefar-sim -experiment table1 -check
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

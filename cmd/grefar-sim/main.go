@@ -49,10 +49,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	eventsPath := fs.String("events", "", "optional path for the events experiment's JSONL stream (default stdout)")
 	v := fs.Float64("V", 7.5, "cost-delay parameter for the events experiment")
 	beta := fs.Float64("beta", 100, "energy-fairness parameter for the events experiment")
+	check := fs.Bool("check", false, "verify per-slot invariants (queue dynamics, feasibility, conservation) during every run; fail on the first violation")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := experiments.Config{Seed: *seed, Slots: *slots}
+	cfg := experiments.Config{Seed: *seed, Slots: *slots, Check: *check}
 	if *experiment == "all" {
 		// In the all-experiments sweep the snapshot day must fit whatever
 		// horizon was chosen; explicit single-experiment runs still reject
@@ -449,6 +450,7 @@ func runEvents(ctx context.Context, out io.Writer, cfg experiments.Config, v, be
 		grefar.WithSlots(cfg.Slots),
 		grefar.WithContext(ctx),
 		grefar.WithObserver(jsonl),
+		grefar.WithCheck(cfg.Check),
 	)
 	// Flush even when the run stopped early (cancellation), so the stream
 	// never ends mid-line.

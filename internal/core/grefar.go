@@ -128,7 +128,15 @@ func (g *GreFar) Decide(t int, st *model.State, q queue.Lengths) (*model.Action,
 		return nil, err
 	}
 	if g.cfg.Observer != nil {
-		g.cfg.Observer.ObserveSlot(g.slotEvent(t, st, q, act, stats))
+		ev := g.slotEvent(t, st, q, act, stats)
+		if telemetry.WantsDetail(g.cfg.Observer) {
+			ev.Detail = &telemetry.SlotDetail{
+				State:  st.Clone(),
+				Action: act.Clone(),
+				Pre:    q.Clone(),
+			}
+		}
+		g.cfg.Observer.ObserveSlot(ev)
 	}
 	return act, nil
 }
@@ -266,31 +274,8 @@ func routeBudgetFor(jt model.JobType) int {
 func (g *GreFar) decideProcessing(st *model.State, q queue.Lengths, act *model.Action, stats *telemetry.SolveStats) error {
 	c := g.cluster
 
-	// Per-pair processing caps: physical queue content and h_max.
-	hCap := make([][]float64, c.N())
-	for i := range hCap {
-		hCap[i] = make([]float64, c.J())
-		for j := 0; j < c.J(); j++ {
-			if !c.JobTypes[j].EligibleSet(i) {
-				continue
-			}
-			hCap[i][j] = processBudgetFor(c.JobTypes[j], q.Local[i][j])
-		}
-	}
-
-	// Linear coefficients shared by both paths.
-	cH := make([][]float64, c.N())
-	cB := make([][]float64, c.N())
-	for i := 0; i < c.N(); i++ {
-		cH[i] = make([]float64, c.J())
-		cB[i] = make([]float64, c.K(i))
-		for j := 0; j < c.J(); j++ {
-			cH[i][j] = -q.Local[i][j]
-		}
-		for k, stype := range c.DataCenters[i].Servers {
-			cB[i][k] = g.cfg.V * st.Price[i] * stype.Power
-		}
-	}
+	// Linear coefficients and per-pair processing caps shared by all paths.
+	cH, cB, hCap := SlotCoefficients(c, g.cfg, st, q)
 
 	var process [][]float64
 	switch {
@@ -369,14 +354,7 @@ func (g *GreFar) linearSlot() bool {
 // search; other convex penalties (alpha-fair) use diminishing steps.
 func (g *GreFar) solveQuadraticSlot(st *model.State, cH, cB, hCap [][]float64, stats *telemetry.SolveStats) ([][]float64, error) {
 	c := g.cluster
-	hVars := c.N() * c.J()
-	bOffset := make([]int, c.N())
-	total := hVars
-	for i := 0; i < c.N(); i++ {
-		bOffset[i] = total
-		total += c.K(i)
-	}
-	hIndex := func(i, j int) int { return i*c.J() + j }
+	l := newSlotLayout(c)
 
 	// Non-linear tariffs move the energy cost out of the linear part and
 	// into the convex tariff term.
@@ -385,14 +363,14 @@ func (g *GreFar) solveQuadraticSlot(st *model.State, cH, cB, hCap [][]float64, s
 		_, isLinear := g.cfg.Tariff.(tariff.Linear)
 		nonlinearTariff = !isLinear
 	}
-	linear := make([]float64, total)
+	linear := make([]float64, l.total)
 	for i := 0; i < c.N(); i++ {
 		for j := 0; j < c.J(); j++ {
-			linear[hIndex(i, j)] = cH[i][j]
+			linear[l.hIndex(i, j)] = cH[i][j]
 		}
 		if !nonlinearTariff {
 			for k := 0; k < c.K(i); k++ {
-				linear[bOffset[i]+k] = cB[i][k]
+				linear[l.bOff[i]+k] = cB[i][k]
 			}
 		}
 	}
@@ -402,54 +380,13 @@ func (g *GreFar) solveQuadraticSlot(st *model.State, cH, cB, hCap [][]float64, s
 	}
 	obj := wrapSlotObjective(so)
 
-	gradH := make([][]float64, c.N())
-	gradB := make([][]float64, c.N())
-	for i := range gradH {
-		gradH[i] = make([]float64, c.J())
-		gradB[i] = make([]float64, c.K(i))
-	}
-	oracle := func(grad []float64, out []float64) {
-		for i := 0; i < c.N(); i++ {
-			for j := 0; j < c.J(); j++ {
-				gradH[i][j] = grad[hIndex(i, j)]
-			}
-			for k := 0; k < c.K(i); k++ {
-				v := grad[bOffset[i]+k]
-				if v < 0 {
-					v = 0 // b only enters with non-negative marginal cost; guard roundoff
-				}
-				gradB[i][k] = v
-			}
-		}
-		var pr, bu [][]float64
-		if c.Aux() > 0 {
-			var err error
-			pr, bu, _, err = solveSlotLPGeneral(c, st, gradH, gradB, hCap)
-			if err != nil {
-				return // zero vertex fallback
-			}
-		} else {
-			la, err := solveLinearSlot(c, st, gradH, gradB, hCap)
-			if err != nil {
-				return // unreachable given the clamp; zero vertex fallback
-			}
-			pr, bu = la.process, la.busy
-		}
-		for i := 0; i < c.N(); i++ {
-			for j := 0; j < c.J(); j++ {
-				out[hIndex(i, j)] = pr[i][j]
-			}
-			for k := 0; k < c.K(i); k++ {
-				out[bOffset[i]+k] = bu[i][k]
-			}
-		}
-	}
+	oracle := SlotOracle(c, st, hCap)
 
 	opts := g.cfg.FW
 	if opts.MaxIters <= 0 {
 		opts.MaxIters = 150
 	}
-	res, err := solve.FrankWolfe(obj, solve.LinearOracle(oracle), make([]float64, total), opts)
+	res, err := solve.FrankWolfe(obj, oracle, make([]float64, l.total), opts)
 	if err != nil {
 		return nil, fmt.Errorf("frank-wolfe: %w", err)
 	}
@@ -466,7 +403,7 @@ func (g *GreFar) solveQuadraticSlot(st *model.State, cH, cB, hCap [][]float64, s
 	for i := range process {
 		process[i] = make([]float64, c.J())
 		for j := 0; j < c.J(); j++ {
-			h := res.X[hIndex(i, j)]
+			h := res.X[l.hIndex(i, j)]
 			if h < 0 {
 				h = 0
 			}

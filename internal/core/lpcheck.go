@@ -22,23 +22,7 @@ func SolveSlotLP(c *model.Cluster, cfg Config, st *model.State, q queue.Lengths)
 	if cfg.Beta != 0 {
 		return nil, nil, 0, fmt.Errorf("slot LP handles beta = 0 only, got %v", cfg.Beta)
 	}
-	cH := make([][]float64, c.N())
-	cB := make([][]float64, c.N())
-	hCap := make([][]float64, c.N())
-	for i := 0; i < c.N(); i++ {
-		cH[i] = make([]float64, c.J())
-		cB[i] = make([]float64, c.K(i))
-		hCap[i] = make([]float64, c.J())
-		for j := 0; j < c.J(); j++ {
-			cH[i][j] = -q.Local[i][j]
-			if c.JobTypes[j].EligibleSet(i) {
-				hCap[i][j] = processBudgetFor(c.JobTypes[j], q.Local[i][j])
-			}
-		}
-		for k, stype := range c.DataCenters[i].Servers {
-			cB[i][k] = cfg.V * st.Price[i] * stype.Power
-		}
-	}
+	cH, cB, hCap := SlotCoefficients(c, cfg, st, q)
 	return solveSlotLPGeneral(c, st, cH, cB, hCap)
 }
 
@@ -49,23 +33,7 @@ func SolveSlotGreedy(c *model.Cluster, cfg Config, st *model.State, q queue.Leng
 	if cfg.Beta != 0 {
 		return nil, nil, 0, fmt.Errorf("greedy slot solver handles beta = 0 only, got %v", cfg.Beta)
 	}
-	cH := make([][]float64, c.N())
-	cB := make([][]float64, c.N())
-	hCap := make([][]float64, c.N())
-	for i := 0; i < c.N(); i++ {
-		cH[i] = make([]float64, c.J())
-		cB[i] = make([]float64, c.K(i))
-		hCap[i] = make([]float64, c.J())
-		for j := 0; j < c.J(); j++ {
-			cH[i][j] = -q.Local[i][j]
-			if c.JobTypes[j].EligibleSet(i) {
-				hCap[i][j] = processBudgetFor(c.JobTypes[j], q.Local[i][j])
-			}
-		}
-		for k, stype := range c.DataCenters[i].Servers {
-			cB[i][k] = cfg.V * st.Price[i] * stype.Power
-		}
-	}
+	cH, cB, hCap := SlotCoefficients(c, cfg, st, q)
 	la, err := solveLinearSlot(c, st, cH, cB, hCap)
 	if err != nil {
 		return nil, nil, 0, err
@@ -80,17 +48,11 @@ func SolveSlotGreedy(c *model.Cluster, cfg Config, st *model.State, q queue.Leng
 // greedy does not apply) and the Frank-Wolfe linear oracle for such
 // clusters.
 func solveSlotLPGeneral(c *model.Cluster, st *model.State, cH, cB, hCap [][]float64) (process, busy [][]float64, objective float64, err error) {
-	nH := c.N() * c.J()
-	bOffset := make([]int, c.N())
-	total := nH
-	for i := 0; i < c.N(); i++ {
-		bOffset[i] = total
-		total += c.K(i)
-	}
-	hIndex := func(i, j int) int { return i*c.J() + j }
+	l := newSlotLayout(c)
+	hIndex, bOffset := l.hIndex, l.bOff
 
-	prob := lp.NewProblem(total)
-	costs := make([]float64, total)
+	prob := lp.NewProblem(l.total)
+	costs := make([]float64, l.total)
 	for i := 0; i < c.N(); i++ {
 		for j := 0; j < c.J(); j++ {
 			costs[hIndex(i, j)] = cH[i][j]

@@ -1,0 +1,151 @@
+package core_test
+
+// Metamorphic tests: instead of asserting absolute outputs, these pin down
+// how the scheduler must transform under input transformations with known
+// consequences — price scaling, the (V, phi) <-> (cV, phi/c) equivalence of
+// the drift-plus-penalty objective, and the Theorem 1 cost/backlog tradeoff
+// in V.
+
+import (
+	"math"
+	"testing"
+
+	"grefar/internal/core"
+	"grefar/internal/price"
+	"grefar/internal/sched"
+	"grefar/internal/sim"
+)
+
+// scaledSource multiplies an underlying price source by a constant factor.
+type scaledSource struct {
+	src price.Source
+	c   float64
+}
+
+func (s scaledSource) At(t int) float64 { return s.c * s.src.At(t) }
+
+func scaleInputPrices(in sim.Inputs, c float64) sim.Inputs {
+	scaled := make([]price.Source, len(in.Prices))
+	for i, p := range in.Prices {
+		scaled[i] = scaledSource{src: p, c: c}
+	}
+	in.Prices = scaled
+	return in
+}
+
+func referenceInputs(t *testing.T, slots int) sim.Inputs {
+	t.Helper()
+	in, err := sim.NewReferenceInputs(404, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestPriceScalingScalesEnergyCost: a price-blind policy makes identical
+// decisions whatever the tariff, so doubling every electricity price must
+// double its energy bill exactly — doubling is exact in IEEE-754, so the
+// comparison needs no tolerance.
+func TestPriceScalingScalesEnergyCost(t *testing.T) {
+	const slots = 24 * 20
+	const factor = 2
+	in := referenceInputs(t, slots)
+
+	a, err := sched.NewAlways(in.Cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := sim.Options{Slots: slots, ValidateActions: true, Check: true}
+	base, err := sim.Run(in, a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := sim.Run(scaleInputPrices(in, factor), a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.AvgEnergy != factor*base.AvgEnergy {
+		t.Errorf("doubled prices: energy %v, want exactly %v", scaled.AvgEnergy, factor*base.AvgEnergy)
+	}
+	if scaled.TotalProcessed != base.TotalProcessed || scaled.MaxQueue != base.MaxQueue {
+		t.Error("price-blind policy changed its decisions under scaled prices")
+	}
+}
+
+// TestVPriceScalingEquivalence: GreFar's slot objective weighs energy as
+// V * phi(t) * p. Running at (V, c*phi) and at (c*V, phi) therefore produces
+// bit-identical coefficients — hence identical decisions and backlog — while
+// the billed energy differs by exactly the factor c.
+func TestVPriceScalingEquivalence(t *testing.T) {
+	const slots = 24 * 20
+	const factor = 2
+	in := referenceInputs(t, slots)
+	opt := sim.Options{Slots: slots, ValidateActions: true, Check: true}
+
+	gHi, err := core.New(in.Cluster, core.Config{V: 7.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaledPrices, err := sim.Run(scaleInputPrices(in, factor), gHi, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gScaledV, err := core.New(in.Cluster, core.Config{V: factor * 7.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaledV, err := sim.Run(in, gScaledV, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if scaledPrices.TotalProcessed != scaledV.TotalProcessed ||
+		scaledPrices.MaxQueue != scaledV.MaxQueue ||
+		scaledPrices.AvgQueue != scaledV.AvgQueue ||
+		scaledPrices.FinalBacklog != scaledV.FinalBacklog {
+		t.Errorf("(V, c*phi) and (c*V, phi) diverged: backlog (%v, %v, %v) vs (%v, %v, %v)",
+			scaledPrices.MaxQueue, scaledPrices.AvgQueue, scaledPrices.FinalBacklog,
+			scaledV.MaxQueue, scaledV.AvgQueue, scaledV.FinalBacklog)
+	}
+	// Same busy-server trajectory billed under prices scaled by c.
+	if scaledPrices.AvgEnergy != factor*scaledV.AvgEnergy {
+		t.Errorf("energy under scaled prices %v, want exactly %v", scaledPrices.AvgEnergy, factor*scaledV.AvgEnergy)
+	}
+}
+
+// TestLargerVNeverDecreasesBacklog: Theorem 1 trades queue backlog O(V)
+// against cost gap O(1/V). Along a V ladder on the reference workload the
+// time-average backlog must be nondecreasing and the average energy cost
+// nonincreasing (tiny tie tolerance; the trend, not the magnitude, is the
+// invariant).
+func TestLargerVNeverDecreasesBacklog(t *testing.T) {
+	const slots = 24 * 30
+	in := referenceInputs(t, slots)
+	opt := sim.Options{Slots: slots, ValidateActions: true, Check: true}
+
+	vs := []float64{0.5, 2.5, 7.5, 20}
+	backlog := make([]float64, len(vs))
+	energy := make([]float64, len(vs))
+	for k, v := range vs {
+		g, err := core.New(in.Cluster, core.Config{V: v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := sim.Run(in, g, opt)
+		if err != nil {
+			t.Fatalf("V=%g: %v", v, err)
+		}
+		backlog[k] = r.AvgQueue
+		energy[k] = r.AvgEnergy
+	}
+	for k := 1; k < len(vs); k++ {
+		tieTol := 1e-9 * (1 + math.Abs(backlog[k-1]))
+		if backlog[k] < backlog[k-1]-tieTol {
+			t.Errorf("V=%g -> %g: avg backlog dropped %v -> %v", vs[k-1], vs[k], backlog[k-1], backlog[k])
+		}
+		if energy[k] > energy[k-1]+1e-9*(1+math.Abs(energy[k-1])) {
+			t.Errorf("V=%g -> %g: avg energy rose %v -> %v", vs[k-1], vs[k], energy[k-1], energy[k])
+		}
+	}
+	t.Logf("V ladder %v: backlog %v, energy %v", vs, backlog, energy)
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"grefar/internal/model"
+	"grefar/internal/queue"
+	"grefar/internal/solve"
+)
+
+// slotLayout maps the processing decision variables of one slot onto the
+// flat vector the convex solvers operate on: the N*J processing variables
+// h_{i,j} first, then each data center's busy-server variables b_{i,k}.
+type slotLayout struct {
+	nJ    int   // job types per site (stride of the h block)
+	bOff  []int // bOff[i] is the first b index of data center i
+	total int   // total variable count
+}
+
+func newSlotLayout(c *model.Cluster) slotLayout {
+	l := slotLayout{nJ: c.J(), bOff: make([]int, c.N()), total: c.N() * c.J()}
+	for i := 0; i < c.N(); i++ {
+		l.bOff[i] = l.total
+		l.total += c.K(i)
+	}
+	return l
+}
+
+func (l slotLayout) hIndex(i, j int) int { return i*l.nJ + j }
+
+// SlotCoefficients assembles the linear data of the per-slot processing
+// subproblem of (14) for the given backlogs and state:
+//
+//	cH[i][j]   = -q_{i,j}            (reward for processing)
+//	cB[i][k]   = V * phi_i * p_k     (energy cost of a busy server)
+//	hCap[i][j] = min(q_{i,j}, h_max) on eligible sites, 0 elsewhere
+//
+// Every beta = 0 slot solver in this package (the greedy exchange, the
+// simplex LP) minimizes exactly cH.h + cB.b over the scheduling polytope;
+// the invariant package's differential harness uses the same coefficients to
+// cross-run the iterative solvers on identical inputs.
+func SlotCoefficients(c *model.Cluster, cfg Config, st *model.State, q queue.Lengths) (cH, cB, hCap [][]float64) {
+	cH = make([][]float64, c.N())
+	cB = make([][]float64, c.N())
+	hCap = make([][]float64, c.N())
+	for i := 0; i < c.N(); i++ {
+		cH[i] = make([]float64, c.J())
+		cB[i] = make([]float64, c.K(i))
+		hCap[i] = make([]float64, c.J())
+		for j := 0; j < c.J(); j++ {
+			cH[i][j] = -q.Local[i][j]
+			if c.JobTypes[j].EligibleSet(i) {
+				hCap[i][j] = processBudgetFor(c.JobTypes[j], q.Local[i][j])
+			}
+		}
+		for k, stype := range c.DataCenters[i].Servers {
+			cB[i][k] = cfg.V * st.Price[i] * stype.Power
+		}
+	}
+	return cH, cB, hCap
+}
+
+// SlotOracle returns the linear-minimization oracle of the slot scheduling
+// polytope (paper eq. 11 plus the per-pair bounds hCap and availability):
+// given a gradient over the concatenated (h, b) variables in slotLayout
+// order, it writes a vertex minimizing grad.v. The Frank-Wolfe path of the
+// scheduler and the differential solver cross-checks share this oracle, so a
+// disagreement between them isolates the iterative machinery rather than the
+// feasible set.
+func SlotOracle(c *model.Cluster, st *model.State, hCap [][]float64) solve.LinearOracle {
+	l := newSlotLayout(c)
+	gradH := make([][]float64, c.N())
+	gradB := make([][]float64, c.N())
+	for i := range gradH {
+		gradH[i] = make([]float64, c.J())
+		gradB[i] = make([]float64, c.K(i))
+	}
+	return func(grad []float64, out []float64) {
+		for i := 0; i < c.N(); i++ {
+			for j := 0; j < c.J(); j++ {
+				gradH[i][j] = grad[l.hIndex(i, j)]
+			}
+			for k := 0; k < c.K(i); k++ {
+				v := grad[l.bOff[i]+k]
+				if v < 0 {
+					v = 0 // b only enters with non-negative marginal cost; guard roundoff
+				}
+				gradB[i][k] = v
+			}
+		}
+		var pr, bu [][]float64
+		if c.Aux() > 0 {
+			var err error
+			pr, bu, _, err = solveSlotLPGeneral(c, st, gradH, gradB, hCap)
+			if err != nil {
+				return // zero vertex fallback
+			}
+		} else {
+			la, err := solveLinearSlot(c, st, gradH, gradB, hCap)
+			if err != nil {
+				return // unreachable given the clamp; zero vertex fallback
+			}
+			pr, bu = la.process, la.busy
+		}
+		for i := 0; i < c.N(); i++ {
+			for j := 0; j < c.J(); j++ {
+				out[l.hIndex(i, j)] = pr[i][j]
+			}
+			for k := 0; k < c.K(i); k++ {
+				out[l.bOff[i]+k] = bu[i][k]
+			}
+		}
+	}
+}

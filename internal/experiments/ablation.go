@@ -204,7 +204,7 @@ func AblationRoutingTieBreak(cfg Config) (*RoutingTieBreakResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := sim.Run(in, g, sim.Options{Slots: cfg.Slots, ValidateActions: true})
+		r, err := sim.Run(in, g, cfg.simOptions(false))
 		if err != nil {
 			return nil, err
 		}
@@ -230,7 +230,7 @@ func WorkShare(cfg Config) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	r, err := sim.Run(in, g, sim.Options{Slots: cfg.Slots, ValidateActions: true})
+	r, err := sim.Run(in, g, cfg.simOptions(false))
 	if err != nil {
 		return nil, err
 	}

@@ -24,6 +24,11 @@ type Config struct {
 	// Slots is the simulation horizon in hours (default 2000, matching the
 	// paper's 2000-hour plots).
 	Slots int
+	// Check attaches the invariant checker to every run: each slot's queue
+	// dynamics, feasibility, and conservation are re-verified and the run
+	// fails on the first violation. Off by default — it roughly doubles the
+	// per-slot bookkeeping.
+	Check bool
 }
 
 func (c Config) withDefaults() Config {
@@ -34,6 +39,12 @@ func (c Config) withDefaults() Config {
 		c.Slots = 2000
 	}
 	return c
+}
+
+// simOptions builds the sim.Options every experiment run shares, threading
+// the Check flag through so one -check on the CLI covers the whole suite.
+func (c Config) simOptions(recordSeries bool) sim.Options {
+	return sim.Options{Slots: c.Slots, RecordSeries: recordSeries, ValidateActions: true, Check: c.Check}
 }
 
 func (c Config) inputs() (sim.Inputs, error) {
@@ -154,7 +165,7 @@ func Fig2(cfg Config) (*Fig2Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := sim.Run(in, g, sim.Options{Slots: cfg.Slots, RecordSeries: true, ValidateActions: true})
+		r, err := sim.Run(in, g, cfg.simOptions(true))
 		if err != nil {
 			return nil, fmt.Errorf("V=%g: %w", v, err)
 		}
@@ -193,7 +204,7 @@ func Fig3(cfg Config) (*Fig3Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := sim.Run(in, g, sim.Options{Slots: cfg.Slots, RecordSeries: true, ValidateActions: true})
+		r, err := sim.Run(in, g, cfg.simOptions(true))
 		if err != nil {
 			return nil, fmt.Errorf("beta=%g: %w", beta, err)
 		}
@@ -244,7 +255,7 @@ func Fig4(cfg Config) (*Fig4Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := sim.Run(in, s, sim.Options{Slots: cfg.Slots, RecordSeries: true, ValidateActions: true})
+		r, err := sim.Run(in, s, cfg.simOptions(true))
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", s.Name(), err)
 		}
@@ -297,7 +308,7 @@ func Fig5(cfg Config, day int) (*Fig5Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return sim.Run(in, sc, sim.Options{Slots: cfg.Slots, RecordSeries: true, ValidateActions: true})
+		return sim.Run(in, sc, cfg.simOptions(true))
 	}
 	rg, err := run(func(c *model.Cluster) (sched.Scheduler, error) {
 		return core.New(c, core.Config{V: 7.5})
@@ -377,7 +388,7 @@ func DelayTails(cfg Config) (*DelayTailsResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := sim.Run(in, g, sim.Options{Slots: cfg.Slots, ValidateActions: true})
+		r, err := sim.Run(in, g, cfg.simOptions(false))
 		if err != nil {
 			return nil, fmt.Errorf("V=%g: %w", v, err)
 		}
@@ -435,7 +446,7 @@ func ThreeWay(cfg Config, v float64) (*ThreeWayResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := sim.Run(in, s, sim.Options{Slots: cfg.Slots, ValidateActions: true})
+		r, err := sim.Run(in, s, cfg.simOptions(false))
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", s.Name(), err)
 		}
@@ -492,7 +503,7 @@ func MPCComparison(cfg Config, window int) (*MPCResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	rm, err := sim.Run(in, mpc, sim.Options{Slots: cfg.Slots, ValidateActions: true})
+	rm, err := sim.Run(in, mpc, cfg.simOptions(false))
 	if err != nil {
 		return nil, fmt.Errorf("mpc: %w", err)
 	}
@@ -505,7 +516,7 @@ func MPCComparison(cfg Config, window int) (*MPCResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	rg, err := sim.Run(in2, g, sim.Options{Slots: cfg.Slots, ValidateActions: true})
+	rg, err := sim.Run(in2, g, cfg.simOptions(false))
 	if err != nil {
 		return nil, fmt.Errorf("grefar: %w", err)
 	}
@@ -518,7 +529,7 @@ func MPCComparison(cfg Config, window int) (*MPCResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	ra, err := sim.Run(in3, al, sim.Options{Slots: cfg.Slots, ValidateActions: true})
+	ra, err := sim.Run(in3, al, cfg.simOptions(false))
 	if err != nil {
 		return nil, fmt.Errorf("always: %w", err)
 	}

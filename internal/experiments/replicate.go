@@ -58,7 +58,7 @@ func Robustness(cfg Config, seeds []int64) (*RobustnessResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		rg, err := sim.Run(in, g, sim.Options{Slots: cfg.Slots, ValidateActions: true})
+		rg, err := sim.Run(in, g, cfg.simOptions(false))
 		if err != nil {
 			return nil, fmt.Errorf("seed %d grefar: %w", seed, err)
 		}
@@ -67,7 +67,7 @@ func Robustness(cfg Config, seeds []int64) (*RobustnessResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		ra, err := sim.Run(in2, a, sim.Options{Slots: cfg.Slots, ValidateActions: true})
+		ra, err := sim.Run(in2, a, cfg.simOptions(false))
 		if err != nil {
 			return nil, fmt.Errorf("seed %d always: %w", seed, err)
 		}

@@ -63,7 +63,7 @@ func Theorem1(cfg Config, vs []float64, frameT int) (*Theorem1Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := sim.Run(in, g, sim.Options{Slots: slots, ValidateActions: true})
+		r, err := sim.Run(in, g, cfg.simOptions(false))
 		if err != nil {
 			return nil, fmt.Errorf("V=%g: %w", v, err)
 		}

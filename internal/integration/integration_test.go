@@ -97,11 +97,11 @@ func TestHeterogeneousFleetEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rg, err := sim.Run(in, g, sim.Options{Slots: slots, ValidateActions: true})
+	rg, err := sim.Run(in, g, sim.Options{Slots: slots, ValidateActions: true, Check: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ra, err := sim.Run(in, a, sim.Options{Slots: slots, ValidateActions: true})
+	ra, err := sim.Run(in, a, sim.Options{Slots: slots, ValidateActions: true, Check: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestHeterogeneousGreedyMatchesLPOverTrajectory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sim.Run(in, g, sim.Options{Slots: slots, ValidateActions: true})
+	res, err := sim.Run(in, g, sim.Options{Slots: slots, ValidateActions: true, Check: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,6 +224,7 @@ func TestEverythingEnabledAtOnce(t *testing.T) {
 	res, err := sim.Run(in, g, sim.Options{
 		Slots:           slots,
 		ValidateActions: true,
+		Check:           true,
 		Admission:       adm,
 	})
 	if err != nil {
@@ -264,7 +265,7 @@ func TestBaselinesRespectAuxResources(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, s := range []sched.Scheduler{al, lg} {
-		res, err := sim.Run(in, s, sim.Options{Slots: slots, ValidateActions: true})
+		res, err := sim.Run(in, s, sim.Options{Slots: slots, ValidateActions: true, Check: true})
 		if err != nil {
 			t.Fatalf("%s on aux cluster: %v", s.Name(), err)
 		}

@@ -1,0 +1,492 @@
+// Package invariant is the runtime verification harness for the GreFar
+// reproduction. It re-derives, from first principles and independently of the
+// scheduler and simulator code paths, every property the paper's model
+// guarantees per slot — queue dynamics (12)-(13), action feasibility under
+// the revealed state x(t), end-to-end job conservation, and the
+// drift-plus-penalty decomposition of (14) — and reports any slot where the
+// running system disagrees with the model.
+//
+// The package has three entry points:
+//
+//   - Checker is a telemetry.SlotObserver that validates every slot of a live
+//     run; sim.Run wires it behind Options.Check.
+//   - CrossCheckSolvers is the differential engine: it runs the four beta = 0
+//     slot solvers (greedy exchange, simplex LP, Frank-Wolfe,
+//     projected gradient) on identical inputs and fails when their objective
+//     values disagree beyond tolerance.
+//   - TraceRecorder captures slot-event streams for the golden-trace
+//     regression tests under testdata/golden.
+package invariant
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"grefar/internal/model"
+	"grefar/internal/queue"
+	"grefar/internal/tariff"
+	"grefar/internal/telemetry"
+)
+
+// ErrViolation is the sentinel wrapped by every failure this package reports,
+// so callers can classify checker and differential outcomes with errors.Is.
+var ErrViolation = errors.New("invariant: violation")
+
+// Violation is one detected disagreement between the running system and the
+// paper's model.
+type Violation struct {
+	// Slot is the time slot t the violating event belongs to.
+	Slot int
+	// Origin is the telemetry origin of the event ("decide", "sim", ...).
+	Origin string
+	// Rule names the invariant that failed, e.g. "queue-dynamics-central".
+	Rule string
+	// Detail is a human-readable account of the disagreement.
+	Detail string
+}
+
+// String renders the violation for error messages.
+func (v Violation) String() string {
+	return fmt.Sprintf("slot %d [%s] %s: %s", v.Slot, v.Origin, v.Rule, v.Detail)
+}
+
+// ObjectiveSpec enables the decide-side objective recomputation: with the
+// scheduler's knobs known, the checker independently re-derives the V*g(t)
+// penalty of each decision and compares it against the emitted decomposition.
+// The recomputation assumes the paper's quadratic fairness function (eq. 3);
+// schedulers running other fairness terms should leave the spec nil, which
+// still verifies the drift term and the Objective = Drift + Penalty identity.
+type ObjectiveSpec struct {
+	// V and Beta are the scheduler's control knobs.
+	V, Beta float64
+	// Weights are the account target shares gamma_m. Nil selects the
+	// cluster's account weights.
+	Weights []float64
+	// Tariff is the energy tariff the scheduler optimizes against (nil means
+	// the paper's baseline linear pricing).
+	Tariff tariff.Tariff
+}
+
+// CheckerOptions tune a Checker. The zero value checks everything that does
+// not require scheduler configuration.
+type CheckerOptions struct {
+	// Tol is the numeric comparison tolerance (default 1e-6). Comparisons are
+	// relative: a and b agree when |a-b| <= Tol * (1 + max(|a|, |b|)).
+	Tol float64
+	// Objective, when non-nil, additionally verifies the decide-side penalty
+	// term against an independent recomputation.
+	Objective *ObjectiveSpec
+	// MaxViolations caps how many violations are recorded in full before the
+	// checker only counts (default 32).
+	MaxViolations int
+}
+
+// Checker validates every observed slot against the paper's model. It
+// implements telemetry.SlotObserver and telemetry.DetailObserver: emitters
+// attach the full slot evidence (state, action, queue snapshots, realized
+// flows) so the checker can recompute each transition independently.
+//
+// A Checker is safe for concurrent use, but the cross-slot checks
+// (continuity, conservation) assume the slots of one run arrive in order from
+// a single control loop.
+type Checker struct {
+	cluster *model.Cluster
+	opts    CheckerOptions
+
+	mu         sync.Mutex
+	violations []Violation
+	count      int
+	slots      int
+
+	// Sim-origin trajectory bookkeeping.
+	lastPost  *queue.Lengths // post-slot snapshot of the previous sim event
+	arrived   float64        // cumulative admitted jobs
+	processed float64        // cumulative actually-processed jobs
+}
+
+var _ telemetry.DetailObserver = (*Checker)(nil)
+
+// NewChecker builds a checker for the cluster.
+func NewChecker(c *model.Cluster, opts CheckerOptions) *Checker {
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-6
+	}
+	if opts.MaxViolations <= 0 {
+		opts.MaxViolations = 32
+	}
+	return &Checker{cluster: c, opts: opts}
+}
+
+// WantsSlotDetail implements telemetry.DetailObserver: the checker always
+// needs the full slot evidence.
+func (ck *Checker) WantsSlotDetail() bool { return true }
+
+// ObserveSlot implements telemetry.SlotObserver.
+func (ck *Checker) ObserveSlot(ev telemetry.SlotEvent) {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	switch ev.Origin {
+	case telemetry.OriginSim, telemetry.OriginController:
+		ck.slots++
+		ck.checkApplied(ev)
+	case telemetry.OriginDecide:
+		ck.checkDecision(ev)
+	default:
+		// Agent-scope events carry a single site's view; the cluster-wide
+		// invariants do not apply.
+	}
+}
+
+// Violations returns a copy of the recorded violations (capped at
+// MaxViolations; Count reports the true total).
+func (ck *Checker) Violations() []Violation {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	return append([]Violation(nil), ck.violations...)
+}
+
+// Count returns the total number of violations detected, including any beyond
+// the recording cap.
+func (ck *Checker) Count() int {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	return ck.count
+}
+
+// Slots returns the number of applied (sim-origin) slots checked.
+func (ck *Checker) Slots() int {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	return ck.slots
+}
+
+// Err returns nil when every checked slot satisfied the model, or an error
+// wrapping ErrViolation describing the first violation and the total count.
+func (ck *Checker) Err() error {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	if ck.count == 0 {
+		return nil
+	}
+	return fmt.Errorf("%w: %s (%d total)", ErrViolation, ck.violations[0], ck.count)
+}
+
+func (ck *Checker) report(ev telemetry.SlotEvent, rule, format string, args ...any) {
+	ck.count++
+	if len(ck.violations) < ck.opts.MaxViolations {
+		ck.violations = append(ck.violations, Violation{
+			Slot:   ev.Slot,
+			Origin: ev.Origin,
+			Rule:   rule,
+			Detail: fmt.Sprintf(format, args...),
+		})
+	}
+}
+
+// close reports whether a and b agree within the relative tolerance.
+func (ck *Checker) close(a, b float64) bool {
+	return math.Abs(a-b) <= ck.opts.Tol*(1+math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// checkApplied verifies one applied slot: the evidence must reproduce the
+// paper's queue dynamics exactly, the action must be feasible under the
+// revealed state, and the cumulative flows must conserve jobs.
+func (ck *Checker) checkApplied(ev telemetry.SlotEvent) {
+	d := ev.Detail
+	if d == nil {
+		ck.report(ev, "missing-detail", "applied slot carries no evidence; emitter ignored WantsSlotDetail")
+		return
+	}
+	if d.State == nil || d.Action == nil {
+		ck.report(ev, "missing-detail", "slot evidence lacks state or action")
+		return
+	}
+	c := ck.cluster
+	tol := ck.opts.Tol
+
+	// The conservation ledger counts jobs from the first observed slot on;
+	// backlog already queued then is treated as having arrived earlier.
+	if ck.lastPost == nil {
+		ck.arrived += d.Pre.Sum()
+	}
+
+	// Trajectory continuity: nothing may touch the queues between the end of
+	// slot t-1 and the decision of slot t.
+	if ck.lastPost != nil {
+		for j := range d.Pre.Central {
+			if !ck.close(d.Pre.Central[j], ck.lastPost.Central[j]) {
+				ck.report(ev, "continuity-central", "Q_%d(t)=%v but previous slot ended at %v", j, d.Pre.Central[j], ck.lastPost.Central[j])
+			}
+		}
+		for i := range d.Pre.Local {
+			for j := range d.Pre.Local[i] {
+				if !ck.close(d.Pre.Local[i][j], ck.lastPost.Local[i][j]) {
+					ck.report(ev, "continuity-local", "q_{%d,%d}(t)=%v but previous slot ended at %v", i, j, d.Pre.Local[i][j], ck.lastPost.Local[i][j])
+				}
+			}
+		}
+	}
+
+	ck.checkFeasible(ev, d.State, d.Action, d.Pre)
+
+	// Realized flows: processing pops exactly min(h, q) from each local
+	// ledger; routing consumes the central content in data-center order.
+	for i := 0; i < c.N(); i++ {
+		for j := 0; j < c.J(); j++ {
+			want := math.Min(d.Action.Process[i][j], d.Pre.Local[i][j])
+			if want < 0 {
+				want = 0
+			}
+			if !ck.close(d.Processed[i][j], want) {
+				ck.report(ev, "flow-processed", "processed[%d][%d]=%v, want min(h=%v, q=%v)=%v",
+					i, j, d.Processed[i][j], d.Action.Process[i][j], d.Pre.Local[i][j], want)
+			}
+		}
+	}
+	for j := 0; j < c.J(); j++ {
+		remaining := d.Pre.Central[j]
+		for i := 0; i < c.N(); i++ {
+			want := math.Min(float64(d.Action.Route[i][j]), math.Max(remaining, 0))
+			remaining -= want
+			if !ck.close(d.Routed[i][j], want) {
+				ck.report(ev, "flow-routed", "routed[%d][%d]=%v, want %v (nominal %d, central content consumed in DC order)",
+					i, j, d.Routed[i][j], want, d.Action.Route[i][j])
+			}
+		}
+	}
+
+	// Queue dynamics. The central queue follows (12) exactly: routing is
+	// capped at content, so Q(t+1) = max[Q - sum_i r, 0] + a. The local
+	// ledgers process before routing, so q(t+1) = max[q - h, 0] + routed,
+	// which the clipped paper form (13) dominates.
+	if len(d.Arrivals) != c.J() {
+		ck.report(ev, "missing-detail", "slot evidence has %d arrival counts, want %d", len(d.Arrivals), c.J())
+		return
+	}
+	var slotArrived, slotProcessed float64
+	for j := 0; j < c.J(); j++ {
+		var nominal, actual float64
+		for i := 0; i < c.N(); i++ {
+			nominal += float64(d.Action.Route[i][j])
+			actual += d.Routed[i][j]
+		}
+		a := float64(d.Arrivals[j])
+		slotArrived += a
+		wantExact := d.Pre.Central[j] - actual + a
+		if !ck.close(d.Post.Central[j], wantExact) {
+			ck.report(ev, "queue-dynamics-central", "Q_%d(t+1)=%v, want Q - routed + a = %v", j, d.Post.Central[j], wantExact)
+		}
+		wantPaper := math.Max(d.Pre.Central[j]-nominal, 0) + a
+		if !ck.close(d.Post.Central[j], wantPaper) {
+			ck.report(ev, "queue-dynamics-central-12", "Q_%d(t+1)=%v, want max[Q - sum_i r, 0] + a = %v (eq. 12)", j, d.Post.Central[j], wantPaper)
+		}
+		if d.Post.Central[j] < -tol {
+			ck.report(ev, "nonnegativity-central", "Q_%d(t+1)=%v is negative", j, d.Post.Central[j])
+		}
+	}
+	for i := 0; i < c.N(); i++ {
+		for j := 0; j < c.J(); j++ {
+			slotProcessed += d.Processed[i][j]
+			wantExact := d.Pre.Local[i][j] - d.Processed[i][j] + d.Routed[i][j]
+			if !ck.close(d.Post.Local[i][j], wantExact) {
+				ck.report(ev, "queue-dynamics-local", "q_{%d,%d}(t+1)=%v, want q - processed + routed = %v", i, j, d.Post.Local[i][j], wantExact)
+			}
+			// The clipped virtual dynamics (13) with nominal decisions bound
+			// the physical ledger from above: capping never adds backlog.
+			paper := math.Max(d.Pre.Local[i][j]-d.Action.Process[i][j], 0) + float64(d.Action.Route[i][j])
+			if d.Post.Local[i][j] > paper+tol*(1+paper) {
+				ck.report(ev, "virtual-dominance", "q_{%d,%d}(t+1)=%v exceeds the clipped eq. 13 value %v", i, j, d.Post.Local[i][j], paper)
+			}
+			if d.Post.Local[i][j] < -tol {
+				ck.report(ev, "nonnegativity-local", "q_{%d,%d}(t+1)=%v is negative", i, j, d.Post.Local[i][j])
+			}
+		}
+	}
+
+	// Job conservation: every admitted job is queued somewhere until it is
+	// processed. The ledgers and the Lengths snapshot must tell one story.
+	ck.arrived += slotArrived
+	ck.processed += slotProcessed
+	if backlog := d.Post.Sum(); !ck.closeAt(ck.arrived-ck.processed, backlog, ck.arrived) {
+		ck.report(ev, "conservation", "cumulative arrived %v - processed %v = %v, but total backlog is %v",
+			ck.arrived, ck.processed, ck.arrived-ck.processed, backlog)
+	}
+
+	// The public event fields must agree with the evidence they summarize.
+	if !ck.close(ev.Processed, slotProcessed) {
+		ck.report(ev, "event-processed", "event reports %v processed, evidence sums to %v", ev.Processed, slotProcessed)
+	}
+	if !ck.close(ev.TotalBacklog, d.Post.Sum()) {
+		ck.report(ev, "event-backlog", "event reports total backlog %v, snapshot sums to %v", ev.TotalBacklog, d.Post.Sum())
+	}
+
+	post := d.Post.Clone()
+	ck.lastPost = &post
+}
+
+// closeAt is close with the tolerance scaled to a magnitude, for cumulative
+// quantities whose rounding error grows with the run.
+func (ck *Checker) closeAt(a, b, scale float64) bool {
+	return math.Abs(a-b) <= ck.opts.Tol*(1+math.Abs(scale))
+}
+
+// checkDecision verifies one scheduling decision: feasibility against the
+// revealed state and the drift-plus-penalty decomposition of (14).
+func (ck *Checker) checkDecision(ev telemetry.SlotEvent) {
+	d := ev.Detail
+	if d == nil {
+		ck.report(ev, "missing-detail", "decide slot carries no evidence; emitter ignored WantsSlotDetail")
+		return
+	}
+	if d.State == nil || d.Action == nil {
+		ck.report(ev, "missing-detail", "slot evidence lacks state or action")
+		return
+	}
+	c := ck.cluster
+	ck.checkFeasible(ev, d.State, d.Action, d.Pre)
+
+	// Objective = Drift + Penalty is the definition of (14)'s decomposition.
+	if !ck.close(ev.Objective, ev.Drift+ev.Penalty) {
+		ck.report(ev, "objective-decomposition", "objective %v != drift %v + penalty %v", ev.Objective, ev.Drift, ev.Penalty)
+	}
+
+	// Independent drift recomputation from the pre-decision backlogs:
+	// sum_j sum_{i in D_j} [q_{i,j}(r - h) - Q_j r].
+	var drift float64
+	for j := 0; j < c.J(); j++ {
+		for _, i := range c.JobTypes[j].Eligible {
+			r := float64(d.Action.Route[i][j])
+			drift += d.Pre.Local[i][j]*(r-d.Action.Process[i][j]) - d.Pre.Central[j]*r
+		}
+	}
+	if !ck.close(ev.Drift, drift) {
+		ck.report(ev, "drift-recompute", "event drift %v, independent recomputation %v", ev.Drift, drift)
+	}
+
+	if spec := ck.opts.Objective; spec != nil {
+		energy := ck.billedEnergy(d.State, d.Action, spec.Tariff)
+		if !ck.close(ev.Energy, energy) {
+			ck.report(ev, "energy-recompute", "event energy %v, independent recomputation %v", ev.Energy, energy)
+		}
+		penalty := spec.V * (energy + spec.Beta*ck.fairnessPenalty(d.State, d.Action, spec.Weights))
+		if !ck.close(ev.Penalty, penalty) {
+			ck.report(ev, "penalty-recompute", "event penalty %v, independent recomputation %v", ev.Penalty, penalty)
+		}
+	}
+}
+
+// checkFeasible re-derives action feasibility from the cluster description
+// and the revealed state, independently of model.Action.Validate: routing,
+// processing, and busy-server decisions must respect eligibility, per-slot
+// bounds, availability, capacity coupling (eq. 11), auxiliary capacities, and
+// processing must never exceed the backlog plus same-slot routing.
+func (ck *Checker) checkFeasible(ev telemetry.SlotEvent, st *model.State, act *model.Action, pre queue.Lengths) {
+	c := ck.cluster
+	tol := ck.opts.Tol
+	if len(act.Route) != c.N() || len(act.Process) != c.N() || len(act.Busy) != c.N() {
+		ck.report(ev, "feasibility-shape", "action shaped for %d data centers, cluster has %d", len(act.Route), c.N())
+		return
+	}
+	for i := 0; i < c.N(); i++ {
+		var work, provided float64
+		for j := 0; j < c.J(); j++ {
+			jt := c.JobTypes[j]
+			r, h := float64(act.Route[i][j]), act.Process[i][j]
+			if r < 0 || h < -tol {
+				ck.report(ev, "feasibility-sign", "negative decision at (%d,%d): r=%v h=%v", i, j, r, h)
+			}
+			if !jt.EligibleSet(i) && (r > 0 || h > tol) {
+				ck.report(ev, "feasibility-eligibility", "job type %d scheduled at ineligible data center %d (r=%v h=%v)", j, i, r, h)
+			}
+			if jt.MaxRoute > 0 && r > float64(jt.MaxRoute) {
+				ck.report(ev, "feasibility-route-bound", "route[%d][%d]=%v exceeds r_max=%d", i, j, r, jt.MaxRoute)
+			}
+			if jt.MaxProcess > 0 && h > jt.MaxProcess+tol*(1+jt.MaxProcess) {
+				ck.report(ev, "feasibility-process-bound", "process[%d][%d]=%v exceeds h_max=%v", i, j, h, jt.MaxProcess)
+			}
+			// Processing draws on the local backlog; at most the queued jobs
+			// plus this slot's routing can be worked on.
+			if limit := pre.Local[i][j] + r; h > limit+tol*(1+limit) {
+				ck.report(ev, "feasibility-backlog", "process[%d][%d]=%v exceeds backlog %v + routed %v", i, j, h, pre.Local[i][j], r)
+			}
+			work += h * jt.Demand
+		}
+		for k, stype := range c.DataCenters[i].Servers {
+			b := act.Busy[i][k]
+			if b < -tol {
+				ck.report(ev, "feasibility-sign", "busy[%d][%d]=%v is negative", i, k, b)
+			}
+			if b > st.Avail[i][k]+tol*(1+st.Avail[i][k]) {
+				ck.report(ev, "feasibility-availability", "busy[%d][%d]=%v exceeds availability n=%v", i, k, b, st.Avail[i][k])
+			}
+			provided += b * stype.Speed
+		}
+		if work > provided+tol*(1+provided) {
+			ck.report(ev, "feasibility-capacity", "data center %d: work %v exceeds provided resource %v (eq. 11)", i, work, provided)
+		}
+		for r := 0; r < c.Aux(); r++ {
+			var use float64
+			for j := 0; j < c.J(); j++ {
+				if r < len(c.JobTypes[j].AuxDemand) {
+					use += act.Process[i][j] * c.JobTypes[j].AuxDemand[r]
+				}
+			}
+			if capR := c.DataCenters[i].AuxCapacity[r]; use > capR+tol*(1+capR) {
+				ck.report(ev, "feasibility-aux", "data center %d: auxiliary resource %d usage %v exceeds capacity %v", i, r, use, capR)
+			}
+		}
+	}
+}
+
+// billedEnergy independently recomputes the billed energy cost of an action:
+// the increment the batch draw adds on top of the base load under the tariff,
+// or phi_i * sum_k b*p under the baseline linear pricing.
+func (ck *Checker) billedEnergy(st *model.State, act *model.Action, trf tariff.Tariff) float64 {
+	c := ck.cluster
+	var total float64
+	for i := 0; i < c.N(); i++ {
+		var draw float64
+		for k, stype := range c.DataCenters[i].Servers {
+			draw += act.Busy[i][k] * stype.Power
+		}
+		if trf == nil {
+			total += st.Price[i] * draw
+			continue
+		}
+		base := st.BaseEnergyAt(i)
+		total += trf.Cost(st.Price[i], base+draw) - trf.Cost(st.Price[i], base)
+	}
+	return total
+}
+
+// fairnessPenalty independently recomputes the paper's quadratic fairness
+// penalty P = sum_m (r_m/R - gamma_m)^2 = -f(t) for an action's allocation.
+func (ck *Checker) fairnessPenalty(st *model.State, act *model.Action, weights []float64) float64 {
+	c := ck.cluster
+	if weights == nil {
+		weights = make([]float64, c.M())
+		for m, a := range c.Accounts {
+			weights[m] = a.Weight
+		}
+	}
+	alloc := make([]float64, c.M())
+	for i := 0; i < c.N(); i++ {
+		for j := 0; j < c.J(); j++ {
+			jt := c.JobTypes[j]
+			alloc[jt.Account] += act.Process[i][j] * jt.Demand
+		}
+	}
+	total := st.TotalResource(c)
+	var p float64
+	for m, w := range weights {
+		share := 0.0
+		if total > 0 {
+			share = alloc[m] / total
+		}
+		d := share - w
+		p += d * d
+	}
+	return p
+}

@@ -1,0 +1,280 @@
+package invariant
+
+import (
+	"fmt"
+	"math"
+
+	"grefar/internal/core"
+	"grefar/internal/model"
+	"grefar/internal/queue"
+	"grefar/internal/solve"
+)
+
+// SolverObjectives holds the slot objective value each beta = 0 solver
+// reached on one identical slot input. NaN marks a solver that does not apply
+// (the closed-form greedy cannot handle auxiliary resources).
+type SolverObjectives struct {
+	// Greedy is the closed-form greedy exchange's objective.
+	Greedy float64
+	// LP is the two-phase simplex objective.
+	LP float64
+	// FrankWolfe is the Frank-Wolfe objective over the same polytope.
+	FrankWolfe float64
+	// ProjGrad is the projected-gradient objective, using exact Euclidean
+	// projection onto the slot polytope via dual bisection.
+	ProjGrad float64
+	// MaxRelDiff is the largest pairwise relative disagreement among the
+	// applicable solvers.
+	MaxRelDiff float64
+}
+
+// CrossCheckSolvers is the differential testing engine for the beta = 0 slot
+// problem: it runs the greedy exchange, the simplex LP, Frank-Wolfe, and a
+// projected-gradient solver on the identical slot input (cluster, config,
+// state, backlogs) and returns an error wrapping ErrViolation when any two
+// objective values disagree by more than tol relatively. The four solvers
+// share no iterative machinery — greedy is combinatorial, the simplex pivots
+// a tableau, Frank-Wolfe calls a linear oracle, and projected gradient only
+// ever projects — so agreement is strong evidence each one is correct.
+//
+// tol <= 0 selects 1e-6. Clusters with auxiliary resources skip the greedy
+// (it handles the single capacity constraint only) and compare the remaining
+// three.
+func CrossCheckSolvers(c *model.Cluster, cfg core.Config, st *model.State, q queue.Lengths, tol float64) (*SolverObjectives, error) {
+	if cfg.Beta != 0 {
+		return nil, fmt.Errorf("%w: differential engine handles beta = 0 only, got %v", ErrViolation, cfg.Beta)
+	}
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	out := &SolverObjectives{Greedy: math.NaN()}
+
+	if c.Aux() == 0 {
+		_, _, obj, err := core.SolveSlotGreedy(c, cfg, st, q)
+		if err != nil {
+			return nil, fmt.Errorf("%w: greedy solver failed: %v", ErrViolation, err)
+		}
+		out.Greedy = obj
+	}
+
+	_, _, lpObj, err := core.SolveSlotLP(c, cfg, st, q)
+	if err != nil {
+		return nil, fmt.Errorf("%w: LP solver failed: %v", ErrViolation, err)
+	}
+	out.LP = lpObj
+
+	cH, cB, hCap := core.SlotCoefficients(c, cfg, st, q)
+	out.FrankWolfe = frankWolfeSlot(c, st, cH, cB, hCap)
+	out.ProjGrad = projGradSlot(c, st, cH, cB, hCap)
+
+	vals := []struct {
+		name string
+		v    float64
+	}{
+		{"greedy", out.Greedy},
+		{"simplex", out.LP},
+		{"frank-wolfe", out.FrankWolfe},
+		{"projected-gradient", out.ProjGrad},
+	}
+	for a := 0; a < len(vals); a++ {
+		if math.IsNaN(vals[a].v) {
+			continue
+		}
+		for b := a + 1; b < len(vals); b++ {
+			if math.IsNaN(vals[b].v) {
+				continue
+			}
+			rel := math.Abs(vals[a].v-vals[b].v) / math.Max(1, math.Max(math.Abs(vals[a].v), math.Abs(vals[b].v)))
+			if rel > out.MaxRelDiff {
+				out.MaxRelDiff = rel
+			}
+			if rel > tol {
+				return out, fmt.Errorf("%w: solvers disagree: %s=%v vs %s=%v (relative diff %.3g > %.3g)",
+					ErrViolation, vals[a].name, vals[a].v, vals[b].name, vals[b].v, rel, tol)
+			}
+		}
+	}
+	return out, nil
+}
+
+// slotVars mirrors the core package's flat variable layout for the slot
+// problem: the N*J processing variables h_{i,j} first (row-major), then each
+// data center's busy-server variables b_{i,k}. core.SlotOracle documents this
+// order as its contract.
+type slotVars struct {
+	nJ    int
+	bOff  []int
+	total int
+}
+
+func newSlotVars(c *model.Cluster) slotVars {
+	l := slotVars{nJ: c.J(), bOff: make([]int, c.N()), total: c.N() * c.J()}
+	for i := 0; i < c.N(); i++ {
+		l.bOff[i] = l.total
+		l.total += c.K(i)
+	}
+	return l
+}
+
+func (l slotVars) hIndex(i, j int) int { return i*l.nJ + j }
+
+// frankWolfeSlot minimizes the linear slot objective with Frank-Wolfe over
+// the scheduling polytope. The objective is linear, so the first oracle call
+// lands on the optimal vertex and the exact line search jumps straight to it;
+// the run still exercises the full gradient/oracle/gap machinery.
+func frankWolfeSlot(c *model.Cluster, st *model.State, cH, cB, hCap [][]float64) float64 {
+	l := newSlotVars(c)
+	linear := make([]float64, l.total)
+	for i := 0; i < c.N(); i++ {
+		for j := 0; j < c.J(); j++ {
+			linear[l.hIndex(i, j)] = cH[i][j]
+		}
+		for k := 0; k < c.K(i); k++ {
+			linear[l.bOff[i]+k] = cB[i][k]
+		}
+	}
+	obj := &solve.Quadratic{Linear: linear}
+	oracle := core.SlotOracle(c, st, hCap)
+	res, err := solve.FrankWolfe(obj, oracle, make([]float64, l.total), solve.FWOptions{MaxIters: 50, Tol: 1e-12})
+	if err != nil {
+		return math.NaN()
+	}
+	return res.Value
+}
+
+// projGradSlot minimizes the linear slot objective with projected gradient
+// descent, one independent run per data center (the constraints do not couple
+// sites). The feasible set — the box [0,hCap]x[0,avail] intersected with the
+// capacity halfspace sum_j d_j h_j - sum_k s_k b_k <= 0 and the auxiliary
+// halfspaces — is projected onto exactly via dual bisection, so this path
+// shares nothing with the oracle-based solvers.
+func projGradSlot(c *model.Cluster, st *model.State, cH, cB, hCap [][]float64) float64 {
+	var total float64
+	for i := 0; i < c.N(); i++ {
+		total += projGradSite(c, st, i, cH[i], cB[i], hCap[i])
+	}
+	return total
+}
+
+// halfspace is one constraint a.x <= b.
+type halfspace struct {
+	a []float64
+	b float64
+}
+
+func projGradSite(c *model.Cluster, st *model.State, i int, cH, cB, hCap []float64) float64 {
+	nJ, nK := c.J(), c.K(i)
+	n := nJ + nK
+	linear := make([]float64, n)
+	hi := make([]float64, n)
+	copy(linear, cH)
+	copy(hi, hCap)
+	for k := 0; k < nK; k++ {
+		linear[nJ+k] = cB[k]
+		hi[nJ+k] = st.Avail[i][k]
+	}
+
+	// Capacity coupling (eq. 11) plus the footnote-3 auxiliary rows.
+	capRow := halfspace{a: make([]float64, n)}
+	for j := 0; j < nJ; j++ {
+		capRow.a[j] = c.JobTypes[j].Demand
+	}
+	for k, stype := range c.DataCenters[i].Servers {
+		capRow.a[nJ+k] = -stype.Speed
+	}
+	hs := []halfspace{capRow}
+	for r := 0; r < c.Aux(); r++ {
+		row := halfspace{a: make([]float64, n), b: c.DataCenters[i].AuxCapacity[r]}
+		nonzero := false
+		for j := 0; j < nJ; j++ {
+			if r < len(c.JobTypes[j].AuxDemand) {
+				row.a[j] = c.JobTypes[j].AuxDemand[r]
+				nonzero = nonzero || row.a[j] != 0
+			}
+		}
+		if nonzero {
+			hs = append(hs, row)
+		}
+	}
+
+	project := func(x []float64) { projectPolytope(x, hi, hs) }
+	obj := &solve.Quadratic{Linear: linear}
+	res := solve.ProjectedGradient(obj, project, make([]float64, n), solve.PGOptions{
+		MaxIters: 4000,
+		Step:     64,
+		Tol:      1e-12,
+	})
+	return res.Value
+}
+
+// projectPolytope overwrites x with its exact Euclidean projection onto the
+// intersection of the box [0, hi] with every halfspace, by recursive
+// bisection on the dual multipliers: the projection is
+// clamp(y - sum_m lambda_m a_m, 0, hi) for KKT multipliers lambda_m >= 0,
+// and partially maximizing the (concave) dual over all but the last
+// multiplier leaves a concave one-dimensional reduced dual, so the last
+// multiplier can be bisected with each evaluation a recursive projection
+// onto the remaining halfspaces. Exact projection is what projected gradient
+// needs for correctness — with it, a projected step that returns x exactly
+// certifies stationarity. The result is always box-feasible.
+func projectPolytope(x []float64, hi []float64, hs []halfspace) {
+	y := append([]float64(nil), x...)
+	projectRecursive(x, y, hi, hs)
+}
+
+// projectRecursive writes into x the projection of y onto the box
+// intersected with every halfspace in hs. The base case clamps to the box;
+// each level solves the scalar multiplier of its last halfspace by
+// bisection, evaluating g(lambda) = a.P_rest(y - lambda*a) - b, which is
+// nonincreasing in lambda because it is the gradient of the reduced dual.
+// The upper bracket end is kept, so the result lands on the feasible side.
+func projectRecursive(x, y, hi []float64, hs []halfspace) {
+	n := len(y)
+	if len(hs) == 0 {
+		for t := 0; t < n; t++ {
+			v := y[t]
+			if v < 0 {
+				v = 0
+			}
+			if v > hi[t] {
+				v = hi[t]
+			}
+			x[t] = v
+		}
+		return
+	}
+	h := hs[len(hs)-1]
+	rest := hs[:len(hs)-1]
+	z := make([]float64, n)
+	at := func(lambda float64) float64 {
+		for t := 0; t < n; t++ {
+			z[t] = y[t] - lambda*h.a[t]
+		}
+		projectRecursive(x, z, hi, rest)
+		var dot float64
+		for t := 0; t < n; t++ {
+			dot += h.a[t] * x[t]
+		}
+		return dot
+	}
+	if at(0) <= h.b {
+		return
+	}
+	lambdaHi := 1.0
+	for at(lambdaHi) > h.b && lambdaHi < 1e18 {
+		lambdaHi *= 2
+	}
+	lambdaLo := 0.0
+	for iter := 0; iter < 200; iter++ {
+		mid := 0.5 * (lambdaLo + lambdaHi)
+		if mid == lambdaLo || mid == lambdaHi {
+			break
+		}
+		if at(mid) > h.b {
+			lambdaLo = mid
+		} else {
+			lambdaHi = mid
+		}
+	}
+	at(lambdaHi)
+}

@@ -1,0 +1,98 @@
+package invariant_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"grefar/internal/core"
+	"grefar/internal/invariant"
+	"grefar/internal/sim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden trace files under testdata/golden")
+
+// goldenCases are the pinned configurations. Keep them small: 48 slots of the
+// reference workload is two simulated days, enough to exercise admission,
+// routing, processing, and both the beta = 0 and beta > 0 penalty paths.
+var goldenCases = []struct {
+	name    string
+	v, beta float64
+}{
+	{"grefar-v7.5-beta0", 7.5, 0},
+	{"grefar-v7.5-beta100", 7.5, 100},
+}
+
+const (
+	goldenSeed  = 2012
+	goldenSlots = 48
+)
+
+// runGoldenTrace runs one pinned configuration with the invariant checker on
+// and a trace recorder attached to both the decide-side and sim-side event
+// streams, returning the serialized JSONL trace.
+func runGoldenTrace(t *testing.T, v, beta float64) []byte {
+	t.Helper()
+	in, err := sim.NewReferenceInputs(goldenSeed, goldenSlots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &invariant.TraceRecorder{}
+	g, err := core.New(in.Cluster, core.Config{V: v, Beta: beta, Observer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(in, g, sim.Options{Slots: goldenSlots, Observer: rec, ValidateActions: true, Check: true}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("trace recorder captured no events")
+	}
+	out, err := rec.MarshalJSONL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestGoldenTraces pins the full slot-event stream of the reference runs.
+// Any change to routing, processing, admission, energy accounting, or solver
+// behavior shows up as a diff against testdata/golden; regenerate
+// deliberately with `make golden` (go test -run TestGolden -update).
+func TestGoldenTraces(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := runGoldenTrace(t, tc.v, tc.beta)
+			path := filepath.Join("testdata", "golden", tc.name+".jsonl")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with `make golden`): %v", err)
+			}
+			if diff := invariant.DiffJSONL(got, want); diff != "" {
+				t.Errorf("trace deviates from %s:\n%s", path, diff)
+			}
+		})
+	}
+}
+
+// TestGoldenTraceDeterminism reruns a pinned configuration twice in-process
+// and requires byte-identical traces: the simulation must be free of map
+// iteration order, timestamps, and other nondeterminism.
+func TestGoldenTraceDeterminism(t *testing.T) {
+	first := runGoldenTrace(t, 7.5, 100)
+	second := runGoldenTrace(t, 7.5, 100)
+	if diff := invariant.DiffJSONL(second, first); diff != "" {
+		t.Errorf("same-seed reruns diverge:\n%s", diff)
+	}
+}

@@ -1,0 +1,103 @@
+package invariant
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"grefar/internal/telemetry"
+)
+
+// TraceRecorder captures the slot-event stream of a run for the golden-trace
+// regression tests: every scheduling decision and applied slot, serialized as
+// one JSON object per line in arrival order. Serialization is deterministic —
+// struct fields marshal in declaration order and floats use Go's shortest
+// round-trip encoding — so two runs of a deterministic simulation produce
+// byte-identical traces, and any behavioral drift in routing, processing,
+// energy accounting, or solver health shows up as a golden-file diff.
+type TraceRecorder struct {
+	mu     sync.Mutex
+	events []telemetry.SlotEvent
+}
+
+var _ telemetry.SlotObserver = (*TraceRecorder)(nil)
+
+// ObserveSlot implements telemetry.SlotObserver. The evidence payload
+// (SlotEvent.Detail) is dropped: the golden trace pins the public event
+// schema, not the internal deep copies.
+func (r *TraceRecorder) ObserveSlot(ev telemetry.SlotEvent) {
+	ev.Detail = nil
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (r *TraceRecorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Events returns a copy of the recorded events in arrival order.
+func (r *TraceRecorder) Events() []telemetry.SlotEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]telemetry.SlotEvent(nil), r.events...)
+}
+
+// WriteJSONL writes the recorded events to w, one JSON object per line.
+func (r *TraceRecorder) WriteJSONL(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.events {
+		b, err := json.Marshal(&r.events[i])
+		if err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MarshalJSONL renders the recorded events as a JSONL byte slice.
+func (r *TraceRecorder) MarshalJSONL() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DiffJSONL compares a trace against a reference JSONL document and returns a
+// description of the first difference, or "" when they are byte-identical.
+// The description carries the 1-based line number and both lines, so a golden
+// test failure points straight at the first diverging slot.
+func DiffJSONL(got, want []byte) string {
+	if bytes.Equal(got, want) {
+		return ""
+	}
+	gotLines := bytes.Split(got, []byte("\n"))
+	wantLines := bytes.Split(want, []byte("\n"))
+	n := len(gotLines)
+	if len(wantLines) > n {
+		n = len(wantLines)
+	}
+	for i := 0; i < n; i++ {
+		var g, w []byte
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if !bytes.Equal(g, w) {
+			return fmt.Sprintf("line %d differs\n  got:  %s\n  want: %s", i+1, g, w)
+		}
+	}
+	return fmt.Sprintf("traces differ in length: got %d lines, want %d", len(gotLines), len(wantLines))
+}

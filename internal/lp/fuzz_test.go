@@ -1,0 +1,124 @@
+package lp_test
+
+import (
+	"math"
+	"testing"
+
+	"grefar/internal/lp"
+)
+
+// decodeCoef maps one fuzz byte to a small signed coefficient in [-8, 7.9375].
+func decodeCoef(b byte) float64 { return (float64(b) - 128) / 16 }
+
+// FuzzSimplex feeds the two-phase bounded simplex random LPs that are
+// feasible by construction: every row is a <= constraint with nonnegative
+// right-hand side, so the origin is always a feasible point. That pins three
+// properties for any byte input: the solver must terminate without hitting
+// the Bland iteration limit, must never report infeasible, and on an optimal
+// status the returned point must be primal feasible with objective c.x <= 0
+// (the origin achieves 0 and we minimize).
+func FuzzSimplex(f *testing.F) {
+	f.Add([]byte{2, 2, 100, 200, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120})
+	f.Add([]byte{4, 3, 0, 255, 128, 64, 32, 16, 8, 4, 2, 1, 200, 150, 100, 50, 25, 12, 6, 3})
+	f.Add([]byte{1, 1, 127, 129})
+	f.Add([]byte{3, 4, 90, 12, 240, 17, 66, 203, 5, 180, 44, 99, 211, 7, 133, 250, 61, 148, 23, 76})
+	f.Add([]byte{4, 4, 255, 255, 255, 255, 0, 0, 0, 0, 128, 128, 128, 128, 64, 192, 64, 192, 32, 224, 96, 160})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		nVars := 1 + int(data[0]%4)
+		nRows := 1 + int(data[1]%4)
+		pos := 2
+		next := func() byte {
+			b := data[pos%len(data)]
+			pos++
+			return b
+		}
+
+		prob := lp.NewProblem(nVars)
+		costs := make([]float64, nVars)
+		for j := range costs {
+			costs[j] = decodeCoef(next())
+		}
+		if err := prob.SetObjective(costs); err != nil {
+			t.Fatal(err)
+		}
+
+		type row struct {
+			coef []float64
+			rhs  float64
+		}
+		rows := make([]row, nRows)
+		for r := range rows {
+			coef := make([]float64, nVars)
+			for j := range coef {
+				coef[j] = decodeCoef(next())
+			}
+			rhs := math.Abs(decodeCoef(next()))
+			rows[r] = row{coef: coef, rhs: rhs}
+			if err := prob.AddConstraint(coef, lp.LE, rhs); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Sprinkle variable upper bounds; a bound of zero pins the variable.
+		upper := make([]float64, nVars)
+		for j := range upper {
+			upper[j] = math.Inf(1)
+			b := next()
+			if b%3 == 0 {
+				upper[j] = math.Abs(decodeCoef(next()))
+				if err := prob.AddUpperBound(j, upper[j]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		sol, err := lp.Solve(prob)
+		if err != nil {
+			// Any error here includes ErrIterationLimit: Bland's rule must
+			// terminate on every input.
+			t.Fatalf("solve failed on a feasible-by-construction LP: %v", err)
+		}
+		switch sol.Status {
+		case lp.Unbounded:
+			return
+		case lp.Infeasible:
+			t.Fatal("reported infeasible, but the origin is feasible")
+		case lp.Optimal:
+		default:
+			t.Fatalf("unexpected status %v", sol.Status)
+		}
+
+		const tol = 1e-7
+		if len(sol.X) != nVars {
+			t.Fatalf("solution has %d vars, want %d", len(sol.X), nVars)
+		}
+		var obj float64
+		for j, x := range sol.X {
+			if x < -tol {
+				t.Errorf("x[%d] = %v negative", j, x)
+			}
+			if x > upper[j]+tol {
+				t.Errorf("x[%d] = %v exceeds upper bound %v", j, x, upper[j])
+			}
+			obj += costs[j] * x
+		}
+		for r, rw := range rows {
+			var lhs float64
+			for j := range rw.coef {
+				lhs += rw.coef[j] * sol.X[j]
+			}
+			if lhs > rw.rhs+tol {
+				t.Errorf("row %d violated: %v > %v", r, lhs, rw.rhs)
+			}
+		}
+		if math.Abs(obj-sol.Objective) > tol*(1+math.Abs(obj)) {
+			t.Errorf("reported objective %v does not match c.x = %v", sol.Objective, obj)
+		}
+		if sol.Objective > tol {
+			t.Errorf("optimal objective %v above 0, but the origin achieves 0", sol.Objective)
+		}
+	})
+}

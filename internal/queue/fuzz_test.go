@@ -1,0 +1,220 @@
+package queue_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"grefar/internal/model"
+	"grefar/internal/queue"
+)
+
+// fuzzCluster is a small two-site, two-type system; every type runs anywhere
+// so no decode can trip an eligibility error instead of a queue invariant.
+func fuzzCluster() *model.Cluster {
+	all := []int{0, 1}
+	return &model.Cluster{
+		DataCenters: []model.DataCenter{
+			{Name: "w", Servers: []model.ServerType{{Name: "s", Speed: 1, Power: 1}}},
+			{Name: "e", Servers: []model.ServerType{{Name: "s", Speed: 1.2, Power: 0.9}}},
+		},
+		JobTypes: []model.JobType{
+			{Name: "a", Demand: 1, Eligible: all, Account: 0, MaxArrival: 50, MaxProcess: 100},
+			{Name: "b", Demand: 2, Eligible: all, Account: 0, MaxArrival: 50, MaxProcess: 100},
+		},
+		Accounts: []model.Account{{Name: "acct", Weight: 1}},
+	}
+}
+
+// FuzzApply drives a queue.Set with arbitrary non-negative arrivals and
+// scheduler actions — including wildly infeasible ones that demand more work
+// than exists — and checks the ledger invariants the rest of the system
+// relies on: lengths never go negative, Apply only moves or removes jobs
+// (routing conserves, processing removes at most the commanded amount),
+// Arrive adds exactly the arrivals, routed flow never exceeds either the
+// command or the central backlog, and the physical Set is dominated
+// componentwise by the Virtual dynamics of eqs. (12)-(13).
+func FuzzApply(f *testing.F) {
+	f.Add([]byte{3, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{8, 255, 254, 253, 0, 1, 2, 128, 127, 126, 64, 63, 62, 31, 200, 100})
+	f.Add([]byte{12, 7, 0, 31, 0, 7, 31, 0, 0, 31, 7, 7, 0, 0, 0, 31, 31, 31})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		c := fuzzCluster()
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		slots := 1 + int(data[0]%12)
+		pos := 1
+		next := func() byte {
+			b := data[pos%len(data)]
+			pos++
+			return b
+		}
+
+		set := queue.NewSet(c)
+		virt := queue.NewVirtual(c)
+		const tol = 1e-9
+		var totalArrived float64
+		for slot := 0; slot < slots; slot++ {
+			act := model.NewAction(c)
+			var commandRoute, commandProcess float64
+			for i := 0; i < c.N(); i++ {
+				for j := 0; j < c.J(); j++ {
+					act.Route[i][j] = int(next() % 8)
+					commandRoute += float64(act.Route[i][j])
+					act.Process[i][j] = float64(next()%32) / 4
+					commandProcess += act.Process[i][j]
+				}
+			}
+			arrivals := make([]int, c.J())
+			for j := range arrivals {
+				arrivals[j] = int(next() % 8)
+				totalArrived += float64(arrivals[j])
+			}
+
+			pre := set.Lengths()
+			preCentral := 0.0
+			for _, q := range pre.Central {
+				preCentral += q
+			}
+			flow, err := set.Apply(slot, act)
+			if err != nil {
+				t.Fatalf("slot %d: Apply on non-negative action: %v", slot, err)
+			}
+			post := set.Lengths()
+			assertNonNegative(t, slot, post)
+
+			// Apply routes (conserving) and processes (removing at most the
+			// commanded amount): the total can only shrink, and by no more
+			// than sum h.
+			removed := pre.Sum() - post.Sum()
+			if removed < -tol {
+				t.Fatalf("slot %d: Apply created %v jobs", slot, -removed)
+			}
+			if removed > commandProcess+tol {
+				t.Fatalf("slot %d: Apply removed %v > commanded processing %v", slot, removed, commandProcess)
+			}
+			if r := flow.TotalRouted(); r > commandRoute+tol || r > preCentral+tol {
+				t.Fatalf("slot %d: routed %v exceeds command %v or central backlog %v", slot, r, commandRoute, preCentral)
+			}
+
+			if err := set.Arrive(slot, arrivals); err != nil {
+				t.Fatalf("slot %d: Arrive: %v", slot, err)
+			}
+			var arrived float64
+			for _, a := range arrivals {
+				arrived += float64(a)
+			}
+			final := set.Lengths()
+			if math.Abs(final.Sum()-(post.Sum()+arrived)) > tol {
+				t.Fatalf("slot %d: Arrive changed total by %v, want %v", slot, final.Sum()-post.Sum(), arrived)
+			}
+			if final.Sum() > totalArrived+tol {
+				t.Fatalf("slot %d: backlog %v exceeds everything that ever arrived %v", slot, final.Sum(), totalArrived)
+			}
+
+			// The physical queues cap actions at real content, so they can
+			// never exceed the clipped virtual dynamics fed the same inputs.
+			virt.Step(act, arrivals)
+			vl := virt.Lengths()
+			for j := range final.Central {
+				if final.Central[j] > vl.Central[j]+tol {
+					t.Fatalf("slot %d: central[%d] set %v > virtual %v", slot, j, final.Central[j], vl.Central[j])
+				}
+			}
+			for i := range final.Local {
+				for j := range final.Local[i] {
+					if final.Local[i][j] > vl.Local[i][j]+tol {
+						t.Fatalf("slot %d: local[%d][%d] set %v > virtual %v", slot, i, j, final.Local[i][j], vl.Local[i][j])
+					}
+				}
+			}
+		}
+	})
+}
+
+func assertNonNegative(t *testing.T, slot int, l queue.Lengths) {
+	t.Helper()
+	for j, q := range l.Central {
+		if q < 0 {
+			t.Fatalf("slot %d: central[%d] = %v negative", slot, j, q)
+		}
+	}
+	for i := range l.Local {
+		for j, q := range l.Local[i] {
+			if q < 0 {
+				t.Fatalf("slot %d: local[%d][%d] = %v negative", slot, i, j, q)
+			}
+		}
+	}
+}
+
+// TestSetMatchesVirtualOnFeasibleActions pins the two queue implementations
+// together: when every action is feasible against current content — routing
+// never asks for more than the central backlog, processing never more than
+// the local backlog, and all quantities are integers so float arithmetic is
+// exact — the capped Set and the clipped Virtual dynamics must produce
+// bit-identical Lengths() trajectories.
+func TestSetMatchesVirtualOnFeasibleActions(t *testing.T) {
+	c := fuzzCluster()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		set := queue.NewSet(c)
+		virt := queue.NewVirtual(c)
+		for slot := 0; slot < 30; slot++ {
+			cur := set.Lengths()
+			act := model.NewAction(c)
+			for j := 0; j < c.J(); j++ {
+				remaining := int(cur.Central[j])
+				for i := 0; i < c.N(); i++ {
+					r := rng.Intn(remaining + 1)
+					act.Route[i][j] = r
+					remaining -= r
+				}
+			}
+			for i := 0; i < c.N(); i++ {
+				for j := 0; j < c.J(); j++ {
+					act.Process[i][j] = float64(rng.Intn(int(cur.Local[i][j]) + 1))
+				}
+			}
+			arrivals := make([]int, c.J())
+			for j := range arrivals {
+				arrivals[j] = rng.Intn(9)
+			}
+			if _, err := set.Apply(slot, act); err != nil {
+				t.Fatalf("slot %d: %v", slot, err)
+			}
+			if err := set.Arrive(slot, arrivals); err != nil {
+				t.Fatalf("slot %d: %v", slot, err)
+			}
+			virt.Step(act, arrivals)
+			sl, vl := set.Lengths(), virt.Lengths()
+			for j := range sl.Central {
+				if sl.Central[j] != vl.Central[j] {
+					t.Logf("slot %d: central[%d] set %v != virtual %v", slot, j, sl.Central[j], vl.Central[j])
+					return false
+				}
+			}
+			for i := range sl.Local {
+				for j := range sl.Local[i] {
+					if sl.Local[i][j] != vl.Local[i][j] {
+						t.Logf("slot %d: local[%d][%d] set %v != virtual %v", slot, i, j, sl.Local[i][j], vl.Local[i][j])
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

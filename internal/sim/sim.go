@@ -11,6 +11,7 @@ import (
 
 	"grefar/internal/availability"
 	"grefar/internal/fairness"
+	"grefar/internal/invariant"
 	"grefar/internal/metrics"
 	"grefar/internal/model"
 	"grefar/internal/price"
@@ -66,6 +67,14 @@ type Options struct {
 	// error wrapping the context's error as soon as cancellation is observed.
 	// Nil means the run cannot be interrupted.
 	Context context.Context
+	// Check attaches the runtime invariant checker (internal/invariant) to
+	// the run: every slot is verified against the paper's queue dynamics
+	// (12)-(13), action feasibility under the revealed state, and
+	// end-to-end job conservation, and Run fails with an error wrapping
+	// invariant.ErrViolation on the first violation. Strictly stronger than
+	// ValidateActions; costs one deep copy of the slot evidence per slot,
+	// so leave it off in benchmarks.
+	Check bool
 }
 
 // ApplySim replaces the whole option set with o, making an Options literal
@@ -164,6 +173,16 @@ func Run(in Inputs, s sched.Scheduler, opt Options) (*Result, error) {
 
 	qs := queue.NewSet(c)
 	st := model.NewState(c)
+
+	// Compose the run observer with the invariant checker when checking is
+	// on; collect slot details only when something downstream consumes them.
+	obs := opt.Observer
+	var checker *invariant.Checker
+	if opt.Check {
+		checker = invariant.NewChecker(c, invariant.CheckerOptions{})
+		obs = telemetry.Multi(obs, checker)
+	}
+	wantDetail := telemetry.WantsDetail(obs)
 
 	energy := metrics.NewRunning(opt.RecordSeries)
 	fairScore := metrics.NewRunning(opt.RecordSeries)
@@ -298,9 +317,26 @@ func Run(in Inputs, s sched.Scheduler, opt Options) (*Result, error) {
 		}
 		avgQ.Add(post.Sum())
 
-		if opt.Observer != nil {
-			opt.Observer.ObserveSlot(slotEvent(c, s.Name(), t, post, act, st, in.Tariff,
-				slotEnergy, slotFairness, slotArrived, slotProcessed, slotDropped))
+		if obs != nil {
+			ev := slotEvent(c, s.Name(), t, post, act, st, in.Tariff,
+				slotEnergy, slotFairness, slotArrived, slotProcessed, slotDropped)
+			if wantDetail {
+				ev.Detail = &telemetry.SlotDetail{
+					State:     st.Clone(),
+					Action:    act.Clone(),
+					Pre:       lengths,
+					Post:      post,
+					Arrivals:  append([]int(nil), admitted...),
+					Routed:    flows.Routed,
+					Processed: flows.Processed,
+				}
+			}
+			obs.ObserveSlot(ev)
+		}
+		if checker != nil {
+			if err := checker.Err(); err != nil {
+				return nil, fmt.Errorf("slot %d: %s: %w", t, s.Name(), err)
+			}
 		}
 	}
 

@@ -99,6 +99,12 @@ type SlotEvent struct {
 
 	// Solve carries solver health for OriginDecide events, nil otherwise.
 	Solve *SolveStats `json:"solve,omitempty"`
+
+	// Detail carries the full slot evidence (state, action, queue snapshots)
+	// for verification consumers. Emitters populate it only when the wired
+	// observer implements DetailObserver and asks for it; it never enters
+	// the JSONL stream.
+	Detail *SlotDetail `json:"-"`
 }
 
 // SlotObserver receives one SlotEvent per control-loop iteration.

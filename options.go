@@ -100,6 +100,14 @@ func WithActionValidation(on bool) SimOption {
 	return simOptionFunc(func(o *SimOptions) { o.ValidateActions = on })
 }
 
+// WithCheck toggles the invariant checker: every applied slot is re-verified
+// against the paper's queue dynamics (12)-(13), action feasibility, and job
+// conservation, and the run fails on the first violation. Recommended in
+// tests; off by default because it roughly doubles per-slot bookkeeping.
+func WithCheck(on bool) SimOption {
+	return simOptionFunc(func(o *SimOptions) { o.Check = on })
+}
+
 // WithContext makes the simulation cancelable: Simulate returns an error
 // wrapping ctx.Err() as soon as cancellation is observed between slots.
 func WithContext(ctx context.Context) SimOption {
