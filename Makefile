@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test tier1 vet race bench fuzz golden check clean
+.PHONY: all build test tier1 vet race bench bench-slot fuzz golden check clean
 
 all: tier1
 
@@ -21,11 +21,16 @@ race:
 	$(GO) test -race ./...
 
 # tier1 is the merge gate: compile, vet, the full test suite under the race
-# detector, and a short fuzz smoke of both native fuzz targets.
+# detector (the sweep-engine tests in internal/runner and the parallel
+# experiment fan-out only prove determinism when raced), the Decide
+# allocation-budget guard (which -race skips, so it runs plain here), and a
+# short fuzz smoke of both native fuzz targets.
 tier1:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -race -count=1 ./internal/runner
+	$(GO) test -count=1 -run TestDecideAllocationBudget .
 	$(GO) test -run '^$$' -fuzz FuzzSimplex -fuzztime $(FUZZTIME) ./internal/lp
 	$(GO) test -run '^$$' -fuzz FuzzApply -fuzztime $(FUZZTIME) ./internal/queue
 
@@ -49,6 +54,15 @@ check: build
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-slot guards the hot path: it runs the per-slot Decide benchmark with
+# allocation reporting, then enforces the allocs/op ceilings recorded in
+# testdata/bench_slot_baseline.txt via TestDecideAllocationBudget. The test
+# fails if allocs/op regresses above the baseline; after an intentional
+# change, measure with the benchmark and edit the baseline file.
+bench-slot:
+	$(GO) test -run '^$$' -bench BenchmarkSlotDecision -benchmem .
+	$(GO) test -count=1 -run TestDecideAllocationBudget -v .
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,100 @@
+package grefar_test
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"grefar"
+	"grefar/internal/queue"
+)
+
+// loadAllocBudgets parses testdata/bench_slot_baseline.txt: one
+// "case ceiling" pair per line, '#' comments and blank lines ignored.
+func loadAllocBudgets(t *testing.T) map[string]float64 {
+	t.Helper()
+	f, err := os.Open("testdata/bench_slot_baseline.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	budgets := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("baseline line %q: want \"case ceiling\"", line)
+		}
+		ceil, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("baseline line %q: %v", line, err)
+		}
+		budgets[fields[0]] = ceil
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return budgets
+}
+
+// TestDecideAllocationBudget is the hot-path allocation regression guard
+// behind `make bench-slot`: a slot decision on the reference cluster must
+// stay within the allocs/op ceilings recorded in
+// testdata/bench_slot_baseline.txt. The decideScratch workspace brought the
+// counts down from the pre-workspace seed (78 at beta=0, 160 at beta=100);
+// this test keeps them down.
+func TestDecideAllocationBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts include race-detector bookkeeping under -race")
+	}
+	budgets := loadAllocBudgets(t)
+	for _, beta := range []float64{0, 100} {
+		name := fmt.Sprintf("beta=%g", beta)
+		t.Run(name, func(t *testing.T) {
+			ceil, ok := budgets[name]
+			if !ok {
+				t.Fatalf("no budget recorded for %s in testdata/bench_slot_baseline.txt", name)
+			}
+			inputs, err := grefar.ReferenceInputs(2012, 48)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := inputs.Cluster
+			g, err := grefar.New(c, grefar.Config{V: 7.5, Beta: beta})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := buildState(inputs, 12)
+			lengths := queue.Lengths{
+				Central: make([]float64, c.J()),
+				Local:   make([][]float64, c.N()),
+			}
+			for j := range lengths.Central {
+				lengths.Central[j] = float64(3 + j)
+			}
+			for i := range lengths.Local {
+				lengths.Local[i] = make([]float64, c.J())
+				for j := range lengths.Local[i] {
+					lengths.Local[i][j] = float64((i*7 + j*3) % 20)
+				}
+			}
+			slot := 0
+			got := testing.AllocsPerRun(200, func() {
+				if _, err := g.Decide(slot, st, lengths); err != nil {
+					t.Fatal(err)
+				}
+				slot++
+			})
+			if got > ceil {
+				t.Errorf("Decide allocates %.1f allocs/op, budget is %.0f (see testdata/bench_slot_baseline.txt)", got, ceil)
+			}
+		})
+	}
+}

@@ -249,10 +249,14 @@ func BenchmarkAblationFWIters(b *testing.B) {
 }
 
 // BenchmarkSlotDecision measures the per-slot cost of the GreFar optimizer
-// itself — the quantity that determines controller scalability.
+// itself — the quantity that determines controller scalability. No observer
+// is attached, so every reported alloc is solver and bookkeeping churn inside
+// Decide; `make bench-slot` compares allocs/op against the recorded baseline
+// in testdata/bench_slot_baseline.txt.
 func BenchmarkSlotDecision(b *testing.B) {
 	for _, beta := range []float64{0, 100} {
 		b.Run(fmt.Sprintf("beta=%g", beta), func(b *testing.B) {
+			b.ReportAllocs()
 			benchmarkSlotDecision(b, beta)
 		})
 	}

@@ -12,8 +12,10 @@
 //	                  [-policy grefar|always] [-metrics-addr 127.0.0.1:9090] [-pprof]
 //
 // The seed must match the agents' so the controller's workload lines up with
-// the world the agents simulate. SIGINT or SIGTERM stops the control loop at
-// the next slot boundary.
+// the world the agents simulate. Agent connections redial with capped
+// exponential backoff on transport failures (-retries bounds the attempts).
+// SIGINT or SIGTERM stops the control loop at the next slot boundary, and
+// also aborts any in-flight reconnection backoff immediately.
 package main
 
 import (
@@ -59,7 +61,7 @@ type app struct {
 	slots       int
 	wl          workload.Generator
 	metricsAddr string
-	conns       []*transport.Client
+	conns       []*transport.ReconnectClient
 }
 
 // Close releases the agent connections.
@@ -98,6 +100,7 @@ func buildApp(args []string) (*app, error) {
 	seed := fs.Int64("seed", 2012, "workload seed (must match the agents)")
 	policy := fs.String("policy", "grefar", "scheduling policy: grefar or always")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-RPC timeout")
+	retries := fs.Int("retries", 2, "redial attempts per RPC after a transport failure (with capped exponential backoff)")
 	metricsAddr := fs.String("metrics-addr", "", "address to serve /metrics and /healthz on (empty disables)")
 	pprofOn := fs.Bool("pprof", false, "also mount /debug/pprof/ on the metrics address")
 	if err := fs.Parse(args); err != nil {
@@ -133,10 +136,10 @@ func buildApp(args []string) (*app, error) {
 
 	conns := make([]controller.AgentConn, len(addrs))
 	for i, addr := range addrs {
-		cli, err := transport.Dial(strings.TrimSpace(addr), *timeout)
-		if err != nil {
-			return nil, fmt.Errorf("agent %d: %w", i, err)
-		}
+		// ReconnectClient dials lazily and retries with capped exponential
+		// backoff; the run context threads through the controller so SIGINT
+		// aborts a retry loop mid-backoff instead of waiting it out.
+		cli := transport.NewReconnectClient(strings.TrimSpace(addr), *timeout, *retries)
 		a.conns = append(a.conns, cli)
 		var pong transport.Ping
 		if err := cli.Call(transport.KindPing, transport.Ping{Nonce: uint64(i)}, &pong); err != nil {

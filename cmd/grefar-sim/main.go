@@ -6,7 +6,14 @@
 //
 //	grefar-sim -experiment table1|fig1|fig2|fig3|fig4|fig5|workshare|theorem1|\
 //	           ablation|robustness|delays|mpc|events|all \
-//	           [-slots 2000] [-seed 2012] [-day 30] [-csv out.csv] [-events out.jsonl]
+//	           [-slots 2000] [-seed 2012] [-workers 0] [-day 30] [-csv out.csv] \
+//	           [-events out.jsonl]
+//
+// Experiments that sweep several configurations (fig2, fig3, fig4, fig5,
+// robustness, delays, theorem1, mpc) fan their independent runs across
+// -workers goroutines (0 = one per CPU); the output is byte-identical at any
+// worker count because every run is seeded independently and results are
+// assembled in sweep order.
 //
 // The events experiment streams one JSON object per simulated slot (the
 // telemetry.SlotEvent schema) to -events, or to stdout when the flag is
@@ -50,10 +57,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	v := fs.Float64("V", 7.5, "cost-delay parameter for the events experiment")
 	beta := fs.Float64("beta", 100, "energy-fairness parameter for the events experiment")
 	check := fs.Bool("check", false, "verify per-slot invariants (queue dynamics, feasibility, conservation) during every run; fail on the first violation")
+	workers := fs.Int("workers", 0, "how many simulation runs to execute concurrently within an experiment (0 = one per CPU); results are identical at any setting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := experiments.Config{Seed: *seed, Slots: *slots, Check: *check}
+	cfg := experiments.Config{Seed: *seed, Slots: *slots, Check: *check, Workers: *workers, Context: ctx}
 	if *experiment == "all" {
 		// In the all-experiments sweep the snapshot day must fit whatever
 		// horizon was chosen; explicit single-experiment runs still reject

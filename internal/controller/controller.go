@@ -28,7 +28,31 @@ type AgentConn interface {
 	Call(kind string, reqBody, respBody any) error
 }
 
-var _ AgentConn = (*transport.Client)(nil)
+// ContextAgentConn is an AgentConn whose calls honor a context — retrying
+// connections (transport.ReconnectClient) abort their backoff loop when the
+// control loop is canceled, so SIGINT does not wait out reconnection delays
+// to an unreachable agent. Connections without context support degrade to
+// plain Call.
+type ContextAgentConn interface {
+	AgentConn
+	CallContext(ctx context.Context, kind string, reqBody, respBody any) error
+}
+
+var (
+	_ AgentConn        = (*transport.Client)(nil)
+	_ ContextAgentConn = (*transport.ReconnectClient)(nil)
+)
+
+// callAgent routes a call through CallContext when both a context and a
+// context-aware connection are available.
+func callAgent(ctx context.Context, a AgentConn, kind string, reqBody, respBody any) error {
+	if ctx != nil {
+		if ca, ok := a.(ContextAgentConn); ok {
+			return ca.CallContext(ctx, kind, reqBody, respBody)
+		}
+	}
+	return a.Call(kind, reqBody, respBody)
+}
 
 // Controller drives the distributed control loop.
 type Controller struct {
@@ -107,7 +131,7 @@ func (ct *Controller) Restore(snapshot []byte) error {
 }
 
 // gatherStates polls all agents concurrently for their slot reports.
-func (ct *Controller) gatherStates(t int) ([]transport.StateReport, error) {
+func (ct *Controller) gatherStates(ctx context.Context, t int) ([]transport.StateReport, error) {
 	reports := make([]transport.StateReport, len(ct.agents))
 	errs := make([]error, len(ct.agents))
 	var wg sync.WaitGroup
@@ -115,7 +139,7 @@ func (ct *Controller) gatherStates(t int) ([]transport.StateReport, error) {
 		wg.Add(1)
 		go func(i int, a AgentConn) {
 			defer wg.Done()
-			errs[i] = a.Call(transport.KindState, transport.StateRequest{Slot: t}, &reports[i])
+			errs[i] = callAgent(ctx, a, transport.KindState, transport.StateRequest{Slot: t}, &reports[i])
 		}(i, a)
 	}
 	wg.Wait()
@@ -134,11 +158,18 @@ func (ct *Controller) gatherStates(t int) ([]transport.StateReport, error) {
 // then admit the slot's new arrivals into the central queues. It returns the
 // acks for metric aggregation along with the decided action and state.
 func (ct *Controller) RunSlot(t int, arrivals []int) (*model.Action, *model.State, []transport.AllocateAck, error) {
+	return ct.RunSlotContext(context.Background(), t, arrivals)
+}
+
+// RunSlotContext is RunSlot with cancellation threaded into the agent calls:
+// connections implementing ContextAgentConn abort their retry loops as soon
+// as ctx is done, so an interrupt does not wait out reconnection backoff.
+func (ct *Controller) RunSlotContext(ctx context.Context, t int, arrivals []int) (*model.Action, *model.State, []transport.AllocateAck, error) {
 	c := ct.cluster
 	if len(arrivals) != c.J() {
 		return nil, nil, nil, fmt.Errorf("got %d arrival counts, want %d", len(arrivals), c.J())
 	}
-	reports, err := ct.gatherStates(t)
+	reports, err := ct.gatherStates(ctx, t)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -193,7 +224,7 @@ func (ct *Controller) RunSlot(t int, arrivals []int) (*model.Action, *model.Stat
 		wg.Add(1)
 		go func(i int, a AgentConn) {
 			defer wg.Done()
-			errsA[i] = a.Call(transport.KindAllocate, transport.Allocate{
+			errsA[i] = callAgent(ctx, a, transport.KindAllocate, transport.Allocate{
 				Slot:    t,
 				Route:   routed[i],
 				Process: act.Process[i],
@@ -250,7 +281,7 @@ func (ct *Controller) RunContext(ctx context.Context, slots int, wl workload.Gen
 			}
 		}
 		arrivals := wl.Arrivals(t)
-		act, st, acks, err := ct.RunSlot(t, arrivals)
+		act, st, acks, err := ct.RunSlotContext(ctx, t, arrivals)
 		if err != nil {
 			return nil, err
 		}

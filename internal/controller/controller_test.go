@@ -1,6 +1,8 @@
 package controller
 
 import (
+	"context"
+	"errors"
 	"math"
 	"net"
 	"testing"
@@ -256,5 +258,53 @@ func TestControllerSnapshotRestore(t *testing.T) {
 	}
 	if err := ct2.Restore([]byte("junk")); err == nil {
 		t.Error("junk snapshot accepted")
+	}
+}
+
+// ctxConn wraps localConn with a CallContext method, recording that the
+// controller preferred the context-aware path.
+type ctxConn struct {
+	localConn
+	sawCtx bool
+}
+
+func (c *ctxConn) CallContext(ctx context.Context, kind string, reqBody, respBody any) error {
+	c.sawCtx = true
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return c.Call(kind, reqBody, respBody)
+}
+
+func TestRunSlotUsesCallContextWhenAvailable(t *testing.T) {
+	in, conns, cleanup := buildSystem(t, 10, false)
+	defer cleanup()
+	wrapped := make([]AgentConn, len(conns))
+	ctxConns := make([]*ctxConn, len(conns))
+	for i, c := range conns {
+		cc := &ctxConn{localConn: c.(localConn)}
+		ctxConns[i] = cc
+		wrapped[i] = cc
+	}
+	g, _ := core.New(in.Cluster, core.Config{V: 7.5})
+	ct, err := New(in.Cluster, g, wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ct.RunSlot(0, in.Workload.Arrivals(0)); err != nil {
+		t.Fatal(err)
+	}
+	for i, cc := range ctxConns {
+		if !cc.sawCtx {
+			t.Errorf("agent %d: controller used Call, want CallContext", i)
+		}
+	}
+
+	// A canceled context must surface from the agent calls, not hang.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, _, err = ct.RunSlotContext(ctx, 1, in.Workload.Arrivals(1))
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
 	}
 }

@@ -116,6 +116,16 @@ func (so *slotObjective) attachTariff(c *model.Cluster, st *model.State, trf tar
 	}
 }
 
+// refreshTariff updates the tariff term's per-slot state (prices, base
+// energy) in place; the per-variable power and site maps are cluster-static
+// and stay untouched. Only valid after attachTariff.
+func (so *slotObjective) refreshTariff(c *model.Cluster, st *model.State) {
+	so.price = st.Price
+	for i := 0; i < c.N(); i++ {
+		so.base[i] = st.BaseEnergyAt(i)
+	}
+}
+
 // fillEnergy computes per-site batch energy from the b-part of x.
 func (so *slotObjective) fillEnergy(x []float64, out []float64) {
 	for i := range out {

@@ -76,6 +76,11 @@ type GreFar struct {
 	cluster *model.Cluster
 	cfg     Config
 	weights []float64 // account target shares gamma_m
+
+	// ws is the per-scheduler solver workspace. Its single-owner rule makes
+	// Decide NOT safe for concurrent calls on one GreFar instance; parallel
+	// sweeps must construct one scheduler per run (see decideScratch).
+	ws *decideScratch
 }
 
 var _ sched.Scheduler = (*GreFar)(nil)
@@ -107,7 +112,9 @@ func New(c *model.Cluster, cfg Config) (*GreFar, error) {
 		}
 		cfg.Fairness = quad
 	}
-	return &GreFar{cluster: c, cfg: cfg, weights: weights}, nil
+	g := &GreFar{cluster: c, cfg: cfg, weights: weights}
+	g.ws = newDecideScratch(c, !g.linearSlot())
+	return g, nil
 }
 
 // Name implements sched.Scheduler.
@@ -211,7 +218,7 @@ func (g *GreFar) decideRouting(q queue.Lengths, act *model.Action) {
 		}
 		// Eligible sites with negative routing coefficient, most negative
 		// (smallest local backlog) first.
-		order := make([]int, 0, len(jt.Eligible))
+		order := g.ws.order[:0]
 		for _, i := range jt.Eligible {
 			if q.Local[i][j] < qj {
 				order = append(order, i)
@@ -273,14 +280,17 @@ func routeBudgetFor(jt model.JobType) int {
 // its linear oracle and exact line search.
 func (g *GreFar) decideProcessing(st *model.State, q queue.Lengths, act *model.Action, stats *telemetry.SolveStats) error {
 	c := g.cluster
+	ws := g.ws
 
-	// Linear coefficients and per-pair processing caps shared by all paths.
-	cH, cB, hCap := SlotCoefficients(c, g.cfg, st, q)
+	// Linear coefficients and per-pair processing caps shared by all paths,
+	// rebuilt in the scheduler's workspace each slot.
+	slotCoefficientsInto(c, g.cfg, st, q, ws.cH, ws.cB, ws.hCap)
+	cH, cB, hCap := ws.cH, ws.cB, ws.hCap
 
 	var process [][]float64
 	switch {
 	case g.linearSlot() && c.Aux() == 0:
-		la, err := solveLinearSlot(c, st, cH, cB, hCap)
+		la, err := solveLinearSlotWS(&ws.lin, c, st, cH, cB, hCap)
 		if err != nil {
 			return err
 		}
@@ -310,14 +320,13 @@ func (g *GreFar) decideProcessing(st *model.State, q queue.Lengths, act *model.A
 
 	// Provision the cheapest busy-server mix for the chosen work; this is
 	// optimal given h because b enters the objective linearly with
-	// non-negative cost.
+	// non-negative cost. The cheapest-first server order is cluster-static,
+	// so the precomputed ws.provOrder avoids re-sorting every slot.
 	for i := 0; i < c.N(); i++ {
 		copy(act.Process[i], process[i])
-		busy, _, err := model.Provision(c.DataCenters[i], st.Avail[i], act.WorkAt(c, i))
-		if err != nil {
+		if _, err := model.ProvisionOrdered(c.DataCenters[i], ws.provOrder[i], st.Avail[i], act.Busy[i], act.WorkAt(c, i)); err != nil {
 			return fmt.Errorf("data center %d: %w", i, err)
 		}
-		act.Busy[i] = busy
 	}
 	return nil
 }
@@ -354,7 +363,8 @@ func (g *GreFar) linearSlot() bool {
 // search; other convex penalties (alpha-fair) use diminishing steps.
 func (g *GreFar) solveQuadraticSlot(st *model.State, cH, cB, hCap [][]float64, stats *telemetry.SolveStats) ([][]float64, error) {
 	c := g.cluster
-	l := newSlotLayout(c)
+	ws := g.ws
+	l := ws.layout
 
 	// Non-linear tariffs move the energy cost out of the linear part and
 	// into the convex tariff term.
@@ -363,30 +373,45 @@ func (g *GreFar) solveQuadraticSlot(st *model.State, cH, cB, hCap [][]float64, s
 		_, isLinear := g.cfg.Tariff.(tariff.Linear)
 		nonlinearTariff = !isLinear
 	}
-	linear := make([]float64, l.total)
+	linear := ws.linear
 	for i := 0; i < c.N(); i++ {
 		for j := 0; j < c.J(); j++ {
 			linear[l.hIndex(i, j)] = cH[i][j]
 		}
-		if !nonlinearTariff {
-			for k := 0; k < c.K(i); k++ {
+		for k := 0; k < c.K(i); k++ {
+			if nonlinearTariff {
+				linear[l.bOff[i]+k] = 0
+			} else {
 				linear[l.bOff[i]+k] = cB[i][k]
 			}
 		}
 	}
-	so := newSlotObjective(c, linear, g.cfg.V*g.cfg.Beta, st.TotalResource(c), g.cfg.Fairness)
-	if nonlinearTariff {
-		so.attachTariff(c, st, g.cfg.Tariff, g.cfg.V)
+	// The objective's structural maps (per-variable account, demand, power)
+	// depend only on the cluster and configuration, so the objective is built
+	// once and refreshed with the slot's prices and resource total thereafter.
+	if ws.obj == nil {
+		ws.obj = newSlotObjective(c, linear, g.cfg.V*g.cfg.Beta, st.TotalResource(c), g.cfg.Fairness)
+		if nonlinearTariff {
+			ws.obj.attachTariff(c, st, g.cfg.Tariff, g.cfg.V)
+		}
+		ws.wrapped = wrapSlotObjective(ws.obj)
+	} else {
+		ws.obj.total = st.TotalResource(c)
+		if nonlinearTariff {
+			ws.obj.refreshTariff(c, st)
+		}
 	}
-	obj := wrapSlotObjective(so)
 
-	oracle := SlotOracle(c, st, hCap)
+	oracle := slotOracleWS(c, st, hCap, ws.gradH, ws.gradB, &ws.lin)
 
 	opts := g.cfg.FW
 	if opts.MaxIters <= 0 {
 		opts.MaxIters = 150
 	}
-	res, err := solve.FrankWolfe(obj, oracle, make([]float64, l.total), opts)
+	for j := range ws.x0 {
+		ws.x0[j] = 0
+	}
+	res, err := solve.FrankWolfeWS(&ws.fw, ws.wrapped, oracle, ws.x0, opts)
 	if err != nil {
 		return nil, fmt.Errorf("frank-wolfe: %w", err)
 	}
@@ -399,9 +424,8 @@ func (g *GreFar) solveQuadraticSlot(st *model.State, cH, cB, hCap [][]float64, s
 		}
 	}
 
-	process := make([][]float64, c.N())
+	process := ws.process
 	for i := range process {
-		process[i] = make([]float64, c.J())
 		for j := 0; j < c.J(); j++ {
 			h := res.X[l.hIndex(i, j)]
 			if h < 0 {

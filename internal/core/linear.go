@@ -57,17 +57,28 @@ type jobDemand struct {
 // case, because the gradient of the quadratic slot objective with respect to
 // b is exactly the constant cB.
 func solveLinearSlot(c *model.Cluster, st *model.State, cH, cB, hCap [][]float64) (*linearAssignment, error) {
-	out := &linearAssignment{
-		process: make([][]float64, c.N()),
-		busy:    make([][]float64, c.N()),
-	}
+	return solveLinearSlotWS(newLinearScratch(c), c, st, cH, cB, hCap)
+}
+
+// solveLinearSlotWS is solveLinearSlot running entirely inside the given
+// workspace: the returned assignment aliases ws.out and is valid only until
+// the next call with the same workspace. The Decide hot path and the
+// Frank-Wolfe oracle (one greedy solve per iteration) both go through here
+// with a per-scheduler workspace, making the greedy exchange allocation-free.
+func solveLinearSlotWS(ws *linearScratch, c *model.Cluster, st *model.State, cH, cB, hCap [][]float64) (*linearAssignment, error) {
+	out := &ws.out
+	out.value = 0
 	for i := 0; i < c.N(); i++ {
-		out.process[i] = make([]float64, c.J())
-		out.busy[i] = make([]float64, c.K(i))
+		for j := range out.process[i] {
+			out.process[i][j] = 0
+		}
+		for k := range out.busy[i] {
+			out.busy[i][k] = 0
+		}
 
 		// Build capacity segments sorted by cost density.
 		dc := c.DataCenters[i]
-		segs := make([]segment, 0, c.K(i))
+		segs := ws.segs[:0]
 		for k, stype := range dc.Servers {
 			if cB[i][k] < 0 {
 				return nil, fmt.Errorf("data center %d server type %d: negative capacity cost %v", i, k, cB[i][k])
@@ -86,7 +97,7 @@ func solveLinearSlot(c *model.Cluster, st *model.State, cH, cB, hCap [][]float64
 		sort.Slice(segs, func(a, b int) bool { return segs[a].density < segs[b].density })
 
 		// Build job demands sorted by reward density.
-		jobs := make([]jobDemand, 0, c.J())
+		jobs := ws.jobs[:0]
 		for j := 0; j < c.J(); j++ {
 			if cH[i][j] >= 0 || hCap[i][j] <= 0 {
 				continue // processing this type here cannot reduce the objective

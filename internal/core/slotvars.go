@@ -38,24 +38,29 @@ func (l slotLayout) hIndex(i, j int) int { return i*l.nJ + j }
 // the invariant package's differential harness uses the same coefficients to
 // cross-run the iterative solvers on identical inputs.
 func SlotCoefficients(c *model.Cluster, cfg Config, st *model.State, q queue.Lengths) (cH, cB, hCap [][]float64) {
-	cH = make([][]float64, c.N())
-	cB = make([][]float64, c.N())
-	hCap = make([][]float64, c.N())
+	cH = newMatrixNJ(c)
+	cB = newMatrixNK(c)
+	hCap = newMatrixNJ(c)
+	slotCoefficientsInto(c, cfg, st, q, cH, cB, hCap)
+	return cH, cB, hCap
+}
+
+// slotCoefficientsInto fills caller-owned coefficient matrices, overwriting
+// every entry; the Decide hot path reuses one set per scheduler.
+func slotCoefficientsInto(c *model.Cluster, cfg Config, st *model.State, q queue.Lengths, cH, cB, hCap [][]float64) {
 	for i := 0; i < c.N(); i++ {
-		cH[i] = make([]float64, c.J())
-		cB[i] = make([]float64, c.K(i))
-		hCap[i] = make([]float64, c.J())
 		for j := 0; j < c.J(); j++ {
 			cH[i][j] = -q.Local[i][j]
 			if c.JobTypes[j].EligibleSet(i) {
 				hCap[i][j] = processBudgetFor(c.JobTypes[j], q.Local[i][j])
+			} else {
+				hCap[i][j] = 0
 			}
 		}
 		for k, stype := range c.DataCenters[i].Servers {
 			cB[i][k] = cfg.V * st.Price[i] * stype.Power
 		}
 	}
-	return cH, cB, hCap
 }
 
 // SlotOracle returns the linear-minimization oracle of the slot scheduling
@@ -66,13 +71,15 @@ func SlotCoefficients(c *model.Cluster, cfg Config, st *model.State, q queue.Len
 // disagreement between them isolates the iterative machinery rather than the
 // feasible set.
 func SlotOracle(c *model.Cluster, st *model.State, hCap [][]float64) solve.LinearOracle {
+	return slotOracleWS(c, st, hCap, newMatrixNJ(c), newMatrixNK(c), newLinearScratch(c))
+}
+
+// slotOracleWS is SlotOracle running on caller-owned gradient matrices and a
+// greedy-exchange workspace. The oracle is invoked once per Frank-Wolfe
+// iteration and the solver copies each vertex out immediately, so one
+// workspace safely serves every iteration of a Decide call.
+func slotOracleWS(c *model.Cluster, st *model.State, hCap, gradH, gradB [][]float64, lin *linearScratch) solve.LinearOracle {
 	l := newSlotLayout(c)
-	gradH := make([][]float64, c.N())
-	gradB := make([][]float64, c.N())
-	for i := range gradH {
-		gradH[i] = make([]float64, c.J())
-		gradB[i] = make([]float64, c.K(i))
-	}
 	return func(grad []float64, out []float64) {
 		for i := 0; i < c.N(); i++ {
 			for j := 0; j < c.J(); j++ {
@@ -94,7 +101,7 @@ func SlotOracle(c *model.Cluster, st *model.State, hCap [][]float64) solve.Linea
 				return // zero vertex fallback
 			}
 		} else {
-			la, err := solveLinearSlot(c, st, gradH, gradB, hCap)
+			la, err := solveLinearSlotWS(lin, c, st, gradH, gradB, hCap)
 			if err != nil {
 				return // unreachable given the clamp; zero vertex fallback
 			}

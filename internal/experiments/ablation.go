@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"grefar/internal/core"
 	"grefar/internal/model"
 	"grefar/internal/queue"
+	"grefar/internal/runner"
 	"grefar/internal/sim"
 	"grefar/internal/solve"
 )
@@ -194,25 +196,24 @@ type RoutingTieBreakResult struct {
 // energy cost, which is what makes Fig. 2's energy curve monotone in V.
 func AblationRoutingTieBreak(cfg Config) (*RoutingTieBreakResult, error) {
 	cfg = cfg.withDefaults()
-	res := &RoutingTieBreakResult{}
-	for _, rule := range []core.RoutingRule{core.SplitTies, core.FirstSiteWins} {
+	rules := []core.RoutingRule{core.SplitTies, core.FirstSiteWins}
+	runs, err := runner.Map(cfg.ctx(), cfg.Workers, len(rules), func(ctx context.Context, ri int) (*sim.Result, error) {
 		in, err := cfg.inputs()
 		if err != nil {
 			return nil, err
 		}
-		g, err := core.New(in.Cluster, core.Config{V: 0.1, Routing: rule})
+		g, err := core.New(in.Cluster, core.Config{V: 0.1, Routing: rules[ri]})
 		if err != nil {
 			return nil, err
 		}
-		r, err := sim.Run(in, g, cfg.simOptions(false))
-		if err != nil {
-			return nil, err
-		}
-		if rule == core.SplitTies {
-			res.SplitEnergy, res.SplitWork = r.AvgEnergy, r.AvgWorkPerDC
-		} else {
-			res.FirstEnergy, res.FirstWork = r.AvgEnergy, r.AvgWorkPerDC
-		}
+		return sim.Run(in, g, cfg.simOptions(ctx, false))
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &RoutingTieBreakResult{
+		SplitEnergy: runs[0].AvgEnergy, SplitWork: runs[0].AvgWorkPerDC,
+		FirstEnergy: runs[1].AvgEnergy, FirstWork: runs[1].AvgWorkPerDC,
 	}
 	return res, nil
 }
@@ -230,7 +231,7 @@ func WorkShare(cfg Config) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	r, err := sim.Run(in, g, cfg.simOptions(false))
+	r, err := sim.Run(in, g, cfg.simOptions(cfg.ctx(), false))
 	if err != nil {
 		return nil, err
 	}

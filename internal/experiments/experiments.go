@@ -7,19 +7,44 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"grefar/internal/core"
 	"grefar/internal/model"
+	"grefar/internal/runner"
 	"grefar/internal/sched"
 	"grefar/internal/sim"
 )
 
+// DefaultSeed seeds every stochastic input when Config.Seed is left zero.
+const DefaultSeed int64 = 2012
+
+// SeedZero explicitly requests the literal seed 0, which a plain zero Seed
+// field cannot express because zero means "use DefaultSeed". Pass it wherever
+// a Config.Seed or a Robustness seed is accepted.
+const SeedZero int64 = math.MinInt64
+
+// CanonicalSeed resolves the package's seed conventions: 0 maps to
+// DefaultSeed and SeedZero maps to the literal seed 0; every other value
+// passes through. Config.withDefaults and Robustness both apply it, so the
+// two conventions behave identically everywhere seeds enter.
+func CanonicalSeed(seed int64) int64 {
+	switch seed {
+	case 0:
+		return DefaultSeed
+	case SeedZero:
+		return 0
+	}
+	return seed
+}
+
 // Config tunes an experiment run. The zero value selects the paper-scale
-// defaults (2000 hourly slots, seed 2012).
+// defaults (2000 hourly slots, seed 2012, one worker per CPU).
 type Config struct {
-	// Seed drives every stochastic input deterministically.
+	// Seed drives every stochastic input deterministically. Zero selects
+	// DefaultSeed; use SeedZero for the literal seed 0.
 	Seed int64
 	// Slots is the simulation horizon in hours (default 2000, matching the
 	// paper's 2000-hour plots).
@@ -29,22 +54,40 @@ type Config struct {
 	// fails on the first violation. Off by default — it roughly doubles the
 	// per-slot bookkeeping.
 	Check bool
+	// Workers bounds how many independent simulation runs an experiment
+	// executes concurrently (<= 0 selects GOMAXPROCS). Results are identical
+	// to a serial run at any setting: every run is seeded independently,
+	// builds its own scheduler, and is assembled in sweep order.
+	Workers int
+	// Context, when non-nil, cancels the whole experiment: in-flight runs
+	// stop between slots and unstarted runs never start. Nil means run to
+	// completion.
+	Context context.Context
 }
 
 func (c Config) withDefaults() Config {
-	if c.Seed == 0 {
-		c.Seed = 2012
-	}
+	c.Seed = CanonicalSeed(c.Seed)
 	if c.Slots <= 0 {
 		c.Slots = 2000
 	}
 	return c
 }
 
+// ctx resolves the experiment context for the sweep engine.
+func (c Config) ctx() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
+}
+
 // simOptions builds the sim.Options every experiment run shares, threading
 // the Check flag through so one -check on the CLI covers the whole suite.
-func (c Config) simOptions(recordSeries bool) sim.Options {
-	return sim.Options{Slots: c.Slots, RecordSeries: recordSeries, ValidateActions: true, Check: c.Check}
+// The context is the per-run context handed out by the sweep engine, so the
+// first failing run (or an external cancellation) stops sibling runs between
+// slots.
+func (c Config) simOptions(ctx context.Context, recordSeries bool) sim.Options {
+	return sim.Options{Slots: c.Slots, RecordSeries: recordSeries, ValidateActions: true, Check: c.Check, Context: ctx}
 }
 
 func (c Config) inputs() (sim.Inputs, error) {
@@ -152,11 +195,14 @@ type Fig2Result struct {
 }
 
 // Fig2 reproduces Fig. 2: GreFar with beta = 0 for each V in Fig2Values.
-// Greater V must reduce energy cost and increase delay.
+// Greater V must reduce energy cost and increase delay. The per-V runs are
+// independent and fan out across Config.Workers; results are assembled in
+// Fig2Values order, so the output is identical at any worker count.
 func Fig2(cfg Config) (*Fig2Result, error) {
 	cfg = cfg.withDefaults()
 	res := &Fig2Result{V: append([]float64(nil), Fig2Values...)}
-	for _, v := range res.V {
+	runs, err := runner.Map(cfg.ctx(), cfg.Workers, len(res.V), func(ctx context.Context, vi int) (*sim.Result, error) {
+		v := res.V[vi]
 		in, err := cfg.inputs()
 		if err != nil {
 			return nil, err
@@ -165,10 +211,16 @@ func Fig2(cfg Config) (*Fig2Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := sim.Run(in, g, cfg.simOptions(true))
+		r, err := sim.Run(in, g, cfg.simOptions(ctx, true))
 		if err != nil {
 			return nil, fmt.Errorf("V=%g: %w", v, err)
 		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range runs {
 		res.Energy = append(res.Energy, r.EnergySeries)
 		res.DelayDC1 = append(res.DelayDC1, r.LocalDelaySeries[0])
 		res.DelayDC2 = append(res.DelayDC2, r.LocalDelaySeries[1])
@@ -195,7 +247,8 @@ type Fig3Result struct {
 func Fig3(cfg Config) (*Fig3Result, error) {
 	cfg = cfg.withDefaults()
 	res := &Fig3Result{Beta: []float64{0, 100}}
-	for _, beta := range res.Beta {
+	runs, err := runner.Map(cfg.ctx(), cfg.Workers, len(res.Beta), func(ctx context.Context, bi int) (*sim.Result, error) {
+		beta := res.Beta[bi]
 		in, err := cfg.inputs()
 		if err != nil {
 			return nil, err
@@ -204,10 +257,16 @@ func Fig3(cfg Config) (*Fig3Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := sim.Run(in, g, cfg.simOptions(true))
+		r, err := sim.Run(in, g, cfg.simOptions(ctx, true))
 		if err != nil {
 			return nil, fmt.Errorf("beta=%g: %w", beta, err)
 		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range runs {
 		res.Energy = append(res.Energy, r.EnergySeries)
 		res.Fairness = append(res.Fairness, r.FairnessSeries)
 		res.DelayDC1 = append(res.DelayDC1, r.LocalDelaySeries[0])
@@ -236,30 +295,33 @@ type Fig4Result struct {
 func Fig4(cfg Config) (*Fig4Result, error) {
 	cfg = cfg.withDefaults()
 	res := &Fig4Result{}
-	scheds := make([]sched.Scheduler, 0, 2)
-	in0, err := cfg.inputs()
-	if err != nil {
-		return nil, err
+	// Each run builds its own scheduler against its own inputs: a GreFar
+	// instance owns a solver workspace and must not be shared across
+	// concurrent runs.
+	builders := []func(c *model.Cluster) (sched.Scheduler, error){
+		func(c *model.Cluster) (sched.Scheduler, error) { return core.New(c, core.Config{V: 7.5, Beta: 100}) },
+		func(c *model.Cluster) (sched.Scheduler, error) { return sched.NewAlways(c) },
 	}
-	g, err := core.New(in0.Cluster, core.Config{V: 7.5, Beta: 100})
-	if err != nil {
-		return nil, err
-	}
-	a, err := sched.NewAlways(in0.Cluster)
-	if err != nil {
-		return nil, err
-	}
-	scheds = append(scheds, g, a)
-	for _, s := range scheds {
+	runs, err := runner.Map(cfg.ctx(), cfg.Workers, len(builders), func(ctx context.Context, si int) (*sim.Result, error) {
 		in, err := cfg.inputs()
 		if err != nil {
 			return nil, err
 		}
-		r, err := sim.Run(in, s, cfg.simOptions(true))
+		s, err := builders[si](in.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		r, err := sim.Run(in, s, cfg.simOptions(ctx, true))
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", s.Name(), err)
 		}
-		res.Names = append(res.Names, s.Name())
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range runs {
+		res.Names = append(res.Names, r.SchedulerName)
 		res.Energy = append(res.Energy, r.EnergySeries)
 		res.Fairness = append(res.Fairness, r.FairnessSeries)
 		res.DelayDC1 = append(res.DelayDC1, r.LocalDelaySeries[0])
@@ -299,29 +361,32 @@ func Fig5(cfg Config, day int) (*Fig5Result, error) {
 	if day < 0 || (day+1)*24 > cfg.Slots {
 		return nil, fmt.Errorf("day %d outside horizon of %d slots", day, cfg.Slots)
 	}
-	run := func(s func(c *model.Cluster) (sched.Scheduler, error)) (*sim.Result, error) {
+	builders := []struct {
+		name  string
+		build func(c *model.Cluster) (sched.Scheduler, error)
+	}{
+		{"grefar", func(c *model.Cluster) (sched.Scheduler, error) { return core.New(c, core.Config{V: 7.5}) }},
+		{"always", func(c *model.Cluster) (sched.Scheduler, error) { return sched.NewAlways(c) }},
+	}
+	runs, err := runner.Map(cfg.ctx(), cfg.Workers, len(builders), func(ctx context.Context, si int) (*sim.Result, error) {
 		in, err := cfg.inputs()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%s: %w", builders[si].name, err)
 		}
-		sc, err := s(in.Cluster)
+		sc, err := builders[si].build(in.Cluster)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%s: %w", builders[si].name, err)
 		}
-		return sim.Run(in, sc, cfg.simOptions(true))
-	}
-	rg, err := run(func(c *model.Cluster) (sched.Scheduler, error) {
-		return core.New(c, core.Config{V: 7.5})
+		r, err := sim.Run(in, sc, cfg.simOptions(ctx, true))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", builders[si].name, err)
+		}
+		return r, nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("grefar: %w", err)
+		return nil, err
 	}
-	ra, err := run(func(c *model.Cluster) (sched.Scheduler, error) {
-		return sched.NewAlways(c)
-	})
-	if err != nil {
-		return nil, fmt.Errorf("always: %w", err)
-	}
+	rg, ra := runs[0], runs[1]
 	res := &Fig5Result{
 		PriceDC1:        rg.PriceSeries[0][day*24 : (day+1)*24],
 		GreFarWork:      rg.WorkSeries[0][day*24 : (day+1)*24],
@@ -347,7 +412,12 @@ func mean(a []float64) float64 {
 }
 
 // weightedMean returns sum(v*w)/sum(w), the w-weighted average of v.
+// Mismatched or empty series yield 0, like correlation: indexing w while
+// ranging over a longer v would panic mid-experiment otherwise.
 func weightedMean(v, w []float64) float64 {
+	if len(v) == 0 || len(v) != len(w) {
+		return 0
+	}
 	var num, den float64
 	for i := range v {
 		num += v[i] * w[i]
@@ -379,7 +449,8 @@ type DelayTailsResult struct {
 func DelayTails(cfg Config) (*DelayTailsResult, error) {
 	cfg = cfg.withDefaults()
 	res := &DelayTailsResult{V: append([]float64(nil), Fig2Values...)}
-	for _, v := range res.V {
+	runs, err := runner.Map(cfg.ctx(), cfg.Workers, len(res.V), func(ctx context.Context, vi int) (*sim.Result, error) {
+		v := res.V[vi]
 		in, err := cfg.inputs()
 		if err != nil {
 			return nil, err
@@ -388,10 +459,17 @@ func DelayTails(cfg Config) (*DelayTailsResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := sim.Run(in, g, cfg.simOptions(false))
+		r, err := sim.Run(in, g, cfg.simOptions(ctx, false))
 		if err != nil {
 			return nil, fmt.Errorf("V=%g: %w", v, err)
 		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for vi, r := range runs {
+		v := res.V[vi]
 		h := r.DelayHistograms[0]
 		res.MeanDC1 = append(res.MeanDC1, h.Mean())
 		res.P50 = append(res.P50, h.Quantile(0.5))
@@ -424,33 +502,32 @@ func ThreeWay(cfg Config, v float64) (*ThreeWayResult, error) {
 	if v <= 0 {
 		v = 7.5
 	}
-	in0, err := cfg.inputs()
-	if err != nil {
-		return nil, err
+	builders := []func(c *model.Cluster) (sched.Scheduler, error){
+		func(c *model.Cluster) (sched.Scheduler, error) { return core.New(c, core.Config{V: v}) },
+		func(c *model.Cluster) (sched.Scheduler, error) { return sched.NewLocalGreedy(c) },
+		func(c *model.Cluster) (sched.Scheduler, error) { return sched.NewAlways(c) },
 	}
-	g, err := core.New(in0.Cluster, core.Config{V: v})
-	if err != nil {
-		return nil, err
-	}
-	lg, err := sched.NewLocalGreedy(in0.Cluster)
-	if err != nil {
-		return nil, err
-	}
-	al, err := sched.NewAlways(in0.Cluster)
-	if err != nil {
-		return nil, err
-	}
-	res := &ThreeWayResult{}
-	for _, s := range []sched.Scheduler{g, lg, al} {
+	runs, err := runner.Map(cfg.ctx(), cfg.Workers, len(builders), func(ctx context.Context, si int) (*sim.Result, error) {
 		in, err := cfg.inputs()
 		if err != nil {
 			return nil, err
 		}
-		r, err := sim.Run(in, s, cfg.simOptions(false))
+		s, err := builders[si](in.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		r, err := sim.Run(in, s, cfg.simOptions(ctx, false))
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", s.Name(), err)
 		}
-		res.Names = append(res.Names, s.Name())
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &ThreeWayResult{}
+	for _, r := range runs {
+		res.Names = append(res.Names, r.SchedulerName)
 		res.Energy = append(res.Energy, r.AvgEnergy)
 		res.DelayDC1 = append(res.DelayDC1, r.AvgLocalDelay[0])
 		res.WorkPerDC = append(res.WorkPerDC, r.AvgWorkPerDC)
@@ -479,60 +556,55 @@ func MPCComparison(cfg Config, window int) (*MPCResult, error) {
 	if window <= 0 {
 		window = 24
 	}
-	in, err := cfg.inputs()
-	if err != nil {
-		return nil, err
-	}
-	c := in.Cluster
-
-	// Perfect-foresight oracle over the same inputs. The MPC plans beyond
-	// the horizon, so the oracle wraps via the traces' own wrap-around.
-	oracle := &sched.TraceOracle{
-		States: func(t int) (*model.State, error) {
-			st := model.NewState(c)
-			avail := in.Availability.At(t)
-			for i := 0; i < c.N(); i++ {
-				copy(st.Avail[i], avail[i])
-				st.Price[i] = in.Prices[i].At(t)
+	// Each run owns its inputs and scheduler; the MPC run additionally owns
+	// the perfect-foresight oracle over its inputs. The MPC plans beyond the
+	// horizon, so the oracle wraps via the traces' own wrap-around.
+	builders := []struct {
+		name  string
+		build func(in sim.Inputs) (sched.Scheduler, error)
+	}{
+		{"mpc", func(in sim.Inputs) (sched.Scheduler, error) {
+			c := in.Cluster
+			oracle := &sched.TraceOracle{
+				States: func(t int) (*model.State, error) {
+					st := model.NewState(c)
+					avail := in.Availability.At(t)
+					for i := 0; i < c.N(); i++ {
+						copy(st.Avail[i], avail[i])
+						st.Price[i] = in.Prices[i].At(t)
+					}
+					return st, nil
+				},
+				Arrivals: func(t int) []int { return in.Workload.Arrivals(t) },
 			}
-			return st, nil
-		},
-		Arrivals: func(t int) []int { return in.Workload.Arrivals(t) },
+			return sched.NewOracleMPC(c, oracle, window)
+		}},
+		{"grefar", func(in sim.Inputs) (sched.Scheduler, error) {
+			return core.New(in.Cluster, core.Config{V: 7.5})
+		}},
+		{"always", func(in sim.Inputs) (sched.Scheduler, error) {
+			return sched.NewAlways(in.Cluster)
+		}},
 	}
-	mpc, err := sched.NewOracleMPC(c, oracle, window)
+	runs, err := runner.Map(cfg.ctx(), cfg.Workers, len(builders), func(ctx context.Context, si int) (*sim.Result, error) {
+		in, err := cfg.inputs()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", builders[si].name, err)
+		}
+		s, err := builders[si].build(in)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", builders[si].name, err)
+		}
+		r, err := sim.Run(in, s, cfg.simOptions(ctx, false))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", builders[si].name, err)
+		}
+		return r, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	rm, err := sim.Run(in, mpc, cfg.simOptions(false))
-	if err != nil {
-		return nil, fmt.Errorf("mpc: %w", err)
-	}
-
-	in2, err := cfg.inputs()
-	if err != nil {
-		return nil, err
-	}
-	g, err := core.New(in2.Cluster, core.Config{V: 7.5})
-	if err != nil {
-		return nil, err
-	}
-	rg, err := sim.Run(in2, g, cfg.simOptions(false))
-	if err != nil {
-		return nil, fmt.Errorf("grefar: %w", err)
-	}
-
-	in3, err := cfg.inputs()
-	if err != nil {
-		return nil, err
-	}
-	al, err := sched.NewAlways(in3.Cluster)
-	if err != nil {
-		return nil, err
-	}
-	ra, err := sim.Run(in3, al, cfg.simOptions(false))
-	if err != nil {
-		return nil, fmt.Errorf("always: %w", err)
-	}
+	rm, rg, ra := runs[0], runs[1], runs[2]
 
 	return &MPCResult{
 		Window:                 window,

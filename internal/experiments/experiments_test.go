@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"math"
+	"reflect"
 	"testing"
 )
 
@@ -336,4 +337,103 @@ func TestMPCComparison(t *testing.T) {
 	if res.MPCDelay <= 0 {
 		t.Errorf("MPC delay %v suspiciously low", res.MPCDelay)
 	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	v := []float64{2, 4, 6}
+	w := []float64{1, 1, 2}
+	if got, want := weightedMean(v, w), (2+4+12)/4.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("weightedMean = %v, want %v", got, want)
+	}
+	// Regression: a weights slice shorter than the values slice used to
+	// index w out of range. Mismatched lengths must yield 0, not panic.
+	if got := weightedMean([]float64{1, 2, 3}, []float64{1}); got != 0 {
+		t.Errorf("mismatched lengths: got %v, want 0", got)
+	}
+	if got := weightedMean(nil, nil); got != 0 {
+		t.Errorf("empty: got %v, want 0", got)
+	}
+	if got := weightedMean([]float64{1}, []float64{0}); got != 0 {
+		t.Errorf("zero total weight: got %v, want 0", got)
+	}
+}
+
+func TestCanonicalSeed(t *testing.T) {
+	if got := CanonicalSeed(0); got != DefaultSeed {
+		t.Errorf("CanonicalSeed(0) = %d, want DefaultSeed %d", got, DefaultSeed)
+	}
+	if got := CanonicalSeed(SeedZero); got != 0 {
+		t.Errorf("CanonicalSeed(SeedZero) = %d, want 0", got)
+	}
+	if got := CanonicalSeed(41); got != 41 {
+		t.Errorf("CanonicalSeed(41) = %d, want 41", got)
+	}
+	// Regression: Seed 0 used to silently become 2012, making the literal
+	// seed 0 unrunnable. SeedZero must produce a run distinct from the
+	// default-seeded one.
+	cfg := Config{Seed: SeedZero, Slots: 48}.withDefaults()
+	if cfg.Seed != 0 {
+		t.Fatalf("withDefaults(SeedZero).Seed = %d, want 0", cfg.Seed)
+	}
+	if def := (Config{Slots: 48}).withDefaults(); def.Seed != DefaultSeed {
+		t.Fatalf("withDefaults(0).Seed = %d, want DefaultSeed", def.Seed)
+	}
+}
+
+func TestSeedZeroRunsDistinctFromDefault(t *testing.T) {
+	zero, err := Fig2(Config{Seed: SeedZero, Slots: 48, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := Fig2(Config{Slots: 48, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range zero.FinalEnergy {
+		if zero.FinalEnergy[i] != def.FinalEnergy[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("SeedZero run identical to default-seed run; seed 0 is still unreachable")
+	}
+}
+
+// TestParallelMatchesSerial is the determinism keystone for the sweep
+// engine: the same experiment at any worker count must produce deep-equal
+// results, because every run is isolated and assembly happens in index
+// order. A mismatch here means shared state leaked between parallel runs.
+func TestParallelMatchesSerial(t *testing.T) {
+	cfg := func(workers int) Config {
+		return Config{Seed: 2012, Slots: 72, Workers: workers}
+	}
+	t.Run("Fig2", func(t *testing.T) {
+		serial, err := Fig2(cfg(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := Fig2(cfg(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Error("Fig2 with 4 workers differs from serial run")
+		}
+	})
+	t.Run("Robustness", func(t *testing.T) {
+		seeds := []int64{2012, 7, 41}
+		serial, err := Robustness(cfg(1), seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := Robustness(cfg(4), seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Error("Robustness with 4 workers differs from serial run")
+		}
+	})
 }

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"grefar/internal/core"
 	"grefar/internal/metrics"
+	"grefar/internal/runner"
 	"grefar/internal/sched"
 	"grefar/internal/sim"
 )
@@ -37,40 +39,56 @@ type RobustnessResult struct {
 }
 
 // Robustness replicates the GreFar-vs-Always comparison across the given
-// seeds (defaults to 1..5) at V=7.5, beta=100.
+// seeds (defaults to 1..5) at V=7.5, beta=100. Seeds pass through
+// CanonicalSeed, so a literal 0 in the list is expressed as SeedZero. The
+// per-seed replicas fan out across Config.Workers; the Welford aggregation
+// runs serially in seed order afterwards, so the floating-point results are
+// bit-identical at any worker count.
 func Robustness(cfg Config, seeds []int64) (*RobustnessResult, error) {
 	cfg = cfg.withDefaults()
 	if len(seeds) == 0 {
 		seeds = []int64{1, 2, 3, 4, 5}
 	}
-	var ge, ae, gap, fair, delay metrics.Welford
-	res := &RobustnessResult{}
-	for _, seed := range seeds {
+	type seedRuns struct {
+		grefar, always *sim.Result
+	}
+	runs, err := runner.Map(cfg.ctx(), cfg.Workers, len(seeds), func(ctx context.Context, si int) (seedRuns, error) {
+		seed := CanonicalSeed(seeds[si])
 		in, err := sim.NewReferenceInputs(seed, cfg.Slots)
 		if err != nil {
-			return nil, fmt.Errorf("seed %d: %w", seed, err)
+			return seedRuns{}, fmt.Errorf("seed %d: %w", seed, err)
 		}
 		g, err := core.New(in.Cluster, core.Config{V: 7.5, Beta: 100})
 		if err != nil {
-			return nil, err
+			return seedRuns{}, err
 		}
 		a, err := sched.NewAlways(in.Cluster)
 		if err != nil {
-			return nil, err
+			return seedRuns{}, err
 		}
-		rg, err := sim.Run(in, g, cfg.simOptions(false))
+		rg, err := sim.Run(in, g, cfg.simOptions(ctx, false))
 		if err != nil {
-			return nil, fmt.Errorf("seed %d grefar: %w", seed, err)
+			return seedRuns{}, fmt.Errorf("seed %d grefar: %w", seed, err)
 		}
 		// Rebuild inputs so both schedulers consume identical traces.
 		in2, err := sim.NewReferenceInputs(seed, cfg.Slots)
 		if err != nil {
-			return nil, err
+			return seedRuns{}, err
 		}
-		ra, err := sim.Run(in2, a, cfg.simOptions(false))
+		ra, err := sim.Run(in2, a, cfg.simOptions(ctx, false))
 		if err != nil {
-			return nil, fmt.Errorf("seed %d always: %w", seed, err)
+			return seedRuns{}, fmt.Errorf("seed %d always: %w", seed, err)
 		}
+		return seedRuns{grefar: rg, always: ra}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var ge, ae, gap, fair, delay metrics.Welford
+	res := &RobustnessResult{}
+	for _, sr := range runs {
+		rg, ra := sr.grefar, sr.always
 
 		ge.Add(rg.AvgEnergy)
 		ae.Add(ra.AvgEnergy)

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"grefar/internal/core"
+	"grefar/internal/runner"
 	"grefar/internal/sched"
 	"grefar/internal/sim"
 )
@@ -54,7 +56,8 @@ func Theorem1(cfg Config, vs []float64, frameT int) (*Theorem1Result, error) {
 	cfg.Slots = slots
 
 	res := &Theorem1Result{T: frameT}
-	for _, v := range vs {
+	runs, err := runner.Map(cfg.ctx(), cfg.Workers, len(vs), func(ctx context.Context, vi int) (*sim.Result, error) {
+		v := vs[vi]
 		in, err := cfg.inputs()
 		if err != nil {
 			return nil, err
@@ -63,11 +66,17 @@ func Theorem1(cfg Config, vs []float64, frameT int) (*Theorem1Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := sim.Run(in, g, cfg.simOptions(false))
+		r, err := sim.Run(in, g, cfg.simOptions(ctx, false))
 		if err != nil {
 			return nil, fmt.Errorf("V=%g: %w", v, err)
 		}
-		res.V = append(res.V, v)
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for vi, r := range runs {
+		res.V = append(res.V, vs[vi])
 		res.MaxQueue = append(res.MaxQueue, r.MaxQueue)
 		res.AvgCost = append(res.AvgCost, r.AvgEnergy)
 		res.FinalBacklog = append(res.FinalBacklog, r.FinalBacklog)

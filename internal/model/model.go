@@ -360,10 +360,22 @@ func NewAction(c *Cluster) *Action {
 		Process: make([][]float64, c.N()),
 		Busy:    make([][]float64, c.N()),
 	}
-	for i := 0; i < c.N(); i++ {
-		a.Route[i] = make([]int, c.J())
-		a.Process[i] = make([]float64, c.J())
-		a.Busy[i] = make([]float64, c.K(i))
+	// One backing array per matrix: an Action is allocated every slot on the
+	// scheduling hot path, so row-per-row allocation tripled its cost.
+	n, j := c.N(), c.J()
+	routeFlat := make([]int, n*j)
+	processFlat := make([]float64, n*j)
+	kTotal := 0
+	for i := 0; i < n; i++ {
+		kTotal += c.K(i)
+	}
+	busyFlat := make([]float64, kTotal)
+	kOff := 0
+	for i := 0; i < n; i++ {
+		a.Route[i] = routeFlat[i*j : (i+1)*j : (i+1)*j]
+		a.Process[i] = processFlat[i*j : (i+1)*j : (i+1)*j]
+		a.Busy[i] = busyFlat[kOff : kOff+c.K(i) : kOff+c.K(i)]
+		kOff += c.K(i)
 	}
 	return a
 }

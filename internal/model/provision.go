@@ -77,6 +77,66 @@ func Provision(dc DataCenter, avail []float64, work float64) ([]float64, float64
 	return busy, power, nil
 }
 
+// RateOrder returns the server-type indices of dc sorted by increasing
+// energy per unit work (p_k/s_k), ties broken by index — the same visit
+// order Segments produces, but availability-independent, so callers on a hot
+// path can compute it once per data center and provision every slot through
+// ProvisionOrdered without re-sorting or allocating.
+func RateOrder(dc DataCenter) []int {
+	order := make([]int, len(dc.Servers))
+	for k := range order {
+		order[k] = k
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ra, rb := dc.Servers[order[a]].CostPerWork(), dc.Servers[order[b]].CostPerWork()
+		if ra != rb {
+			return ra < rb
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// ProvisionOrdered is Provision with a precomputed RateOrder and a
+// caller-owned busy vector: it writes the cheapest busy-server mix covering
+// work into busy (len = number of server types) and returns the total power
+// drawn. Semantics are identical to Provision; the only difference is that
+// nothing is allocated.
+func ProvisionOrdered(dc DataCenter, order []int, avail []float64, busy []float64, work float64) (float64, error) {
+	for k := range busy {
+		busy[k] = 0
+	}
+	if work < 0 {
+		return 0, fmt.Errorf("negative work %v", work)
+	}
+	if work == 0 {
+		return 0, nil
+	}
+	remaining := work
+	var power float64
+	for _, k := range order {
+		st := dc.Servers[k]
+		cap := avail[k] * st.Speed
+		if cap <= 0 {
+			continue
+		}
+		take := cap
+		if take > remaining {
+			take = remaining
+		}
+		busy[k] = take / st.Speed
+		power += take / st.Speed * st.Power
+		remaining -= take
+		if remaining <= 0 {
+			return power, nil
+		}
+	}
+	if remaining > feasibilityTol*(1+work) {
+		return 0, fmt.Errorf("work %v exceeds available capacity by %v", work, remaining)
+	}
+	return power, nil
+}
+
 // EnergyPerWork returns the marginal energy cost per unit work at data center
 // i when it is loaded with the given amount of work: the Rate of the segment
 // the next unit of work would land on, times the price. It returns +Inf when

@@ -217,6 +217,10 @@ func Run(in Inputs, s sched.Scheduler, opt Options) (*Result, error) {
 		}
 		st.BaseEnergy = make([]float64, c.N())
 	}
+	var admissionLens []float64
+	if opt.Admission != nil {
+		admissionLens = make([]float64, c.J())
+	}
 	for t := 0; t < opt.Slots; t++ {
 		if opt.Context != nil {
 			if err := opt.Context.Err(); err != nil {
@@ -255,7 +259,7 @@ func Run(in Inputs, s sched.Scheduler, opt Options) (*Result, error) {
 		admitted := arrivals
 		var slotDropped float64
 		if opt.Admission != nil {
-			lens := make([]float64, c.J())
+			lens := admissionLens
 			for j := range lens {
 				lens[j] = qs.CentralLen(j)
 			}

@@ -82,6 +82,28 @@ func (e *NotConvergedError) Error() string {
 // Unwrap makes errors.Is(err, ErrNotConverged) true.
 func (e *NotConvergedError) Unwrap() error { return ErrNotConverged }
 
+// FWWorkspace holds the iterate and direction buffers of a Frank-Wolfe run
+// so repeated solves of same-sized problems allocate nothing. A workspace is
+// sized lazily on first use and may be reused across calls of any dimension;
+// it must not be shared between concurrent solves.
+type FWWorkspace struct {
+	x, grad, v, dir []float64
+}
+
+// resize makes every buffer exactly n long, reallocating only on growth.
+func (ws *FWWorkspace) resize(n int) {
+	if cap(ws.x) < n {
+		ws.x = make([]float64, n)
+		ws.grad = make([]float64, n)
+		ws.v = make([]float64, n)
+		ws.dir = make([]float64, n)
+	}
+	ws.x = ws.x[:n]
+	ws.grad = ws.grad[:n]
+	ws.v = ws.v[:n]
+	ws.dir = ws.dir[:n]
+}
+
 // FrankWolfe minimizes a convex objective over the polytope implicitly
 // defined by the linear oracle, starting from the feasible point x0.
 //
@@ -91,12 +113,22 @@ func (e *NotConvergedError) Unwrap() error { return ErrNotConverged }
 // the classic diminishing step 2/(k+2) otherwise. The duality gap
 // grad.(x - v) >= f(x) - f* provides a certified stopping criterion.
 func FrankWolfe(obj Objective, oracle LinearOracle, x0 []float64, opts FWOptions) (FWResult, error) {
+	return FrankWolfeWS(nil, obj, oracle, x0, opts)
+}
+
+// FrankWolfeWS is FrankWolfe running inside the given workspace (nil gets a
+// fresh one). The returned FWResult.X aliases workspace memory and is valid
+// only until the next call with the same workspace; callers that keep the
+// iterate must copy it out first.
+func FrankWolfeWS(ws *FWWorkspace, obj Objective, oracle LinearOracle, x0 []float64, opts FWOptions) (FWResult, error) {
+	if ws == nil {
+		ws = &FWWorkspace{}
+	}
 	opts = opts.withDefaults()
 	n := len(x0)
-	x := append([]float64(nil), x0...)
-	grad := make([]float64, n)
-	v := make([]float64, n)
-	dir := make([]float64, n)
+	ws.resize(n)
+	x, grad, v, dir := ws.x, ws.grad, ws.v, ws.dir
+	copy(x, x0)
 	curv, hasCurv := obj.(CurvatureAlong)
 
 	res := FWResult{}

@@ -1,9 +1,18 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
+)
+
+// Backoff bounds for the retry loop: attempt n waits baseBackoff * 2^(n-1),
+// capped at maxBackoff, before redialing. Without this, a dead agent turns
+// the retry loop into a tight spin of connection attempts.
+const (
+	baseBackoff = 50 * time.Millisecond
+	maxBackoff  = 2 * time.Second
 )
 
 // ReconnectClient wraps Dial with lazy connection establishment and
@@ -18,6 +27,9 @@ type ReconnectClient struct {
 	addr    string
 	timeout time.Duration
 	retries int
+	// backoff is the first retry delay (doubled per attempt, capped at
+	// maxBackoff); defaults to baseBackoff, overridable in tests.
+	backoff time.Duration
 
 	mu     sync.Mutex
 	client *Client
@@ -30,7 +42,35 @@ func NewReconnectClient(addr string, timeout time.Duration, retries int) *Reconn
 	if retries <= 0 {
 		retries = 2
 	}
-	return &ReconnectClient{addr: addr, timeout: timeout, retries: retries}
+	return &ReconnectClient{addr: addr, timeout: timeout, retries: retries, backoff: baseBackoff}
+}
+
+// retryDelay returns how long to wait before the given retry attempt
+// (attempt >= 1): capped exponential growth from the base delay.
+func (r *ReconnectClient) retryDelay(attempt int) time.Duration {
+	d := r.backoff
+	for i := 1; i < attempt && d < maxBackoff; i++ {
+		d *= 2
+	}
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	return d
+}
+
+// sleepContext waits for d or until ctx is canceled, whichever comes first.
+func sleepContext(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // ensure returns a live client, dialing if necessary. Caller holds mu.
@@ -49,12 +89,35 @@ func (r *ReconnectClient) ensure() (*Client, error) {
 	return c, nil
 }
 
-// Call sends a request, redialing and retrying on transport failures.
-// Remote handler errors (RemoteError) are not retried: the remote side saw
-// the request and rejected it, so replaying cannot help.
+// Call sends a request, redialing and retrying on transport failures with
+// capped exponential backoff between attempts. Remote handler errors
+// (RemoteError) are not retried: the remote side saw the request and rejected
+// it, so replaying cannot help.
 func (r *ReconnectClient) Call(kind string, reqBody, respBody any) error {
+	return r.CallContext(context.Background(), kind, reqBody, respBody)
+}
+
+// CallContext is Call honoring a context: cancellation aborts the retry loop
+// immediately, including mid-backoff, so an interrupted controller does not
+// sit out the remaining delays of an unreachable agent. The in-flight network
+// operation itself is still bounded by the client's I/O timeout rather than
+// the context.
+func (r *ReconnectClient) CallContext(ctx context.Context, kind string, reqBody, respBody any) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var lastErr error
 	for attempt := 0; attempt <= r.retries; attempt++ {
+		if attempt > 0 {
+			if err := sleepContext(ctx, r.retryDelay(attempt)); err != nil {
+				if lastErr != nil {
+					return fmt.Errorf("canceled after %d attempts (last error: %v): %w", attempt, lastErr, err)
+				}
+				return err
+			}
+		} else if err := ctx.Err(); err != nil {
+			return err
+		}
 		r.mu.Lock()
 		c, err := r.ensure()
 		if err != nil {

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"net"
 	"testing"
@@ -88,6 +89,102 @@ func TestReconnectClientDoesNotRetryRemoteErrors(t *testing.T) {
 	var re *RemoteError
 	if !errors.As(err, &re) {
 		t.Fatalf("err = %v, want RemoteError (no retries)", err)
+	}
+}
+
+// flakyListener accepts TCP connections but slams the door on the first
+// refusals of them, then hands the rest to a real server — the shape of an
+// agent that is restarting while the controller retries.
+type flakyListener struct {
+	net.Listener
+	refusals int
+}
+
+func (fl *flakyListener) Accept() (net.Conn, error) {
+	for {
+		conn, err := fl.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if fl.refusals > 0 {
+			fl.refusals--
+			conn.Close()
+			continue
+		}
+		return conn, nil
+	}
+}
+
+func TestReconnectClientBacksOffThroughRefusals(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &flakyListener{Listener: lis, refusals: 2}
+	srv := NewServer(fl, pingHandler)
+	go srv.Serve()
+	defer srv.Close()
+
+	c := NewReconnectClient(lis.Addr().String(), time.Second, 4)
+	c.backoff = 10 * time.Millisecond
+	defer c.Close()
+
+	start := time.Now()
+	var resp Ping
+	if err := c.CallContext(context.Background(), KindPing, Ping{Nonce: 7}, &resp); err != nil {
+		t.Fatalf("call through refusals: %v", err)
+	}
+	if resp.Nonce != 7 {
+		t.Errorf("Nonce = %d, want 7", resp.Nonce)
+	}
+	// Two refused connections force at least two backoff sleeps (10+20ms).
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("call returned after %v; expected at least 30ms of backoff", elapsed)
+	}
+}
+
+func TestReconnectClientCallContextCanceledMidRetry(t *testing.T) {
+	// No server at all, large retry budget with long backoff: only
+	// cancellation can end the loop quickly.
+	c := NewReconnectClient("127.0.0.1:1", 100*time.Millisecond, 10)
+	c.backoff = 10 * time.Second
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := c.CallContext(ctx, KindPing, Ping{}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v; the retry loop must abort mid-backoff", elapsed)
+	}
+}
+
+func TestReconnectClientCallContextAlreadyCanceled(t *testing.T) {
+	c := NewReconnectClient("127.0.0.1:1", 100*time.Millisecond, 3)
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.CallContext(ctx, KindPing, Ping{}, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled without any dial attempt", err)
+	}
+}
+
+func TestRetryDelayCapped(t *testing.T) {
+	c := NewReconnectClient("127.0.0.1:1", time.Second, 3)
+	if d := c.retryDelay(1); d != baseBackoff {
+		t.Errorf("retryDelay(1) = %v, want %v", d, baseBackoff)
+	}
+	if d := c.retryDelay(2); d != 2*baseBackoff {
+		t.Errorf("retryDelay(2) = %v, want %v", d, 2*baseBackoff)
+	}
+	if d := c.retryDelay(100); d != maxBackoff {
+		t.Errorf("retryDelay(100) = %v, want cap %v", d, maxBackoff)
 	}
 }
 

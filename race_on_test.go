@@ -1,0 +1,9 @@
+//go:build race
+
+package grefar_test
+
+// raceEnabled reports whether the race detector is compiled in. Allocation
+// guards skip under -race: the detector's shadow bookkeeping changes
+// allocation counts, so the budgets in testdata/bench_slot_baseline.txt only
+// hold for plain builds.
+const raceEnabled = true

@@ -1,0 +1,72 @@
+package grefar_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"grefar"
+)
+
+// buildSpecs makes one RunSpec per V value, each with its own inputs and its
+// own scheduler — the ownership rule Sweep documents.
+func buildSpecs(t *testing.T, slots int, vs []float64) []grefar.RunSpec {
+	t.Helper()
+	specs := make([]grefar.RunSpec, len(vs))
+	for i, v := range vs {
+		inputs, err := grefar.ReferenceInputs(2012, slots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := grefar.New(inputs.Cluster, grefar.WithV(v), grefar.WithBeta(100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs[i] = grefar.RunSpec{
+			Inputs:    inputs,
+			Scheduler: s,
+			Options:   []grefar.SimOption{grefar.SimOptions{Slots: slots, ValidateActions: true}},
+		}
+	}
+	return specs
+}
+
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	const slots = 72
+	vs := []float64{1, 7.5, 30, 90}
+
+	serial, err := grefar.Sweep(context.Background(), buildSpecs(t, slots, vs), grefar.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := grefar.Sweep(context.Background(), buildSpecs(t, slots, vs), grefar.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(vs) || len(parallel) != len(vs) {
+		t.Fatalf("got %d/%d results, want %d", len(serial), len(parallel), len(vs))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("spec %d: parallel result differs from serial", i)
+		}
+	}
+	// Results are ordered by spec index: higher V trades delay for energy,
+	// so final energy must be non-increasing along the sweep.
+	for i := 1; i < len(serial); i++ {
+		if serial[i].AvgEnergy > serial[i-1].AvgEnergy {
+			t.Errorf("V=%v energy %v > V=%v energy %v; results out of spec order?",
+				vs[i], serial[i].AvgEnergy, vs[i-1], serial[i-1].AvgEnergy)
+		}
+	}
+}
+
+func TestSweepCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := grefar.Sweep(ctx, buildSpecs(t, 48, []float64{1, 7.5}))
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
