@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test tier1 vet race bench bench-slot fuzz golden check clean
+.PHONY: all build test tier1 vet race bench bench-slot bench-json bench-compare fuzz golden check clean
 
 all: tier1
 
@@ -33,12 +33,14 @@ tier1:
 	$(GO) test -count=1 -run TestDecideAllocationBudget .
 	$(GO) test -run '^$$' -fuzz FuzzSimplex -fuzztime $(FUZZTIME) ./internal/lp
 	$(GO) test -run '^$$' -fuzz FuzzApply -fuzztime $(FUZZTIME) ./internal/queue
+	$(GO) test -run '^$$' -fuzz FuzzWarmRepair -fuzztime $(FUZZTIME) ./internal/core
 
 # fuzz runs the native fuzz targets for FUZZTIME each (default 10s); raise it
 # for a deeper soak, e.g. make fuzz FUZZTIME=5m.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSimplex -fuzztime $(FUZZTIME) ./internal/lp
 	$(GO) test -run '^$$' -fuzz FuzzApply -fuzztime $(FUZZTIME) ./internal/queue
+	$(GO) test -run '^$$' -fuzz FuzzWarmRepair -fuzztime $(FUZZTIME) ./internal/core
 
 # golden regenerates the committed golden traces under
 # internal/invariant/testdata/golden after an intentional behavior change.
@@ -63,6 +65,25 @@ bench:
 bench-slot:
 	$(GO) test -run '^$$' -bench BenchmarkSlotDecision -benchmem .
 	$(GO) test -count=1 -run TestDecideAllocationBudget -v .
+
+# BENCHES is the benchmark set recorded in BENCH_slot.json: the per-slot
+# solver cost (with and without the warm-started away-step path) and the
+# distributed controller round-trip.
+BENCHES = BenchmarkSlotDecision$$|BenchmarkDistributedSlot$$
+BENCHCOUNT ?= 3
+
+# bench-json refreshes the committed solver baseline BENCH_slot.json.
+# Run it after an intentional performance change and commit the diff.
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -count=$(BENCHCOUNT) . \
+		| $(GO) run ./cmd/benchjson -out BENCH_slot.json
+
+# bench-compare re-runs the same benchmarks and fails when a beta=100 slot
+# decision (cold or warm) regresses more than 15% in ns/op or allocs/op
+# against the committed BENCH_slot.json; other benchmarks only warn.
+bench-compare:
+	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -count=$(BENCHCOUNT) . \
+		| $(GO) run ./cmd/benchjson -compare BENCH_slot.json -max-regress 0.15
 
 clean:
 	$(GO) clean ./...

@@ -2,7 +2,6 @@ package grefar_test
 
 import (
 	"bufio"
-	"fmt"
 	"os"
 	"strconv"
 	"strings"
@@ -55,19 +54,29 @@ func TestDecideAllocationBudget(t *testing.T) {
 		t.Skip("allocation counts include race-detector bookkeeping under -race")
 	}
 	budgets := loadAllocBudgets(t)
-	for _, beta := range []float64{0, 100} {
-		name := fmt.Sprintf("beta=%g", beta)
-		t.Run(name, func(t *testing.T) {
-			ceil, ok := budgets[name]
+	cases := []struct {
+		name string
+		beta float64
+		opts []grefar.Option
+	}{
+		{name: "beta=0", beta: 0},
+		{name: "beta=100", beta: 100},
+		{name: "beta=100-warm", beta: 100, opts: []grefar.Option{
+			grefar.WithWarmStart(true), grefar.WithAwaySteps(true),
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ceil, ok := budgets[tc.name]
 			if !ok {
-				t.Fatalf("no budget recorded for %s in testdata/bench_slot_baseline.txt", name)
+				t.Fatalf("no budget recorded for %s in testdata/bench_slot_baseline.txt", tc.name)
 			}
 			inputs, err := grefar.ReferenceInputs(2012, 48)
 			if err != nil {
 				t.Fatal(err)
 			}
 			c := inputs.Cluster
-			g, err := grefar.New(c, grefar.Config{V: 7.5, Beta: beta})
+			g, err := grefar.New(c, append([]grefar.Option{grefar.Config{V: 7.5, Beta: tc.beta}}, tc.opts...)...)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"testing"
 
+	"grefar"
 	"grefar/internal/experiments"
 )
 
@@ -260,4 +261,11 @@ func BenchmarkSlotDecision(b *testing.B) {
 			benchmarkSlotDecision(b, beta)
 		})
 	}
+	// The optimized solver path: cross-slot warm start + away-step
+	// Frank-Wolfe. Compare against beta=100 for the solver-engineering win;
+	// `make bench-json` records both in BENCH_slot.json.
+	b.Run("beta=100-warm", func(b *testing.B) {
+		b.ReportAllocs()
+		benchmarkSlotDecision(b, 100, grefar.WithWarmStart(true), grefar.WithAwaySteps(true))
+	})
 }

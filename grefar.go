@@ -44,6 +44,7 @@ import (
 	"grefar/internal/queue"
 	"grefar/internal/sched"
 	"grefar/internal/sim"
+	"grefar/internal/solve"
 	"grefar/internal/tariff"
 	"grefar/internal/telemetry"
 	"grefar/internal/workload"
@@ -77,6 +78,9 @@ type (
 	// Config carries GreFar's control knobs V (cost-delay) and Beta
 	// (energy-fairness).
 	Config = core.Config
+	// FWOptions tunes the Frank-Wolfe solver used when beta > 0 (see
+	// WithFrankWolfe, WithAwaySteps, WithWarmStart).
+	FWOptions = solve.FWOptions
 	// QueueLengths is the backlog snapshot Theta(t) a Scheduler observes.
 	QueueLengths = queue.Lengths
 )

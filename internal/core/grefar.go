@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"grefar/internal/fairness"
 	"grefar/internal/model"
@@ -33,8 +32,17 @@ type Config struct {
 	// slot solver applies.
 	Tariff tariff.Tariff
 	// FW tunes the Frank-Wolfe solver used when Beta > 0. Zero values select
-	// defaults.
+	// defaults; invalid values (negative MaxIters, NaN or negative Tol) are
+	// rejected at New with ErrBadConfig.
 	FW solve.FWOptions
+	// WarmStart seeds each slot's convex solve (Beta > 0) with the previous
+	// slot's iterate, repaired against the current slot's availability caps,
+	// instead of cold-starting from zero. Consecutive slot problems differ
+	// only by backlogs, prices, and availability, so the previous optimum is
+	// usually a few iterations from the new one. Off by default: results are
+	// equal within the solver tolerance but not bit-identical, and golden
+	// traces pin the cold-start behavior.
+	WarmStart bool
 	// Routing selects how routing ties are broken (sites with equal local
 	// backlog have identical coefficients in (14), so the minimizer is not
 	// unique). The default SplitTies emulates the uncapped paper algorithm,
@@ -81,6 +89,18 @@ type GreFar struct {
 	// Decide NOT safe for concurrent calls on one GreFar instance; parallel
 	// sweeps must construct one scheduler per run (see decideScratch).
 	ws *decideScratch
+
+	// Warm-start outcome counters, cumulative over the scheduler's lifetime
+	// and surfaced in every SolveStats when WarmStart is on.
+	warmHits, warmRepairs, warmFallbacks int
+
+	// reportOpts marks a scheduler whose solver options depart from the
+	// defaults; the effective options are then attached to its first
+	// telemetry event (optsReported latches). Default-configured schedulers
+	// never attach them, keeping their event streams byte-identical to
+	// pre-option traces.
+	reportOpts   bool
+	optsReported bool
 }
 
 var _ sched.Scheduler = (*GreFar)(nil)
@@ -101,6 +121,9 @@ func New(c *model.Cluster, cfg Config) (*GreFar, error) {
 	if cfg.Beta < 0 {
 		return nil, fmt.Errorf("%w: energy-fairness parameter beta = %v is negative", ErrBadConfig, cfg.Beta)
 	}
+	if err := cfg.FW.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
 	weights := make([]float64, c.M())
 	for m, a := range c.Accounts {
 		weights[m] = a.Weight
@@ -114,6 +137,7 @@ func New(c *model.Cluster, cfg Config) (*GreFar, error) {
 	}
 	g := &GreFar{cluster: c, cfg: cfg, weights: weights}
 	g.ws = newDecideScratch(c, !g.linearSlot())
+	g.reportOpts = cfg.FW != (solve.FWOptions{}) || cfg.WarmStart
 	return g, nil
 }
 
@@ -224,13 +248,20 @@ func (g *GreFar) decideRouting(q queue.Lengths, act *model.Action) {
 				order = append(order, i)
 			}
 		}
-		sort.Slice(order, func(a, b int) bool {
-			qa, qb := q.Local[order[a]][j], q.Local[order[b]][j]
-			if qa != qb {
-				return qa < qb
+		// Insertion sort by (backlog, site index): the site list is a handful
+		// of entries and this runs once per job type per slot, where
+		// sort.Slice's reflection-based swapping dominated the routing
+		// profile. The comparator is a strict total order (index tie-break),
+		// so the result is identical to any correct sort.
+		for a := 1; a < len(order); a++ {
+			for b := a; b > 0; b-- {
+				qa, qb := q.Local[order[b]][j], q.Local[order[b-1]][j]
+				if qa > qb || (qa == qb && order[b] > order[b-1]) {
+					break
+				}
+				order[b], order[b-1] = order[b-1], order[b]
 			}
-			return order[a] < order[b]
-		})
+		}
 		// Fill strictly better (smaller-backlog) sites first; sites whose
 		// backlogs tie have identical coefficients in (14), and the
 		// uncapped paper algorithm routes r_max to each of them, so the
@@ -408,12 +439,45 @@ func (g *GreFar) solveQuadraticSlot(st *model.State, cH, cB, hCap [][]float64, s
 	if opts.MaxIters <= 0 {
 		opts.MaxIters = 150
 	}
-	for j := range ws.x0 {
-		ws.x0[j] = 0
+
+	// Starting point: the previous slot's iterate when warm-starting is on
+	// and the iterate survives repair against this slot's caps, the zero
+	// vector otherwise. The repair mutates ws.warm in place; on fallback the
+	// half-repaired buffer is simply not used (and is overwritten by this
+	// slot's result below).
+	start := ws.x0
+	warm := ""
+	if g.cfg.WarmStart {
+		outcome := warmFallback
+		if ws.warmValid {
+			outcome = repairWarmStart(c, st, hCap, l, ws.warm)
+		}
+		switch outcome {
+		case warmHit:
+			start = ws.warm
+			warm = telemetry.WarmHit
+			g.warmHits++
+		case warmRepaired:
+			start = ws.warm
+			warm = telemetry.WarmRepaired
+			g.warmRepairs++
+		default:
+			warm = telemetry.WarmFallback
+			g.warmFallbacks++
+		}
 	}
-	res, err := solve.FrankWolfeWS(&ws.fw, ws.wrapped, oracle, ws.x0, opts)
+	if &start[0] == &ws.x0[0] {
+		for j := range ws.x0 {
+			ws.x0[j] = 0
+		}
+	}
+	res, err := solve.FrankWolfeWS(&ws.fw, ws.wrapped, oracle, start, opts)
 	if err != nil {
 		return nil, fmt.Errorf("frank-wolfe: %w", err)
+	}
+	if g.cfg.WarmStart {
+		copy(ws.warm, res.X)
+		ws.warmValid = true
 	}
 	if stats != nil {
 		*stats = telemetry.SolveStats{
@@ -421,6 +485,24 @@ func (g *GreFar) solveQuadraticSlot(st *model.State, cH, cB, hCap [][]float64, s
 			Iterations: res.Iters,
 			Converged:  res.Converged,
 			Residual:   res.Gap,
+		}
+		if res.Variant != solve.VariantVanilla {
+			stats.Variant = res.Variant
+		}
+		if g.cfg.WarmStart {
+			stats.Warm = warm
+			stats.WarmHits = g.warmHits
+			stats.WarmRepairs = g.warmRepairs
+			stats.WarmFallbacks = g.warmFallbacks
+		}
+		if g.reportOpts && !g.optsReported {
+			stats.Options = &telemetry.SolverOptions{
+				MaxIters:  opts.MaxIters,
+				Tol:       opts.Tol,
+				AwaySteps: opts.AwaySteps,
+				WarmStart: g.cfg.WarmStart,
+			}
+			g.optsReported = true
 		}
 	}
 

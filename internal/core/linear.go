@@ -14,10 +14,33 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"grefar/internal/model"
 )
+
+// sortSegsByDensity stable-sorts capacity segments by ascending cost
+// density. The greedy runs once per site per slot — and once per Frank-Wolfe
+// oracle call — on a handful of server types, so a reflection-free stable
+// insertion sort beats sort.Slice by a wide margin while preserving the tied
+// ordering sort.Slice produced on short inputs (its small-slice path is the
+// same stable insertion sort, and golden traces pin the tie behavior).
+func sortSegsByDensity(segs []segment) {
+	for a := 1; a < len(segs); a++ {
+		for b := a; b > 0 && segs[b].density < segs[b-1].density; b-- {
+			segs[b], segs[b-1] = segs[b-1], segs[b]
+		}
+	}
+}
+
+// sortJobsByDensity stable-sorts job demands by descending reward density;
+// see sortSegsByDensity for why insertion sort.
+func sortJobsByDensity(jobs []jobDemand) {
+	for a := 1; a < len(jobs); a++ {
+		for b := a; b > 0 && jobs[b].density > jobs[b-1].density; b-- {
+			jobs[b], jobs[b-1] = jobs[b-1], jobs[b]
+		}
+	}
+}
 
 // linearAssignment is the solution of one linear slot subproblem.
 type linearAssignment struct {
@@ -94,7 +117,7 @@ func solveLinearSlotWS(ws *linearScratch, c *model.Cluster, st *model.State, cH,
 				speed:      stype.Speed,
 			})
 		}
-		sort.Slice(segs, func(a, b int) bool { return segs[a].density < segs[b].density })
+		sortSegsByDensity(segs)
 
 		// Build job demands sorted by reward density.
 		jobs := ws.jobs[:0]
@@ -110,7 +133,7 @@ func solveLinearSlotWS(ws *linearScratch, c *model.Cluster, st *model.State, cH,
 				demand:  d,
 			})
 		}
-		sort.Slice(jobs, func(a, b int) bool { return jobs[a].density > jobs[b].density })
+		sortJobsByDensity(jobs)
 
 		// Exchange: highest-reward work onto cheapest capacity, while the
 		// reward strictly exceeds the cost.

@@ -50,6 +50,18 @@ type decideScratch struct {
 	obj     *slotObjective
 	wrapped solve.Objective
 	fw      solve.FWWorkspace
+
+	// Cross-slot warm start (Config.WarmStart): warm holds the previous
+	// slot's (h, b) iterate in slotLayout order, and warmValid reports
+	// whether it exists (false before the first solve). The buffer follows
+	// the workspace's single-owner rule — it is this scheduler's memory of
+	// its own trajectory, so sharing a scheduler across runs would leak one
+	// run's iterate into another; one scheduler per run keeps it sound.
+	// Decide repairs the iterate against the current slot's caps before use
+	// and falls back to the zero start when repair fails (see
+	// repairWarmStart).
+	warm      []float64
+	warmValid bool
 }
 
 // linearScratch holds the buffers of one greedy-exchange slot solve.
@@ -91,6 +103,7 @@ func newDecideScratch(c *model.Cluster, quad bool) *decideScratch {
 		ws.gradH = newMatrixNJ(c)
 		ws.gradB = newMatrixNK(c)
 		ws.process = newMatrixNJ(c)
+		ws.warm = make([]float64, ws.layout.total)
 	}
 	return ws
 }

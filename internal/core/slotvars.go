@@ -1,9 +1,11 @@
 package core
 
 import (
+	"grefar/internal/fairness"
 	"grefar/internal/model"
 	"grefar/internal/queue"
 	"grefar/internal/solve"
+	"grefar/internal/tariff"
 )
 
 // slotLayout maps the processing decision variables of one slot onto the
@@ -61,6 +63,53 @@ func slotCoefficientsInto(c *model.Cluster, cfg Config, st *model.State, q queue
 			cB[i][k] = cfg.V * st.Price[i] * stype.Power
 		}
 	}
+}
+
+// SlotObjective builds the full convex slot objective of (14) over the
+// concatenated (h, b) variables in slotLayout order — the same objective
+// Decide minimizes when beta > 0: the linear drift/energy coefficients plus
+// V*beta times the fairness penalty (and, under a non-linear tariff, the
+// convex tariff term with the b-columns moved out of the linear part). It
+// also returns the per-pair processing caps hCap that, together with
+// SlotOracle, pin down the feasible set. The invariant package's
+// differential harness uses this to run independent solvers against the
+// exact objective the scheduler optimizes, so a disagreement isolates the
+// iterative machinery rather than the problem statement. A nil cfg.Fairness
+// resolves to the paper's quadratic penalty, as in New.
+func SlotObjective(c *model.Cluster, cfg Config, st *model.State, q queue.Lengths) (solve.Objective, [][]float64, error) {
+	cH, cB, hCap := SlotCoefficients(c, cfg, st, q)
+	l := newSlotLayout(c)
+
+	nonlinearTariff := false
+	if cfg.Tariff != nil {
+		_, isLinear := cfg.Tariff.(tariff.Linear)
+		nonlinearTariff = !isLinear
+	}
+	linear := make([]float64, l.total)
+	for i := 0; i < c.N(); i++ {
+		for j := 0; j < c.J(); j++ {
+			linear[l.hIndex(i, j)] = cH[i][j]
+		}
+		if !nonlinearTariff {
+			for k := 0; k < c.K(i); k++ {
+				linear[l.bOff[i]+k] = cB[i][k]
+			}
+		}
+	}
+
+	term := cfg.Fairness
+	if term == nil {
+		quad, err := fairness.NewQuadratic(AccountWeights(c))
+		if err != nil {
+			return nil, nil, err
+		}
+		term = quad
+	}
+	so := newSlotObjective(c, linear, cfg.V*cfg.Beta, st.TotalResource(c), term)
+	if nonlinearTariff {
+		so.attachTariff(c, st, cfg.Tariff, cfg.V)
+	}
+	return wrapSlotObjective(so), hCap, nil
 }
 
 // SlotOracle returns the linear-minimization oracle of the slot scheduling

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+
+	"grefar/internal/model"
+)
+
+// warmOutcome classifies one warm-start attempt; solveQuadraticSlot maps it
+// to the telemetry Warm* constants and counters.
+type warmOutcome int
+
+const (
+	// warmHit: the saved iterate is feasible for the current slot as-is.
+	warmHit warmOutcome = iota
+	// warmRepaired: the iterate violated a cap and was clamped/rescaled back
+	// into the feasible set.
+	warmRepaired
+	// warmFallback: the iterate is unusable (non-finite, or repairing it
+	// would destroy it); the caller must cold-start from zero.
+	warmFallback
+)
+
+// warmCollapseScale is the give-up threshold of the feasibility repair: when
+// a coupling constraint forces the processing block of a site to shrink by
+// more than this factor (capacity or auxiliary headroom collapsed to under
+// 10% of what the iterate uses), the state has jumped far enough that the
+// rescaled iterate carries no useful information, and the zero cold start is
+// the better seed.
+const warmCollapseScale = 0.1
+
+// warmFeasEps is the relative slack tolerated on the coupling rows before
+// repair kicks in. The saved iterate is a convex combination of oracle
+// vertices, each exactly feasible, but re-summing the rows in a different
+// order can flip the inequality at the last ulp; without the slack, every
+// unchanged slot would be misclassified as "repaired". The slack is ~1e-12
+// relative, six orders below the model's feasibilityTol.
+const warmFeasEps = 1e-12
+
+// repairWarmStart clamps and rescales x — a previous slot's (h, b) iterate
+// in slotLayout order — into the current slot's feasible set, in place.
+//
+// Per site, the repair (1) clamps h into [0, hCap] and b into
+// [0, avail]; (2) restores the capacity row sum_j d_j*h <= sum_k s_k*b by
+// scaling the site's h block down (scaling down is always safe: it keeps the
+// box and only loosens the auxiliary rows); and (3) restores each auxiliary
+// row the same way. Every move shrinks h, so the steps cannot un-repair each
+// other and a single pass suffices.
+//
+// It returns warmHit when nothing needed repair, warmRepaired when the
+// result is feasible but was moved, and warmFallback when the iterate is
+// non-finite or a coupling row would force a site's h block below
+// warmCollapseScale of itself — in which case x is left in an unspecified
+// state and the caller must use the zero start.
+func repairWarmStart(c *model.Cluster, st *model.State, hCap [][]float64, l slotLayout, x []float64) warmOutcome {
+	repaired := false
+	for i := 0; i < c.N(); i++ {
+		for j := 0; j < c.J(); j++ {
+			idx := l.hIndex(i, j)
+			v := x[idx]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return warmFallback
+			}
+			if v < 0 {
+				v = 0
+			}
+			if cap := hCap[i][j]; v > cap {
+				v = cap
+			}
+			if v != x[idx] {
+				x[idx] = v
+				repaired = true
+			}
+		}
+		for k := 0; k < c.K(i); k++ {
+			idx := l.bOff[i] + k
+			v := x[idx]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return warmFallback
+			}
+			if v < 0 {
+				v = 0
+			}
+			if avail := st.Avail[i][k]; v > avail {
+				v = avail
+			}
+			if v != x[idx] {
+				x[idx] = v
+				repaired = true
+			}
+		}
+
+		// Capacity row (eq. 11): sum_j d_j h_{i,j} <= sum_k s_k b_{i,k}.
+		work := 0.0
+		for j := 0; j < c.J(); j++ {
+			work += c.JobTypes[j].Demand * x[l.hIndex(i, j)]
+		}
+		capWork := 0.0
+		for k, stype := range c.DataCenters[i].Servers {
+			capWork += stype.Speed * x[l.bOff[i]+k]
+		}
+		if work > capWork*(1+warmFeasEps) {
+			if capWork < warmCollapseScale*work {
+				return warmFallback
+			}
+			scale := capWork / work
+			for j := 0; j < c.J(); j++ {
+				x[l.hIndex(i, j)] *= scale
+			}
+			repaired = true
+		}
+
+		// Auxiliary rows (footnote 3): sum_j AuxDemand_{j,r} h_{i,j} <= cap_r.
+		for r := 0; r < c.Aux(); r++ {
+			usage := 0.0
+			for j := 0; j < c.J(); j++ {
+				if r < len(c.JobTypes[j].AuxDemand) {
+					usage += c.JobTypes[j].AuxDemand[r] * x[l.hIndex(i, j)]
+				}
+			}
+			capR := c.DataCenters[i].AuxCapacity[r]
+			if usage > capR*(1+warmFeasEps) {
+				if capR < warmCollapseScale*usage {
+					return warmFallback
+				}
+				scale := capR / usage
+				for j := 0; j < c.J(); j++ {
+					x[l.hIndex(i, j)] *= scale
+				}
+				repaired = true
+			}
+		}
+	}
+	if repaired {
+		return warmRepaired
+	}
+	return warmHit
+}

@@ -10,16 +10,21 @@ import (
 	"grefar/internal/solve"
 )
 
-// SolverObjectives holds the slot objective value each beta = 0 solver
-// reached on one identical slot input. NaN marks a solver that does not apply
-// (the closed-form greedy cannot handle auxiliary resources).
+// SolverObjectives holds the slot objective value each solver reached on one
+// identical slot input. NaN marks a solver that does not apply (the
+// closed-form greedy cannot handle auxiliary resources; the greedy and the
+// simplex solve linear slots only, so both sit out when beta > 0).
 type SolverObjectives struct {
 	// Greedy is the closed-form greedy exchange's objective.
 	Greedy float64
 	// LP is the two-phase simplex objective.
 	LP float64
-	// FrankWolfe is the Frank-Wolfe objective over the same polytope.
+	// FrankWolfe is the vanilla Frank-Wolfe objective over the same polytope.
 	FrankWolfe float64
+	// FrankWolfeAway is the away-step Frank-Wolfe objective: same oracle and
+	// feasible set as FrankWolfe, but entirely different step machinery
+	// (active atom set, away directions, drop steps).
+	FrankWolfeAway float64
 	// ProjGrad is the projected-gradient objective, using exact Euclidean
 	// projection onto the slot polytope via dual bisection.
 	ProjGrad float64
@@ -28,24 +33,63 @@ type SolverObjectives struct {
 	MaxRelDiff float64
 }
 
-// CrossCheckSolvers is the differential testing engine for the beta = 0 slot
-// problem: it runs the greedy exchange, the simplex LP, Frank-Wolfe, and a
-// projected-gradient solver on the identical slot input (cluster, config,
-// state, backlogs) and returns an error wrapping ErrViolation when any two
-// objective values disagree by more than tol relatively. The four solvers
-// share no iterative machinery — greedy is combinatorial, the simplex pivots
-// a tableau, Frank-Wolfe calls a linear oracle, and projected gradient only
-// ever projects — so agreement is strong evidence each one is correct.
+// compare runs the pairwise relative-difference check over the applicable
+// solver objectives, recording MaxRelDiff and failing past tol.
+func (out *SolverObjectives) compare(tol float64) error {
+	vals := []struct {
+		name string
+		v    float64
+	}{
+		{"greedy", out.Greedy},
+		{"simplex", out.LP},
+		{"frank-wolfe", out.FrankWolfe},
+		{"away-step frank-wolfe", out.FrankWolfeAway},
+		{"projected-gradient", out.ProjGrad},
+	}
+	for a := 0; a < len(vals); a++ {
+		if math.IsNaN(vals[a].v) {
+			continue
+		}
+		for b := a + 1; b < len(vals); b++ {
+			if math.IsNaN(vals[b].v) {
+				continue
+			}
+			rel := math.Abs(vals[a].v-vals[b].v) / math.Max(1, math.Max(math.Abs(vals[a].v), math.Abs(vals[b].v)))
+			if rel > out.MaxRelDiff {
+				out.MaxRelDiff = rel
+			}
+			if rel > tol {
+				return fmt.Errorf("%w: solvers disagree: %s=%v vs %s=%v (relative diff %.3g > %.3g)",
+					ErrViolation, vals[a].name, vals[a].v, vals[b].name, vals[b].v, rel, tol)
+			}
+		}
+	}
+	return nil
+}
+
+// CrossCheckSolvers is the differential testing engine for the per-slot
+// processing problem. At beta = 0 it runs the greedy exchange, the simplex
+// LP, both Frank-Wolfe variants, and a projected-gradient solver on the
+// identical slot input (cluster, config, state, backlogs); the solvers share
+// no iterative machinery — greedy is combinatorial, the simplex pivots a
+// tableau, Frank-Wolfe calls a linear oracle, and projected gradient only
+// ever projects — so agreement is strong evidence each one is correct. At
+// beta > 0 the slot program is the convex QP of (14); the two one-shot
+// linear solvers sit out (Greedy and LP are NaN) and the engine compares
+// vanilla Frank-Wolfe, away-step Frank-Wolfe, and projected gradient on the
+// exact objective core.Decide optimizes (core.SlotObjective), additionally
+// verifying every final iterate is feasible for the scheduling polytope.
+// An error wrapping ErrViolation reports any two objectives disagreeing by
+// more than tol relatively, or an infeasible iterate.
 //
 // tol <= 0 selects 1e-6. Clusters with auxiliary resources skip the greedy
-// (it handles the single capacity constraint only) and compare the remaining
-// three.
+// (it handles the single capacity constraint only).
 func CrossCheckSolvers(c *model.Cluster, cfg core.Config, st *model.State, q queue.Lengths, tol float64) (*SolverObjectives, error) {
-	if cfg.Beta != 0 {
-		return nil, fmt.Errorf("%w: differential engine handles beta = 0 only, got %v", ErrViolation, cfg.Beta)
-	}
 	if tol <= 0 {
 		tol = 1e-6
+	}
+	if cfg.Beta != 0 {
+		return crossCheckQuadratic(c, cfg, st, q, tol)
 	}
 	out := &SolverObjectives{Greedy: math.NaN()}
 
@@ -64,37 +108,130 @@ func CrossCheckSolvers(c *model.Cluster, cfg core.Config, st *model.State, q que
 	out.LP = lpObj
 
 	cH, cB, hCap := core.SlotCoefficients(c, cfg, st, q)
-	out.FrankWolfe = frankWolfeSlot(c, st, cH, cB, hCap)
+	out.FrankWolfe = frankWolfeSlot(c, st, cH, cB, hCap, false)
+	out.FrankWolfeAway = frankWolfeSlot(c, st, cH, cB, hCap, true)
 	out.ProjGrad = projGradSlot(c, st, cH, cB, hCap)
 
-	vals := []struct {
-		name string
-		v    float64
-	}{
-		{"greedy", out.Greedy},
-		{"simplex", out.LP},
-		{"frank-wolfe", out.FrankWolfe},
-		{"projected-gradient", out.ProjGrad},
-	}
-	for a := 0; a < len(vals); a++ {
-		if math.IsNaN(vals[a].v) {
-			continue
-		}
-		for b := a + 1; b < len(vals); b++ {
-			if math.IsNaN(vals[b].v) {
-				continue
-			}
-			rel := math.Abs(vals[a].v-vals[b].v) / math.Max(1, math.Max(math.Abs(vals[a].v), math.Abs(vals[b].v)))
-			if rel > out.MaxRelDiff {
-				out.MaxRelDiff = rel
-			}
-			if rel > tol {
-				return out, fmt.Errorf("%w: solvers disagree: %s=%v vs %s=%v (relative diff %.3g > %.3g)",
-					ErrViolation, vals[a].name, vals[a].v, vals[b].name, vals[b].v, rel, tol)
-			}
-		}
+	if err := out.compare(tol); err != nil {
+		return out, err
 	}
 	return out, nil
+}
+
+// crossCheckQuadratic is the beta > 0 arm of CrossCheckSolvers: vanilla
+// Frank-Wolfe vs away-step Frank-Wolfe vs projected gradient on the convex
+// slot objective, with feasibility verification of every final iterate.
+//
+// The away-step variant and projected gradient both converge linearly, so
+// their objectives must agree strictly within tol. Vanilla Frank-Wolfe
+// zigzags at O(1/k) on this QP — reaching 1e-6 relative agreement would take
+// hundreds of thousands of oracle calls, which is precisely why the
+// away-step variant exists — so it is checked against its own duality-gap
+// certificate instead: its value may exceed the converged optimum by at most
+// its certified gap, and may never undercut it (an undercut means the
+// evaluation or the feasible set is wrong, not the convergence rate).
+func crossCheckQuadratic(c *model.Cluster, cfg core.Config, st *model.State, q queue.Lengths, tol float64) (*SolverObjectives, error) {
+	obj, hCap, err := core.SlotObjective(c, cfg, st, q)
+	if err != nil {
+		return nil, fmt.Errorf("%w: slot objective: %v", ErrViolation, err)
+	}
+	out := &SolverObjectives{Greedy: math.NaN(), LP: math.NaN()}
+	l := newSlotVars(c)
+	oracle := core.SlotOracle(c, st, hCap)
+
+	opts := solve.FWOptions{MaxIters: 4000, Tol: 1e-10}
+	van, err := solve.FrankWolfe(obj, oracle, make([]float64, l.total), opts)
+	if err != nil {
+		return nil, fmt.Errorf("%w: frank-wolfe failed: %v", ErrViolation, err)
+	}
+	out.FrankWolfe = van.Value
+
+	opts.AwaySteps = true
+	away, err := solve.FrankWolfe(obj, oracle, make([]float64, l.total), opts)
+	if err != nil {
+		return nil, fmt.Errorf("%w: away-step frank-wolfe failed: %v", ErrViolation, err)
+	}
+	out.FrankWolfeAway = away.Value
+
+	pg := projGradQuadratic(c, st, obj, hCap)
+	out.ProjGrad = pg.Value
+
+	for _, it := range []struct {
+		name string
+		x    []float64
+	}{
+		{"frank-wolfe", van.X},
+		{"away-step frank-wolfe", away.X},
+		{"projected-gradient", pg.X},
+	} {
+		if err := checkSlotFeasible(c, st, hCap, l, it.x); err != nil {
+			return out, fmt.Errorf("%w: %s iterate infeasible: %v", ErrViolation, it.name, err)
+		}
+	}
+
+	// Strict agreement between the two linearly convergent, mechanically
+	// unrelated solvers.
+	scale := math.Max(1, math.Max(math.Abs(away.Value), math.Abs(pg.Value)))
+	out.MaxRelDiff = math.Abs(away.Value-pg.Value) / scale
+	if out.MaxRelDiff > tol {
+		return out, fmt.Errorf("%w: solvers disagree: away-step frank-wolfe=%v vs projected-gradient=%v (relative diff %.3g > %.3g)",
+			ErrViolation, away.Value, pg.Value, out.MaxRelDiff, tol)
+	}
+
+	// Vanilla certificate check against the converged optimum.
+	best := math.Min(away.Value, pg.Value)
+	if van.Value < best-tol*scale {
+		return out, fmt.Errorf("%w: vanilla frank-wolfe value %v undercuts the converged optimum %v",
+			ErrViolation, van.Value, best)
+	}
+	if van.Value-best > van.Gap+tol*scale {
+		return out, fmt.Errorf("%w: vanilla frank-wolfe value %v exceeds optimum %v by more than its certified gap %v",
+			ErrViolation, van.Value, best, van.Gap)
+	}
+	return out, nil
+}
+
+// feasTol is the absolute slack allowed when verifying solver iterates
+// against the polytope, matching the model package's action feasibility
+// tolerance.
+const feasTol = 1e-6
+
+// checkSlotFeasible verifies a flat (h, b) iterate against the scheduling
+// polytope: the boxes [0, hCap] and [0, avail], the per-site capacity
+// coupling (eq. 11), and the auxiliary rows.
+func checkSlotFeasible(c *model.Cluster, st *model.State, hCap [][]float64, l slotVars, x []float64) error {
+	for i := 0; i < c.N(); i++ {
+		var work, capWork float64
+		for j := 0; j < c.J(); j++ {
+			h := x[l.hIndex(i, j)]
+			if h < -feasTol || h > hCap[i][j]+feasTol {
+				return fmt.Errorf("site %d job %d: h=%v outside [0, %v]", i, j, h, hCap[i][j])
+			}
+			work += c.JobTypes[j].Demand * h
+		}
+		for k, stype := range c.DataCenters[i].Servers {
+			b := x[l.bOff[i]+k]
+			if b < -feasTol || b > st.Avail[i][k]+feasTol {
+				return fmt.Errorf("site %d server %d: b=%v outside [0, %v]", i, k, b, st.Avail[i][k])
+			}
+			capWork += stype.Speed * b
+		}
+		if work > capWork+feasTol*(1+capWork) {
+			return fmt.Errorf("site %d: work %v exceeds capacity %v", i, work, capWork)
+		}
+		for r := 0; r < c.Aux(); r++ {
+			var usage float64
+			for j := 0; j < c.J(); j++ {
+				if r < len(c.JobTypes[j].AuxDemand) {
+					usage += c.JobTypes[j].AuxDemand[r] * x[l.hIndex(i, j)]
+				}
+			}
+			if capR := c.DataCenters[i].AuxCapacity[r]; usage > capR+feasTol*(1+capR) {
+				return fmt.Errorf("site %d aux %d: usage %v exceeds capacity %v", i, r, usage, capR)
+			}
+		}
+	}
+	return nil
 }
 
 // slotVars mirrors the core package's flat variable layout for the slot
@@ -121,8 +258,9 @@ func (l slotVars) hIndex(i, j int) int { return i*l.nJ + j }
 // frankWolfeSlot minimizes the linear slot objective with Frank-Wolfe over
 // the scheduling polytope. The objective is linear, so the first oracle call
 // lands on the optimal vertex and the exact line search jumps straight to it;
-// the run still exercises the full gradient/oracle/gap machinery.
-func frankWolfeSlot(c *model.Cluster, st *model.State, cH, cB, hCap [][]float64) float64 {
+// the run still exercises the full gradient/oracle/gap machinery (and, with
+// away set, the active-atom bookkeeping of the away-step variant).
+func frankWolfeSlot(c *model.Cluster, st *model.State, cH, cB, hCap [][]float64, away bool) float64 {
 	l := newSlotVars(c)
 	linear := make([]float64, l.total)
 	for i := 0; i < c.N(); i++ {
@@ -135,7 +273,7 @@ func frankWolfeSlot(c *model.Cluster, st *model.State, cH, cB, hCap [][]float64)
 	}
 	obj := &solve.Quadratic{Linear: linear}
 	oracle := core.SlotOracle(c, st, hCap)
-	res, err := solve.FrankWolfe(obj, oracle, make([]float64, l.total), solve.FWOptions{MaxIters: 50, Tol: 1e-12})
+	res, err := solve.FrankWolfe(obj, oracle, make([]float64, l.total), solve.FWOptions{MaxIters: 50, Tol: 1e-12, AwaySteps: away})
 	if err != nil {
 		return math.NaN()
 	}
@@ -162,19 +300,20 @@ type halfspace struct {
 	b float64
 }
 
-func projGradSite(c *model.Cluster, st *model.State, i int, cH, cB, hCap []float64) float64 {
+// siteConstraints builds one data center's feasible set over its local
+// (h, b) subvector — the box upper bounds and the halfspaces of the capacity
+// coupling (eq. 11) plus the footnote-3 auxiliary rows. Both
+// projected-gradient paths share it: the per-site runs of the linear mode
+// and the gather/scatter projection of the quadratic mode.
+func siteConstraints(c *model.Cluster, st *model.State, i int, hCap []float64) (hi []float64, hs []halfspace) {
 	nJ, nK := c.J(), c.K(i)
 	n := nJ + nK
-	linear := make([]float64, n)
-	hi := make([]float64, n)
-	copy(linear, cH)
+	hi = make([]float64, n)
 	copy(hi, hCap)
 	for k := 0; k < nK; k++ {
-		linear[nJ+k] = cB[k]
 		hi[nJ+k] = st.Avail[i][k]
 	}
 
-	// Capacity coupling (eq. 11) plus the footnote-3 auxiliary rows.
 	capRow := halfspace{a: make([]float64, n)}
 	for j := 0; j < nJ; j++ {
 		capRow.a[j] = c.JobTypes[j].Demand
@@ -182,7 +321,7 @@ func projGradSite(c *model.Cluster, st *model.State, i int, cH, cB, hCap []float
 	for k, stype := range c.DataCenters[i].Servers {
 		capRow.a[nJ+k] = -stype.Speed
 	}
-	hs := []halfspace{capRow}
+	hs = []halfspace{capRow}
 	for r := 0; r < c.Aux(); r++ {
 		row := halfspace{a: make([]float64, n), b: c.DataCenters[i].AuxCapacity[r]}
 		nonzero := false
@@ -196,6 +335,18 @@ func projGradSite(c *model.Cluster, st *model.State, i int, cH, cB, hCap []float
 			hs = append(hs, row)
 		}
 	}
+	return hi, hs
+}
+
+func projGradSite(c *model.Cluster, st *model.State, i int, cH, cB, hCap []float64) float64 {
+	nJ, nK := c.J(), c.K(i)
+	n := nJ + nK
+	linear := make([]float64, n)
+	copy(linear, cH)
+	for k := 0; k < nK; k++ {
+		linear[nJ+k] = cB[k]
+	}
+	hi, hs := siteConstraints(c, st, i, hCap)
 
 	project := func(x []float64) { projectPolytope(x, hi, hs) }
 	obj := &solve.Quadratic{Linear: linear}
@@ -205,6 +356,53 @@ func projGradSite(c *model.Cluster, st *model.State, i int, cH, cB, hCap []float
 		Tol:      1e-12,
 	})
 	return res.Value
+}
+
+// projGradQuadratic minimizes the full beta > 0 slot objective with
+// projected gradient descent over the whole concatenated (h, b) vector. The
+// fairness term couples sites through shared accounts, so the objective
+// cannot be split per site — but the constraints still can: the feasible set
+// is a product of per-site polytopes, so the Euclidean projection decomposes
+// into independent exact per-site projections, gathered from and scattered
+// back to the site's non-contiguous slice of the flat vector.
+func projGradQuadratic(c *model.Cluster, st *model.State, obj solve.Objective, hCap [][]float64) solve.PGResult {
+	l := newSlotVars(c)
+	type siteProj struct {
+		idx []int // flat-vector index of each local variable
+		hi  []float64
+		hs  []halfspace
+		buf []float64
+	}
+	sites := make([]siteProj, c.N())
+	for i := 0; i < c.N(); i++ {
+		nJ, nK := c.J(), c.K(i)
+		sp := siteProj{idx: make([]int, nJ+nK), buf: make([]float64, nJ+nK)}
+		for j := 0; j < nJ; j++ {
+			sp.idx[j] = l.hIndex(i, j)
+		}
+		for k := 0; k < nK; k++ {
+			sp.idx[nJ+k] = l.bOff[i] + k
+		}
+		sp.hi, sp.hs = siteConstraints(c, st, i, hCap[i])
+		sites[i] = sp
+	}
+	project := func(x []float64) {
+		for s := range sites {
+			sp := &sites[s]
+			for t, id := range sp.idx {
+				sp.buf[t] = x[id]
+			}
+			projectPolytope(sp.buf, sp.hi, sp.hs)
+			for t, id := range sp.idx {
+				x[id] = sp.buf[t]
+			}
+		}
+	}
+	return solve.ProjectedGradient(obj, project, make([]float64, l.total), solve.PGOptions{
+		MaxIters: 4000,
+		Step:     64,
+		Tol:      1e-12,
+	})
 }
 
 // projectPolytope overwrites x with its exact Euclidean projection onto the

@@ -1,7 +1,6 @@
 package invariant_test
 
 import (
-	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -183,8 +182,81 @@ func TestCrossCheckSolversEmptyAndSaturated(t *testing.T) {
 	}
 }
 
-// TestCrossCheckSolversRejectsBeta pins the beta = 0 contract.
-func TestCrossCheckSolversRejectsBeta(t *testing.T) {
+// TestCrossCheckSolversQuadratic runs the beta > 0 mode over slot problems
+// sampled from the reference system: vanilla Frank-Wolfe, away-step
+// Frank-Wolfe, and projected gradient must agree on the convex slot
+// objective within 1e-6 relatively, with every iterate feasible. The greedy
+// and the LP solve linear slots only and must be marked NaN.
+func TestCrossCheckSolversQuadratic(t *testing.T) {
+	const slots = 50
+	in, err := sim.NewReferenceInputs(2012, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, _, err := sim.CollectStates(in, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	var maxDiff float64
+	for trial := 0; trial < 12; trial++ {
+		st := states[rng.Intn(slots)]
+		q := randLengths(rng, in.Cluster, 40)
+		cfg := core.Config{
+			V:    []float64{2.5, 7.5, 20}[trial%3],
+			Beta: []float64{1, 100, 5000}[trial/4],
+		}
+		res, err := invariant.CrossCheckSolvers(in.Cluster, cfg, st, q, diffTol)
+		if err != nil {
+			t.Fatalf("trial %d (V=%g beta=%g): %v", trial, cfg.V, cfg.Beta, err)
+		}
+		if !math.IsNaN(res.Greedy) || !math.IsNaN(res.LP) {
+			t.Fatalf("trial %d: linear solvers ran on a quadratic slot (greedy=%v lp=%v)", trial, res.Greedy, res.LP)
+		}
+		if res.MaxRelDiff > maxDiff {
+			maxDiff = res.MaxRelDiff
+		}
+	}
+	t.Logf("max relative solver disagreement over 12 quadratic slots: %.3g", maxDiff)
+}
+
+// TestCrossCheckSolversQuadraticAux combines beta > 0 with auxiliary
+// resource rows: the projection and the oracle must both honor the extra
+// halfspaces while the fairness term couples the sites.
+func TestCrossCheckSolversQuadraticAux(t *testing.T) {
+	all := []int{0, 1}
+	c := &model.Cluster{
+		DataCenters: []model.DataCenter{
+			{Name: "a", Servers: []model.ServerType{{Name: "s", Speed: 1, Power: 1}}, AuxCapacity: []float64{25}},
+			{Name: "b", Servers: []model.ServerType{{Name: "s", Speed: 2, Power: 1.4}}, AuxCapacity: []float64{18}},
+		},
+		JobTypes: []model.JobType{
+			{Name: "light", Demand: 1, Eligible: all, Account: 0, AuxDemand: []float64{1}},
+			{Name: "heavy", Demand: 3, Eligible: all, Account: 1, AuxDemand: []float64{6}},
+		},
+		Accounts: []model.Account{{Name: "acct-a", Weight: 0.7}, {Name: "acct-b", Weight: 0.3}},
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 8; trial++ {
+		st := model.NewState(c)
+		for i := range st.Avail {
+			st.Avail[i][0] = float64(5 + rng.Intn(15))
+			st.Price[i] = 0.3 + rng.Float64()
+		}
+		q := randLengths(rng, c, 25)
+		cfg := core.Config{V: 1 + 8*rng.Float64(), Beta: 10 * (1 + 50*rng.Float64())}
+		if _, err := invariant.CrossCheckSolvers(c, cfg, st, q, diffTol); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestCrossCheckSolversBetaZeroRunsAway pins that the beta = 0 mode also
+// cross-runs the away-step variant rather than silently skipping it.
+func TestCrossCheckSolversBetaZeroRunsAway(t *testing.T) {
 	in, err := sim.NewReferenceInputs(5, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -194,11 +266,14 @@ func TestCrossCheckSolversRejectsBeta(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := randLengths(rand.New(rand.NewSource(1)), in.Cluster, 10)
-	_, err = invariant.CrossCheckSolvers(in.Cluster, core.Config{V: 7.5, Beta: 1}, states[0], q, diffTol)
-	if err == nil {
-		t.Fatal("beta > 0 accepted")
+	res, err := invariant.CrossCheckSolvers(in.Cluster, core.Config{V: 7.5}, states[0], q, diffTol)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if !errors.Is(err, invariant.ErrViolation) {
-		t.Errorf("error %v does not wrap ErrViolation", err)
+	if math.IsNaN(res.FrankWolfeAway) {
+		t.Error("away-step objective not computed at beta = 0")
+	}
+	if math.IsNaN(res.FrankWolfe) {
+		t.Error("vanilla objective not computed at beta = 0")
 	}
 }

@@ -32,8 +32,27 @@ const (
 	SolverProjGrad = "projected-gradient"
 )
 
+// Warm-start outcomes used in SolveStats.Warm. One of these is recorded per
+// slot when the scheduler runs with warm-starting enabled; the field stays
+// empty otherwise.
+const (
+	// WarmHit: the previous slot's iterate was feasible as-is and seeded the
+	// solve unchanged.
+	WarmHit = "hit"
+	// WarmRepaired: the previous iterate violated the current slot's caps
+	// (availability shrank) and was clamped/rescaled back into the feasible
+	// set before seeding the solve.
+	WarmRepaired = "repaired"
+	// WarmFallback: no usable previous iterate (first slot, availability
+	// collapse, or non-finite state) — the solve cold-started from zero.
+	WarmFallback = "fallback"
+)
+
 // SolveStats describes how the per-slot optimization was solved. It is
-// attached to OriginDecide events.
+// attached to OriginDecide events. Every field beyond the base four is
+// omitted from the JSON encoding when it carries its zero value, so traces
+// recorded with the solver extensions off are byte-identical to traces from
+// before the extensions existed.
 type SolveStats struct {
 	// Solver names the algorithm that produced the processing decision:
 	// "greedy" (the closed-form exchange for linear slots), "simplex" (the
@@ -48,6 +67,37 @@ type SolveStats struct {
 	// upper bound on the suboptimality of the slot decision. Zero for exact
 	// solvers.
 	Residual float64 `json:"residual"`
+
+	// Variant names the solver variant when it departs from the default
+	// (e.g. "away-step" Frank-Wolfe); empty for the vanilla method.
+	Variant string `json:"variant,omitempty"`
+
+	// Warm records this slot's warm-start outcome (WarmHit, WarmRepaired, or
+	// WarmFallback); empty when warm-starting is off.
+	Warm string `json:"warm,omitempty"`
+	// WarmHits, WarmRepairs, and WarmFallbacks are the scheduler's cumulative
+	// warm-start outcome counts, including this slot.
+	WarmHits      int `json:"warm_hits,omitempty"`
+	WarmRepairs   int `json:"warm_repairs,omitempty"`
+	WarmFallbacks int `json:"warm_fallbacks,omitempty"`
+
+	// Options carries the effective solver options, attached once per
+	// scheduler (on its first event) and only when some option departs from
+	// the defaults.
+	Options *SolverOptions `json:"options,omitempty"`
+}
+
+// SolverOptions is the effective solver configuration a scheduler resolved
+// at construction: explicit knobs with defaults already substituted.
+type SolverOptions struct {
+	// MaxIters is the effective iteration cap.
+	MaxIters int `json:"max_iters"`
+	// Tol is the effective duality-gap tolerance (0 = solver default).
+	Tol float64 `json:"tol"`
+	// AwaySteps reports whether the away-step Frank-Wolfe variant is on.
+	AwaySteps bool `json:"away_steps"`
+	// WarmStart reports whether cross-slot warm-starting is on.
+	WarmStart bool `json:"warm_start"`
 }
 
 // SlotEvent is the structured record one control-loop iteration emits.
