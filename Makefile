@@ -22,18 +22,23 @@ race:
 
 # tier1 is the merge gate: compile, vet, the full test suite under the race
 # detector (the sweep-engine tests in internal/runner and the parallel
-# experiment fan-out only prove determinism when raced), the Decide
-# allocation-budget guard (which -race skips, so it runs plain here), and a
-# short fuzz smoke of both native fuzz targets.
+# experiment fan-out only prove determinism when raced; the serving layer in
+# internal/serve and cmd/grefar-serve only proves its tick/checkpoint locking
+# when raced), the Decide allocation-budget guard (which -race skips, so it
+# runs plain here), and a short fuzz smoke of the native fuzz targets,
+# including the snapshot-restore surface.
 tier1:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/runner
+	$(GO) test -race -count=1 ./internal/serve/... ./cmd/grefar-serve
 	$(GO) test -count=1 -run TestDecideAllocationBudget .
 	$(GO) test -run '^$$' -fuzz FuzzSimplex -fuzztime $(FUZZTIME) ./internal/lp
 	$(GO) test -run '^$$' -fuzz FuzzApply -fuzztime $(FUZZTIME) ./internal/queue
 	$(GO) test -run '^$$' -fuzz FuzzWarmRepair -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzRestoreSnapshot -fuzztime $(FUZZTIME) ./internal/serve
+	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/serve/snapshot
 
 # fuzz runs the native fuzz targets for FUZZTIME each (default 10s); raise it
 # for a deeper soak, e.g. make fuzz FUZZTIME=5m.
@@ -41,6 +46,8 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSimplex -fuzztime $(FUZZTIME) ./internal/lp
 	$(GO) test -run '^$$' -fuzz FuzzApply -fuzztime $(FUZZTIME) ./internal/queue
 	$(GO) test -run '^$$' -fuzz FuzzWarmRepair -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzRestoreSnapshot -fuzztime $(FUZZTIME) ./internal/serve
+	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/serve/snapshot
 
 # golden regenerates the committed golden traces under
 # internal/invariant/testdata/golden after an intentional behavior change.

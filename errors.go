@@ -3,6 +3,7 @@ package grefar
 import (
 	"grefar/internal/core"
 	"grefar/internal/model"
+	"grefar/internal/serve"
 	"grefar/internal/sim"
 	"grefar/internal/solve"
 )
@@ -27,6 +28,26 @@ var (
 	// ErrNotConverged marks a solver stopping at its iteration cap with the
 	// tolerance unmet (only surfaced under FWOptions.RequireConvergence).
 	ErrNotConverged = solve.ErrNotConverged
+)
+
+// Serving-mode sentinels (see Open, Restore, and the Session methods).
+var (
+	// ErrCorruptSnapshot marks a checkpoint whose framing, checksum, or
+	// payload failed validation; restore leaves the session untouched.
+	ErrCorruptSnapshot = serve.ErrCorruptSnapshot
+	// ErrNoSnapshot marks a restore source holding no snapshot at all.
+	ErrNoSnapshot = serve.ErrNoSnapshot
+	// ErrSnapshotVersion marks a checkpoint written by an incompatible
+	// (newer) snapshot format version.
+	ErrSnapshotVersion = serve.ErrSnapshotVersion
+	// ErrSnapshotMismatch marks a well-formed checkpoint taken under a
+	// different cluster shape than the session restoring it.
+	ErrSnapshotMismatch = serve.ErrSnapshotMismatch
+	// ErrBadJob marks a rejected Submit batch (unknown type, negative
+	// count); batches are atomic, so nothing from the batch is admitted.
+	ErrBadJob = serve.ErrBadJob
+	// ErrSessionClosed marks any operation on a closed Session.
+	ErrSessionClosed = serve.ErrClosed
 )
 
 // NotConvergedError carries the solver, iteration count, and residual of a

@@ -53,7 +53,7 @@ func main() {
 		conns[i] = cli
 	}
 
-	scheduler, err := grefar.New(c, grefar.Config{V: 7.5, Beta: 100})
+	scheduler, err := grefar.New(c, grefar.WithV(7.5), grefar.WithBeta(100))
 	if err != nil {
 		log.Fatal(err)
 	}

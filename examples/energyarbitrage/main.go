@@ -20,11 +20,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		s, err := grefar.New(inputs.Cluster, grefar.Config{V: v})
+		s, err := grefar.New(inputs.Cluster, grefar.WithV(v))
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := grefar.Simulate(inputs, s, grefar.SimOptions{Slots: slots})
+		res, err := grefar.Simulate(inputs, s, grefar.WithSlots(slots))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -22,11 +22,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		s, err := grefar.New(inputs.Cluster, grefar.Config{V: 7.5, Beta: beta})
+		s, err := grefar.New(inputs.Cluster, grefar.WithV(7.5), grefar.WithBeta(beta))
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := grefar.Simulate(inputs, s, grefar.SimOptions{Slots: slots})
+		res, err := grefar.Simulate(inputs, s, grefar.WithSlots(slots))
 		if err != nil {
 			log.Fatal(err)
 		}

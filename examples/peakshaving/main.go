@@ -54,15 +54,15 @@ func main() {
 		in.Tariff = tc.trf
 		in.BaseLoad = base
 
-		cfg := grefar.Config{V: 7.5}
+		opts := []grefar.Option{grefar.WithV(7.5)}
 		if tc.aware {
-			cfg.Tariff = tc.trf
+			opts = append(opts, grefar.WithTariff(tc.trf))
 		}
-		s, err := grefar.New(in.Cluster, cfg)
+		s, err := grefar.New(in.Cluster, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := grefar.Simulate(in, s, grefar.SimOptions{Slots: slots})
+		res, err := grefar.Simulate(in, s, grefar.WithSlots(slots))
 		if err != nil {
 			log.Fatal(err)
 		}

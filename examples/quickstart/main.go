@@ -18,7 +18,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	scheduler, err := grefar.New(inputs.Cluster, grefar.Config{V: 7.5, Beta: 100})
+	scheduler, err := grefar.New(inputs.Cluster, grefar.WithV(7.5), grefar.WithBeta(100))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -28,7 +28,7 @@ func main() {
 	}
 
 	for _, s := range []grefar.Scheduler{scheduler, baseline} {
-		res, err := grefar.Simulate(inputs, s, grefar.SimOptions{Slots: slots, ValidateActions: true})
+		res, err := grefar.Simulate(inputs, s, grefar.WithSlots(slots), grefar.WithActionValidation(true))
 		if err != nil {
 			log.Fatal(err)
 		}

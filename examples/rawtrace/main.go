@@ -83,11 +83,11 @@ func main() {
 		Workload:     trace,
 		Availability: avail,
 	}
-	scheduler, err := grefar.New(cluster, grefar.Config{V: 7.5, Beta: 50})
+	scheduler, err := grefar.New(cluster, grefar.WithV(7.5), grefar.WithBeta(50))
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := grefar.Simulate(inputs, scheduler, grefar.SimOptions{Slots: slots, ValidateActions: true})
+	res, err := grefar.Simulate(inputs, scheduler, grefar.WithSlots(slots), grefar.WithActionValidation(true))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -62,6 +62,10 @@ type Config struct {
 // (grefar.New(cluster, grefar.Config{...})): a Config used as an option
 // resets every knob, so combine it with finer-grained options only before
 // them, not after.
+//
+// Deprecated: pass functional options (WithV, WithBeta, WithTariff, ...)
+// instead of a positional Config literal; the struct form remains supported
+// but new knobs will only get option constructors.
 func (c Config) ApplyScheduler(dst *Config) { *dst = c }
 
 // RoutingRule selects the tie-breaking behavior of the routing step.

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"grefar/internal/model"
+	"grefar/internal/queue"
+)
+
+// stateTestWorld builds a deterministic sequence of slot states and backlogs
+// for driving Decide outside the simulator.
+func stateTestWorld(t *testing.T, c *model.Cluster, slots int) ([]*model.State, []queue.Lengths) {
+	t.Helper()
+	states := make([]*model.State, slots)
+	lengths := make([]queue.Lengths, slots)
+	for s := 0; s < slots; s++ {
+		st := model.NewState(c)
+		for i := 0; i < c.N(); i++ {
+			st.Price[i] = 0.3 + 0.1*float64(i) + 0.05*math.Sin(float64(s+i))
+			for k := range st.Avail[i] {
+				st.Avail[i][k] = 40 + float64(((s+1)*(i+2)*(k+3))%20)
+			}
+		}
+		if err := st.Validate(c); err != nil {
+			t.Fatal(err)
+		}
+		q := queue.Lengths{Central: make([]float64, c.J()), Local: make([][]float64, c.N())}
+		for j := range q.Central {
+			q.Central[j] = float64((s*7 + j*3) % 40)
+		}
+		for i := range q.Local {
+			q.Local[i] = make([]float64, c.J())
+			for j := range q.Local[i] {
+				q.Local[i][j] = float64((s*5 + i*11 + j) % 25)
+			}
+		}
+		states[s] = st
+		lengths[s] = q
+	}
+	return states, lengths
+}
+
+// TestSchedulerStateRoundTrip drives a warm-starting beta > 0 scheduler for a
+// prefix of slots, exports its state into a fresh instance, and requires the
+// continuation's decisions to be byte-identical to the uninterrupted run.
+func TestSchedulerStateRoundTrip(t *testing.T) {
+	c := model.NewReferenceCluster()
+	const slots, split = 24, 12
+	states, lengths := stateTestWorld(t, c, slots)
+	cfg := Config{V: 7.5, Beta: 100, WarmStart: true}
+
+	full, err := New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []*model.Action
+	for s := 0; s < slots; s++ {
+		act, err := full.Decide(s, states[s], lengths[s])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, act)
+	}
+
+	first, err := New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < split; s++ {
+		if _, err := first.Decide(s, states[s], lengths[s]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exported := first.ExportState()
+	if !exported.WarmValid {
+		t.Fatal("warm-starting scheduler exported no valid warm iterate")
+	}
+	// Keep deciding on the original to prove the export is a snapshot, not a
+	// live alias.
+	if _, err := first.Decide(split, states[split], lengths[split]); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := second.RestoreState(exported); err != nil {
+		t.Fatal(err)
+	}
+	for s := split; s < slots; s++ {
+		act, err := second.Decide(s, states[s], lengths[s])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(act, want[s]) {
+			t.Fatalf("slot %d: restored scheduler diverged from uninterrupted run", s)
+		}
+	}
+	if second.warmHits != full.warmHits || second.warmRepairs != full.warmRepairs || second.warmFallbacks != full.warmFallbacks {
+		t.Fatalf("warm counters diverged: restored %d/%d/%d, uninterrupted %d/%d/%d",
+			second.warmHits, second.warmRepairs, second.warmFallbacks,
+			full.warmHits, full.warmRepairs, full.warmFallbacks)
+	}
+}
+
+// TestSchedulerStateLinearPath checks that beta = 0 schedulers export an
+// empty (but restorable) state.
+func TestSchedulerStateLinearPath(t *testing.T) {
+	c := model.NewReferenceCluster()
+	g, err := New(c, Config{V: 7.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.ExportState()
+	if st.Warm != nil || st.WarmValid {
+		t.Fatalf("linear-path scheduler exported warm state: %+v", st)
+	}
+	g2, err := New(c, Config{V: 7.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.RestoreState(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedulerStateRejectsMismatch checks the typed rejections: wrong warm
+// length, warm state into a configuration without a convex path, non-finite
+// iterates, and a valid flag without an iterate.
+func TestSchedulerStateRejectsMismatch(t *testing.T) {
+	c := model.NewReferenceCluster()
+	quad, err := New(c, Config{V: 7.5, Beta: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := New(c, Config{V: 7.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		g    *GreFar
+		st   *SchedulerState
+	}{
+		{"wrong-length", quad, &SchedulerState{Warm: make([]float64, 3), WarmValid: true}},
+		{"no-convex-path", lin, &SchedulerState{Warm: make([]float64, 3), WarmValid: true}},
+		{"non-finite", quad, &SchedulerState{Warm: append(make([]float64, len(quad.ws.warm)-1), math.NaN()), WarmValid: true}},
+		{"valid-without-iterate", quad, &SchedulerState{WarmValid: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.g.RestoreState(tc.st); !errors.Is(err, ErrBadConfig) {
+				t.Fatalf("got %v, want ErrBadConfig", err)
+			}
+		})
+	}
+}

@@ -20,6 +20,17 @@ type cohortData struct {
 // ledgerData is the exported wire form of one ledger.
 type ledgerData struct {
 	Cohorts []cohortData
+	// Total is the ledger's live incrementally-maintained length. It can
+	// differ from the sum of the cohort amounts in the last ulp (the live
+	// value accumulates interleaved pushes and pops — including the clamp
+	// at zero, so Total can be exactly 0 while a cohort retains an ulp-sized
+	// residue), and restoring the exact value is what makes a restored
+	// scheduler's decision stream byte-identical to the uninterrupted one.
+	Total float64
+	// HasTotal distinguishes a recorded Total — even an exact zero — from a
+	// snapshot written before the field existed; restore falls back to
+	// re-summing the cohorts only when it is unset.
+	HasTotal bool
 }
 
 // setData is the exported wire form of a whole queue set.
@@ -30,7 +41,7 @@ type setData struct {
 
 // snapshot extracts the live cohorts of a ledger.
 func (l *Ledger) snapshot() ledgerData {
-	out := ledgerData{Cohorts: make([]cohortData, 0, len(l.entries)-l.head)}
+	out := ledgerData{Cohorts: make([]cohortData, 0, len(l.entries)-l.head), Total: l.total, HasTotal: true}
 	for _, e := range l.entries[l.head:] {
 		if e.amount > 0 {
 			out.Cohorts = append(out.Cohorts, cohortData{Slot: e.slot, Amount: e.amount})
@@ -46,6 +57,13 @@ func (l *Ledger) restore(data ledgerData) {
 	l.total = 0
 	for _, c := range data.Cohorts {
 		l.Push(c.Slot, c.Amount)
+	}
+	// Prefer the recorded live total over the re-summed one: the two can
+	// differ in the last ulp and exact restoration is the contract. Legacy
+	// snapshots carry no total (gob leaves HasTotal false); keep the
+	// re-summed value then.
+	if data.HasTotal {
+		l.total = data.Total
 	}
 }
 

@@ -67,6 +67,55 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRestorePreservesLiveTotal pins the ulp contract: the ledger's
+// incrementally-maintained total — not the re-summed cohorts — is what a
+// restore reproduces, including the clamp-at-zero case where the live total
+// is exactly 0 while a cohort retains an ulp-sized residue.
+func TestRestorePreservesLiveTotal(t *testing.T) {
+	var l Ledger
+	l.Push(0, 0.1)
+	l.Push(0, 0.2)
+	// Interleaved pops drift the incrementally-maintained total away from
+	// the re-summed cohort amounts in the last ulp.
+	l.PopVisit(2, 0.1+0.2-5e-17, nil)
+	live := l.Len()
+	restored := &Ledger{}
+	restored.restore(l.snapshot())
+	if got := restored.Len(); got != live {
+		t.Errorf("restored total %v, live total %v", got, live)
+	}
+
+	// Clamp-at-zero: pop (slightly) more than the total, leaving total == 0
+	// with a possible residual cohort. The restored total must be exactly 0
+	// too, not the residue re-sum.
+	var z Ledger
+	z.Push(0, 0.1)
+	z.Push(1, 0.2)
+	z.PopVisit(2, 0.30000000000000004, nil)
+	if z.Len() != 0 {
+		t.Skipf("pop did not clamp total to zero (got %v); clamp case not reachable here", z.Len())
+	}
+	zr := &Ledger{}
+	zr.restore(z.snapshot())
+	if got := zr.Len(); got != 0 {
+		t.Errorf("restored clamped total %v, want exactly 0", got)
+	}
+
+	// Legacy snapshots (no recorded total) fall back to the re-sum.
+	data := l.snapshot()
+	data.HasTotal = false
+	data.Total = 0
+	legacy := &Ledger{}
+	legacy.restore(data)
+	var sum float64
+	for _, c := range data.Cohorts {
+		sum += c.Amount
+	}
+	if got := legacy.Len(); got != sum {
+		t.Errorf("legacy restore total %v, want re-summed %v", got, sum)
+	}
+}
+
 func TestRestoreRejectsWrongShape(t *testing.T) {
 	c := model.NewReferenceCluster()
 	s := NewSet(c)

@@ -1,0 +1,228 @@
+// Package snapshot implements the durable on-disk checkpoint format of the
+// serving mode: a small versioned frame around an opaque payload, written
+// crash-consistently (temp file, fsync of both file and directory, atomic
+// rename) with one generation of fallback. The payload's schema belongs to
+// the caller (internal/serve encodes a Session checkpoint); this package
+// guarantees only that what Load returns is byte-identical to what Write was
+// given, or a typed error.
+//
+// Frame layout (all integers big-endian):
+//
+//	offset size  field
+//	0      8     magic "GFSNAP\r\n"
+//	8      2     format version (currently 1)
+//	10     4     payload length
+//	14     4     CRC-32 (IEEE) of the payload
+//	18     n     payload
+//
+// Version history:
+//
+//	1: initial format (this PR).
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Version is the current frame format version.
+const Version = 1
+
+// magic marks snapshot files; the CR-LF pair catches text-mode mangling the
+// way PNG's signature does.
+var magic = [8]byte{'G', 'F', 'S', 'N', 'A', 'P', '\r', '\n'}
+
+const headerSize = 8 + 2 + 4 + 4
+
+var (
+	// ErrCorrupt reports a snapshot that is not a well-formed frame: wrong
+	// magic, truncated header or payload, trailing garbage, or a checksum
+	// mismatch.
+	ErrCorrupt = errors.New("snapshot: corrupt")
+	// ErrVersion reports a well-formed frame whose format version this
+	// build does not understand (written by a newer build).
+	ErrVersion = errors.New("snapshot: unsupported format version")
+	// ErrNotFound reports that a store holds no snapshot at all.
+	ErrNotFound = errors.New("snapshot: none found")
+)
+
+// Encode frames a payload: header, checksum, payload bytes.
+func Encode(payload []byte) []byte {
+	out := make([]byte, headerSize+len(payload))
+	copy(out, magic[:])
+	binary.BigEndian.PutUint16(out[8:], Version)
+	binary.BigEndian.PutUint32(out[10:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(out[14:], crc32.ChecksumIEEE(payload))
+	copy(out[headerSize:], payload)
+	return out
+}
+
+// Decode verifies a frame and returns its payload (aliasing data's memory).
+// Malformed frames return ErrCorrupt; frames from a newer format version
+// return ErrVersion.
+func Decode(data []byte) ([]byte, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("%w: %d bytes, header is %d", ErrCorrupt, len(data), headerSize)
+	}
+	if [8]byte(data[:8]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := binary.BigEndian.Uint16(data[8:]); v != Version {
+		return nil, fmt.Errorf("%w: format %d, this build reads %d", ErrVersion, v, Version)
+	}
+	n := binary.BigEndian.Uint32(data[10:])
+	if uint64(len(data)-headerSize) != uint64(n) {
+		return nil, fmt.Errorf("%w: header says %d payload bytes, file carries %d", ErrCorrupt, n, len(data)-headerSize)
+	}
+	payload := data[headerSize:]
+	if sum := crc32.ChecksumIEEE(payload); sum != binary.BigEndian.Uint32(data[14:]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// Store persists framed snapshots in a directory, keeping the latest write
+// in current.snap and the previous one in prev.snap. Writes are
+// crash-consistent: a crash at any point leaves at least one of the two
+// files a complete, verifiable frame, and Load falls back from a corrupt or
+// missing current to prev. A Store has a single writer; Write and Load are
+// not safe for concurrent use.
+type Store struct {
+	dir string
+}
+
+// File names inside a store directory.
+const (
+	CurrentName = "current.snap"
+	PrevName    = "prev.snap"
+	tmpName     = "current.snap.tmp"
+)
+
+// NewStore opens (creating if needed) a snapshot directory.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("snapshot: create store dir: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// CurrentPath returns the path of the latest snapshot file.
+func (s *Store) CurrentPath() string { return filepath.Join(s.dir, CurrentName) }
+
+// PrevPath returns the path of the fallback snapshot file.
+func (s *Store) PrevPath() string { return filepath.Join(s.dir, PrevName) }
+
+// Write durably persists a payload as the store's current snapshot and
+// demotes the previous current to the fallback slot. The sequence is: frame
+// to a temp file, fsync the temp file, rename current over prev, rename temp
+// over current, fsync the directory. The directory fsync is what makes the
+// renames themselves durable — without it a power cut can roll the directory
+// back to an entry pointing at nothing.
+func (s *Store) Write(payload []byte) error {
+	tmp := filepath.Join(s.dir, tmpName)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("snapshot: create temp: %w", err)
+	}
+	if _, err := f.Write(Encode(payload)); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("snapshot: write temp: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("snapshot: fsync temp: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("snapshot: close temp: %w", err)
+	}
+	// Demote current to prev before promoting the temp file. If we crash
+	// between the renames, current is briefly missing but prev holds the
+	// last good snapshot and Load falls back to it.
+	cur := s.CurrentPath()
+	if _, err := os.Stat(cur); err == nil {
+		if err := os.Rename(cur, s.PrevPath()); err != nil {
+			return fmt.Errorf("snapshot: rotate current to prev: %w", err)
+		}
+	}
+	if err := os.Rename(tmp, cur); err != nil {
+		return fmt.Errorf("snapshot: promote temp to current: %w", err)
+	}
+	return s.syncDir()
+}
+
+// syncDir fsyncs the store directory, making completed renames durable.
+func (s *Store) syncDir() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return fmt.Errorf("snapshot: open store dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("snapshot: fsync store dir: %w", err)
+	}
+	return nil
+}
+
+// LoadResult reports where a successful Load found its payload.
+type LoadResult struct {
+	// Payload is the verified snapshot payload.
+	Payload []byte
+	// Path is the file the payload came from.
+	Path string
+	// Fallback is true when current.snap was missing or rejected and the
+	// payload came from prev.snap.
+	Fallback bool
+	// CurrentErr records why current.snap was rejected when Fallback is
+	// true (wraps ErrCorrupt or ErrVersion); nil when current was simply
+	// missing or was used.
+	CurrentErr error
+}
+
+// Load returns the newest restorable snapshot: current.snap when it
+// verifies, otherwise prev.snap. When neither file exists the error is
+// ErrNotFound; when files exist but none verifies, the error wraps the
+// current file's failure (ErrCorrupt or ErrVersion).
+func (s *Store) Load() (*LoadResult, error) {
+	curPayload, curErr := loadFile(s.CurrentPath())
+	if curErr == nil {
+		return &LoadResult{Payload: curPayload, Path: s.CurrentPath()}, nil
+	}
+	prevPayload, prevErr := loadFile(s.PrevPath())
+	if prevErr == nil {
+		res := &LoadResult{Payload: prevPayload, Path: s.PrevPath(), Fallback: true}
+		if !errors.Is(curErr, os.ErrNotExist) {
+			res.CurrentErr = curErr
+		}
+		return res, nil
+	}
+	if errors.Is(curErr, os.ErrNotExist) && errors.Is(prevErr, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w in %s", ErrNotFound, s.dir)
+	}
+	if errors.Is(curErr, os.ErrNotExist) {
+		return nil, fmt.Errorf("snapshot: no current, prev unusable: %w", prevErr)
+	}
+	return nil, fmt.Errorf("snapshot: prev unusable too (%v): %w", prevErr, curErr)
+}
+
+// loadFile reads and verifies one snapshot file.
+func loadFile(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	return payload, nil
+}

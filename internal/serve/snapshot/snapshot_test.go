@@ -1,0 +1,211 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xA5}, 1<<16)} {
+		got, err := Decode(Encode(payload))
+		if err != nil {
+			t.Fatalf("payload len %d: %v", len(payload), err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("payload len %d: round trip changed bytes", len(payload))
+		}
+	}
+}
+
+func TestDecodeRejections(t *testing.T) {
+	good := Encode([]byte("hello snapshot"))
+
+	short := good[:headerSize-1]
+	if _, err := Decode(short); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("short header: got %v, want ErrCorrupt", err)
+	}
+
+	badMagic := append([]byte(nil), good...)
+	badMagic[0] ^= 0xFF
+	if _, err := Decode(badMagic); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: got %v, want ErrCorrupt", err)
+	}
+
+	future := append([]byte(nil), good...)
+	binary.BigEndian.PutUint16(future[8:], Version+1)
+	if _, err := Decode(future); !errors.Is(err, ErrVersion) {
+		t.Fatalf("future version: got %v, want ErrVersion", err)
+	}
+
+	truncated := good[:len(good)-3]
+	if _, err := Decode(truncated); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated payload: got %v, want ErrCorrupt", err)
+	}
+
+	trailing := append(append([]byte(nil), good...), 0)
+	if _, err := Decode(trailing); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing garbage: got %v, want ErrCorrupt", err)
+	}
+
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)-1] ^= 1
+	if _, err := Decode(flipped); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped payload bit: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestStoreWriteLoadRotation(t *testing.T) {
+	st, err := NewStore(filepath.Join(t.TempDir(), "snaps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load(); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("empty store: got %v, want ErrNotFound", err)
+	}
+
+	if err := st.Write([]byte("gen1")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Payload) != "gen1" || res.Fallback {
+		t.Fatalf("after first write: %+v", res)
+	}
+
+	if err := st.Write([]byte("gen2")); err != nil {
+		t.Fatal(err)
+	}
+	res, err = st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Payload) != "gen2" || res.Fallback {
+		t.Fatalf("after second write: %+v", res)
+	}
+	prev, err := os.ReadFile(st.PrevPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, err := Decode(prev); err != nil || string(p) != "gen1" {
+		t.Fatalf("prev slot holds %q (%v), want gen1", p, err)
+	}
+}
+
+// TestStoreCrashConsistency simulates the torn writes a crash can leave
+// behind and verifies Load always falls back to the previous good snapshot
+// with the corruption surfaced as ErrCorrupt.
+func TestStoreCrashConsistency(t *testing.T) {
+	newStore := func(t *testing.T) *Store {
+		st, err := NewStore(filepath.Join(t.TempDir(), "snaps"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, gen := range []string{"gen1", "gen2"} {
+			if err := st.Write([]byte(gen)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return st
+	}
+
+	t.Run("truncated-current", func(t *testing.T) {
+		st := newStore(t)
+		data, err := os.ReadFile(st.CurrentPath())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(st.CurrentPath(), data[:len(data)-2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		res, err := st.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(res.Payload) != "gen1" || !res.Fallback {
+			t.Fatalf("got %+v, want fallback to gen1", res)
+		}
+		if !errors.Is(res.CurrentErr, ErrCorrupt) {
+			t.Fatalf("CurrentErr = %v, want ErrCorrupt", res.CurrentErr)
+		}
+	})
+
+	t.Run("missing-current", func(t *testing.T) {
+		st := newStore(t)
+		if err := os.Remove(st.CurrentPath()); err != nil {
+			t.Fatal(err)
+		}
+		res, err := st.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(res.Payload) != "gen1" || !res.Fallback || res.CurrentErr != nil {
+			t.Fatalf("got %+v, want silent fallback to gen1", res)
+		}
+	})
+
+	t.Run("leftover-temp-ignored", func(t *testing.T) {
+		st := newStore(t)
+		if err := os.WriteFile(filepath.Join(st.Dir(), tmpName), []byte("half-written gen3"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		res, err := st.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(res.Payload) != "gen2" || res.Fallback {
+			t.Fatalf("got %+v, want current gen2", res)
+		}
+		// The next write replaces the junk temp file.
+		if err := st.Write([]byte("gen3")); err != nil {
+			t.Fatal(err)
+		}
+		res, err = st.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(res.Payload) != "gen3" || res.Fallback {
+			t.Fatalf("after recovery write: %+v", res)
+		}
+	})
+
+	t.Run("both-corrupt", func(t *testing.T) {
+		st := newStore(t)
+		for _, p := range []string{st.CurrentPath(), st.PrevPath()} {
+			if err := os.WriteFile(p, []byte("junk"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := st.Load(); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("got %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+// FuzzDecode feeds arbitrary bytes to the frame parser: it must never panic,
+// and whatever it accepts must re-encode to the identical frame.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Encode(nil))
+	f.Add(Encode([]byte("seed payload")))
+	long := Encode(bytes.Repeat([]byte("grefar"), 100))
+	f.Add(long)
+	f.Add(long[:headerSize])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		if !bytes.Equal(Encode(payload), data) {
+			t.Fatal("accepted frame does not re-encode to itself")
+		}
+	})
+}

@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"grefar/internal/core"
+	"grefar/internal/queue"
+	"grefar/internal/sched"
+)
+
+// TestEngineMatchesRun checks that stepping an Engine manually produces the
+// exact Result Run does — Run is a thin wrapper and must stay one.
+func TestEngineMatchesRun(t *testing.T) {
+	const slots = 48
+	opt := Options{Slots: slots, RecordSeries: true, ValidateActions: true, Check: true}
+
+	in1 := refInputs(t, slots)
+	g1, err := core.New(in1.Cluster, core.Config{V: 7.5, Beta: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(in1, g1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in2 := refInputs(t, slots)
+	g2, err := core.New(in2.Cluster, core.Config{V: 7.5, Beta: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(in2, g2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < slots; s++ {
+		if got := e.Slot(); got != s {
+			t.Fatalf("Slot() = %d before step %d", got, s)
+		}
+		if err := e.Step(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.CheckerErr(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Result(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("engine result diverged from Run:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// steppedArrivals is a deterministic generator for splitting arrivals between
+// the workload path and the extra path.
+type steppedArrivals struct {
+	counts [][]int
+}
+
+func (g *steppedArrivals) Arrivals(t int) []int { return g.counts[t%len(g.counts)] }
+
+// TestEngineExtraArrivals checks that arrivals injected through Step's extra
+// parameter land in the queues exactly like generator arrivals: a run whose
+// generator emits a+b matches a run whose generator emits a with b injected.
+func TestEngineExtraArrivals(t *testing.T) {
+	const slots = 24
+	base := refInputs(t, slots)
+	c := base.Cluster
+	full := make([][]int, slots)
+	half := make([][]int, slots)
+	extra := make([][]int, slots)
+	for s := 0; s < slots; s++ {
+		full[s] = make([]int, c.J())
+		half[s] = make([]int, c.J())
+		extra[s] = make([]int, c.J())
+		for j := 0; j < c.J(); j++ {
+			full[s][j] = (s + 2*j) % 5
+			half[s][j] = full[s][j] / 2
+			extra[s][j] = full[s][j] - half[s][j]
+		}
+	}
+
+	run := func(gen *steppedArrivals, extras [][]int) *Result {
+		t.Helper()
+		in := refInputs(t, slots)
+		in.Workload = gen
+		g, err := core.New(in.Cluster, core.Config{V: 7.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEngine(in, g, Options{ValidateActions: true, Check: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < slots; s++ {
+			var ex []int
+			if extras != nil {
+				ex = extras[s]
+			}
+			if err := e.Step(ex); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e.Result()
+	}
+
+	want := run(&steppedArrivals{counts: full}, nil)
+	got := run(&steppedArrivals{counts: half}, extra)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("extra-arrival run diverged from combined-generator run:\n got %+v\nwant %+v", got, want)
+	}
+
+	// No generator at all: the extra stream is the only arrival source.
+	in := refInputs(t, slots)
+	in.Workload = nil
+	g, err := core.New(in.Cluster, core.Config{V: 7.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(in, g, Options{ValidateActions: true, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < slots; s++ {
+		if err := e.Step(full[s]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.Result(); got.TotalArrived != want.TotalArrived {
+		t.Fatalf("generator-less run arrived %v jobs, want %v", got.TotalArrived, want.TotalArrived)
+	}
+
+	// Malformed extras are rejected with slot context.
+	if err := e.Step(make([]int, c.J()+1)); err == nil {
+		t.Fatal("wrong-length extra arrivals accepted")
+	}
+	neg := make([]int, c.J())
+	neg[0] = -1
+	if err := e.Step(neg); err == nil {
+		t.Fatal("negative extra arrivals accepted")
+	}
+}
+
+// TestEngineStateRoundTrip runs N slots, exports engine + scheduler state
+// into fresh instances, runs M more, and requires the continued queue
+// trajectory and totals to match the uninterrupted run exactly.
+func TestEngineStateRoundTrip(t *testing.T) {
+	const slots, split = 40, 20
+	cfg := core.Config{V: 7.5, Beta: 100, WarmStart: true}
+	opt := Options{ValidateActions: true, Check: true}
+
+	trajectory := func(e *Engine, from, to int) []queue.Lengths {
+		t.Helper()
+		var traj []queue.Lengths
+		for s := from; s < to; s++ {
+			if err := e.Step(nil); err != nil {
+				t.Fatal(err)
+			}
+			traj = append(traj, e.Lengths())
+		}
+		return traj
+	}
+
+	inFull := refInputs(t, slots)
+	gFull, err := core.New(inFull.Cluster, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eFull, err := NewEngine(inFull, gFull, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTraj := trajectory(eFull, 0, slots)
+	want := eFull.Result()
+
+	inA := refInputs(t, slots)
+	gA, err := core.New(inA.Cluster, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eA, err := NewEngine(inA, gA, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trajectory(eA, 0, split)
+	engSt, err := eA.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedSt := gA.ExportState()
+
+	inB := refInputs(t, slots)
+	gB, err := core.New(inB.Cluster, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gB.RestoreState(schedSt); err != nil {
+		t.Fatal(err)
+	}
+	eB, err := NewEngine(inB, gB, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eB.RestoreState(engSt); err != nil {
+		t.Fatal(err)
+	}
+	if got := eB.Slot(); got != split {
+		t.Fatalf("restored engine at slot %d, want %d", got, split)
+	}
+	gotTraj := trajectory(eB, split, slots)
+	if !reflect.DeepEqual(gotTraj, wantTraj[split:]) {
+		t.Fatal("restored engine's queue trajectory diverged from the uninterrupted run")
+	}
+	got := eB.Result()
+	if got.TotalArrived != want.TotalArrived || got.TotalProcessed != want.TotalProcessed ||
+		got.FinalBacklog != want.FinalBacklog || got.TotalDropped != want.TotalDropped {
+		t.Fatalf("restored engine totals diverged: got arrived=%v processed=%v backlog=%v dropped=%v, want %v/%v/%v/%v",
+			got.TotalArrived, got.TotalProcessed, got.FinalBacklog, got.TotalDropped,
+			want.TotalArrived, want.TotalProcessed, want.FinalBacklog, want.TotalDropped)
+	}
+	if err := eB.CheckerErr(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restores reject garbage but a nil state is a no-op.
+	if err := eB.RestoreState(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eB.RestoreState(&EngineState{Slot: -1}); err == nil {
+		t.Fatal("negative slot counter accepted")
+	}
+	if err := eB.RestoreState(&EngineState{Slot: 1, Queues: []byte("junk")}); err == nil {
+		t.Fatal("corrupt queue snapshot accepted")
+	}
+}
+
+// TestEngineSetScheduler checks hot-swapping the policy at a slot boundary.
+func TestEngineSetScheduler(t *testing.T) {
+	const slots = 8
+	in := refInputs(t, slots)
+	g, err := core.New(in.Cluster, core.Config{V: 7.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(in, g, Options{ValidateActions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < slots/2; s++ {
+		if err := e.Step(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := sched.NewAlways(in.Cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetScheduler(a)
+	if e.Scheduler() != a {
+		t.Fatal("Scheduler() does not report the swapped policy")
+	}
+	for s := slots / 2; s < slots; s++ {
+		if err := e.Step(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if res := e.Result(); res.SchedulerName != a.Name() || res.Slots != slots {
+		t.Fatalf("post-swap result: scheduler %q slots %d", res.SchedulerName, res.Slots)
+	}
+}

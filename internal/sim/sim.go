@@ -11,7 +11,6 @@ import (
 
 	"grefar/internal/availability"
 	"grefar/internal/fairness"
-	"grefar/internal/invariant"
 	"grefar/internal/metrics"
 	"grefar/internal/model"
 	"grefar/internal/price"
@@ -83,6 +82,10 @@ type Options struct {
 // (grefar.Simulate(in, s, grefar.SimOptions{...})): an Options used as an
 // option resets every knob, so combine it with finer-grained options only
 // before them, not after.
+//
+// Deprecated: pass functional options (WithSlots, WithCheck, WithAdmission,
+// ...) instead of a positional SimOptions literal; the struct form remains
+// supported but new knobs will only get option constructors.
 func (o Options) ApplySim(dst *Options) { *dst = o }
 
 // Result summarizes a run.
@@ -140,8 +143,12 @@ type Result struct {
 
 // Run simulates the scheduler over the horizon. Malformed inputs or options
 // yield an error wrapping ErrBadInputs (a malformed cluster wraps
-// model.ErrInvalidCluster instead).
+// model.ErrInvalidCluster instead). Run is a thin driver over Engine — the
+// resumable slot-stepping core shared with the serving mode.
 func Run(in Inputs, s sched.Scheduler, opt Options) (*Result, error) {
+	// Batch-specific validation first, in the historical order (NewEngine
+	// re-checks the shared subset; a generator-less engine is legal only in
+	// the serving mode, and a horizon is meaningless there).
 	c := in.Cluster
 	if c == nil {
 		return nil, fmt.Errorf("%w: nil cluster", ErrBadInputs)
@@ -158,68 +165,9 @@ func Run(in Inputs, s sched.Scheduler, opt Options) (*Result, error) {
 	if opt.Slots <= 0 {
 		return nil, fmt.Errorf("%w: horizon %d is not positive", ErrBadInputs, opt.Slots)
 	}
-	fair := in.Fairness
-	if fair == nil {
-		weights := make([]float64, c.M())
-		for m, a := range c.Accounts {
-			weights[m] = a.Weight
-		}
-		var err error
-		fair, err = fairness.NewQuadratic(weights)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	qs := queue.NewSet(c)
-	st := model.NewState(c)
-
-	// Compose the run observer with the invariant checker when checking is
-	// on; collect slot details only when something downstream consumes them.
-	obs := opt.Observer
-	var checker *invariant.Checker
-	if opt.Check {
-		checker = invariant.NewChecker(c, invariant.CheckerOptions{})
-		obs = telemetry.Multi(obs, checker)
-	}
-	wantDetail := telemetry.WantsDetail(obs)
-
-	energy := metrics.NewRunning(opt.RecordSeries)
-	fairScore := metrics.NewRunning(opt.RecordSeries)
-	localDelay := make([]*metrics.Ratio, c.N())
-	workAvg := make([]*metrics.Running, c.N())
-	for i := range localDelay {
-		localDelay[i] = metrics.NewRatio(opt.RecordSeries)
-		workAvg[i] = metrics.NewRunning(false)
-	}
-	centralDelay := metrics.NewRatio(false)
-	hists := make([]*metrics.Histogram, c.N())
-	for i := range hists {
-		var err error
-		hists[i], err = metrics.NewHistogram(metrics.DelayBounds())
-		if err != nil {
-			return nil, err
-		}
-	}
-	var maxQ metrics.Max
-	var avgQ metrics.Running
-	var arrived, processed float64
-
-	res := &Result{SchedulerName: s.Name(), Slots: opt.Slots}
-	if opt.RecordSeries {
-		res.WorkSeries = make([][]float64, c.N())
-		res.PriceSeries = make([][]float64, c.N())
-	}
-
-	if in.BaseLoad != nil {
-		if len(in.BaseLoad) != c.N() {
-			return nil, fmt.Errorf("%w: got %d base-load sources, cluster has %d data centers", ErrBadInputs, len(in.BaseLoad), c.N())
-		}
-		st.BaseEnergy = make([]float64, c.N())
-	}
-	var admissionLens []float64
-	if opt.Admission != nil {
-		admissionLens = make([]float64, c.J())
+	e, err := NewEngine(in, s, opt)
+	if err != nil {
+		return nil, err
 	}
 	for t := 0; t < opt.Slots; t++ {
 		if opt.Context != nil {
@@ -227,147 +175,11 @@ func Run(in Inputs, s sched.Scheduler, opt Options) (*Result, error) {
 				return nil, fmt.Errorf("slot %d: run canceled: %w", t, err)
 			}
 		}
-		// Reveal x(t).
-		avail := in.Availability.At(t)
-		for i := 0; i < c.N(); i++ {
-			copy(st.Avail[i], avail[i])
-			st.Price[i] = in.Prices[i].At(t)
-			if in.BaseLoad != nil {
-				st.BaseEnergy[i] = in.BaseLoad[i].At(t)
-			}
-		}
-		if err := st.Validate(c); err != nil {
-			return nil, fmt.Errorf("slot %d: bad state: %w", t, err)
-		}
-
-		// Decide and apply.
-		lengths := qs.Lengths()
-		act, err := s.Decide(t, st, lengths)
-		if err != nil {
-			return nil, fmt.Errorf("slot %d: %s: %w", t, s.Name(), err)
-		}
-		if opt.ValidateActions {
-			if err := act.Validate(c, st); err != nil {
-				return nil, fmt.Errorf("slot %d: %s produced an infeasible action: %w", t, s.Name(), err)
-			}
-		}
-		flows, err := qs.Apply(t, act)
-		if err != nil {
-			return nil, fmt.Errorf("slot %d: applying action: %w", t, err)
-		}
-		arrivals := in.Workload.Arrivals(t)
-		admitted := arrivals
-		var slotDropped float64
-		if opt.Admission != nil {
-			lens := admissionLens
-			for j := range lens {
-				lens[j] = qs.CentralLen(j)
-			}
-			admitted = opt.Admission.Admit(t, arrivals, lens)
-			if len(admitted) != c.J() {
-				return nil, fmt.Errorf("slot %d: admission policy returned %d counts, want %d", t, len(admitted), c.J())
-			}
-			for j := range admitted {
-				if admitted[j] < 0 || admitted[j] > arrivals[j] {
-					return nil, fmt.Errorf("slot %d: admission policy admitted %d of %d for job type %d",
-						t, admitted[j], arrivals[j], j)
-				}
-				slotDropped += float64(arrivals[j] - admitted[j])
-			}
-		}
-		if err := qs.Arrive(t, admitted); err != nil {
-			return nil, fmt.Errorf("slot %d: arrivals: %w", t, err)
-		}
-		res.TotalDropped += slotDropped
-
-		// Metrics.
-		slotEnergy := act.BilledCost(c, st, in.Tariff)
-		slotFairness := fair.Score(act.AccountWork(c), st.TotalResource(c))
-		energy.Add(slotEnergy)
-		fairScore.Add(slotFairness)
-		var slotProcessed float64
-		for i := 0; i < c.N(); i++ {
-			var dSum, dCount float64
-			for j := 0; j < c.J(); j++ {
-				dSum += flows.LocalDelaySum[i][j]
-				dCount += flows.Processed[i][j]
-				processed += flows.Processed[i][j]
-				slotProcessed += flows.Processed[i][j]
-			}
-			localDelay[i].Add(dSum, dCount)
-			for _, sample := range flows.LocalDelaySamples[i] {
-				hists[i].Add(sample.Delay, sample.Jobs)
-			}
-			workAvg[i].Add(act.WorkAt(c, i))
-			if opt.RecordSeries {
-				res.WorkSeries[i] = append(res.WorkSeries[i], act.WorkAt(c, i))
-				res.PriceSeries[i] = append(res.PriceSeries[i], st.Price[i])
-			}
-		}
-		var slotArrived float64
-		for j := 0; j < c.J(); j++ {
-			centralDelay.Add(flows.CentralDelaySum[j], flows.CentralRouted[j])
-			arrived += float64(arrivals[j])
-			slotArrived += float64(arrivals[j])
-		}
-		post := qs.Lengths()
-		for _, v := range post.Central {
-			maxQ.Add(v)
-		}
-		for i := range post.Local {
-			for _, v := range post.Local[i] {
-				maxQ.Add(v)
-			}
-		}
-		avgQ.Add(post.Sum())
-
-		if obs != nil {
-			ev := slotEvent(c, s.Name(), t, post, act, st, in.Tariff,
-				slotEnergy, slotFairness, slotArrived, slotProcessed, slotDropped)
-			if wantDetail {
-				ev.Detail = &telemetry.SlotDetail{
-					State:     st.Clone(),
-					Action:    act.Clone(),
-					Pre:       lengths,
-					Post:      post,
-					Arrivals:  append([]int(nil), admitted...),
-					Routed:    flows.Routed,
-					Processed: flows.Processed,
-				}
-			}
-			obs.ObserveSlot(ev)
-		}
-		if checker != nil {
-			if err := checker.Err(); err != nil {
-				return nil, fmt.Errorf("slot %d: %s: %w", t, s.Name(), err)
-			}
+		if err := e.Step(nil); err != nil {
+			return nil, err
 		}
 	}
-
-	res.AvgEnergy = energy.Mean()
-	res.EnergySeries = energy.Series()
-	res.AvgFairness = fairScore.Mean()
-	res.FairnessSeries = fairScore.Series()
-	res.AvgLocalDelay = make([]float64, c.N())
-	res.AvgWorkPerDC = make([]float64, c.N())
-	if opt.RecordSeries {
-		res.LocalDelaySeries = make([][]float64, c.N())
-	}
-	for i := 0; i < c.N(); i++ {
-		res.AvgLocalDelay[i] = localDelay[i].Value()
-		res.AvgWorkPerDC[i] = workAvg[i].Mean()
-		if opt.RecordSeries {
-			res.LocalDelaySeries[i] = localDelay[i].Series()
-		}
-	}
-	res.AvgCentralDelay = centralDelay.Value()
-	res.DelayHistograms = hists
-	res.MaxQueue = maxQ.Value()
-	res.AvgQueue = avgQ.Mean()
-	res.FinalBacklog = qs.Lengths().Sum()
-	res.TotalArrived = arrived
-	res.TotalProcessed = processed
-	return res, nil
+	return e.Result(), nil
 }
 
 // slotEvent assembles the origin-"sim" telemetry event for one applied slot:

@@ -25,57 +25,93 @@ type SimOption interface {
 	ApplySim(*SimOptions)
 }
 
-// SchedulerSimOption is accepted by both New and Simulate — observer wiring
-// is meaningful on either side of the control loop.
+// SessionOption configures a Session built by Open (or Restore). Scheduler
+// knobs, run options, and observers all configure sessions too — their
+// constructors return combined interfaces — so the same WithV/WithCheck/
+// WithTelemetry calls work across Simulate and Open. Inputs arrive via
+// WithInputs.
+type SessionOption interface {
+	applySession(*sessionConfig)
+}
+
+// sessionConfig accumulates session options: the scheduler side, the
+// per-slot engine side, and the inputs.
+type sessionConfig struct {
+	inputs     SimInputs
+	haveInputs bool
+	sched      Config
+	sim        SimOptions
+}
+
+// SchedulerOption configures a scheduler — accepted by New and by Open.
+type SchedulerOption interface {
+	Option
+	SessionOption
+}
+
+// RunOption configures the per-slot control loop — accepted by Simulate and
+// by Open.
+type RunOption interface {
+	SimOption
+	SessionOption
+}
+
+// SchedulerSimOption is accepted everywhere — New, Simulate, and Open —
+// because observer wiring is meaningful on either side of the control loop.
 type SchedulerSimOption interface {
 	Option
 	SimOption
+	SessionOption
 }
 
 type optionFunc func(*Config)
 
 func (f optionFunc) ApplyScheduler(cfg *Config) { f(cfg) }
 
+func (f optionFunc) applySession(sc *sessionConfig) { f(&sc.sched) }
+
 type simOptionFunc func(*SimOptions)
 
 func (f simOptionFunc) ApplySim(o *SimOptions) { f(o) }
 
+func (f simOptionFunc) applySession(sc *sessionConfig) { f(&sc.sim) }
+
 // WithV sets the cost-delay parameter V >= 0: larger V weighs the
 // energy-fairness cost more heavily against queue drift, reducing cost at the
 // expense of O(V) queue backlog (Theorem 1).
-func WithV(v float64) Option {
+func WithV(v float64) SchedulerOption {
 	return optionFunc(func(cfg *Config) { cfg.V = v })
 }
 
 // WithBeta sets the energy-fairness parameter beta >= 0: 0 ignores fairness
 // entirely; large values prioritize fairness over energy cost.
-func WithBeta(beta float64) Option {
+func WithBeta(beta float64) SchedulerOption {
 	return optionFunc(func(cfg *Config) { cfg.Beta = beta })
 }
 
 // WithFairness selects the fairness penalty entering the slot objective
 // (paper footnote 5). NewQuadraticFairness and NewAlphaFairness both build
 // suitable terms. Nil restores the default quadratic penalty.
-func WithFairness(term core.FairnessTerm) Option {
+func WithFairness(term core.FairnessTerm) SchedulerOption {
 	return optionFunc(func(cfg *Config) { cfg.Fairness = term })
 }
 
 // WithTariff selects the energy tariff the scheduler optimizes against
 // (paper section III-A2). Nil restores the baseline linear pricing.
-func WithTariff(trf Tariff) Option {
+func WithTariff(trf Tariff) SchedulerOption {
 	return optionFunc(func(cfg *Config) { cfg.Tariff = trf })
 }
 
 // WithRouting selects the routing tie-break rule (core.SplitTies or
 // core.FirstSiteWins).
-func WithRouting(rule core.RoutingRule) Option {
+func WithRouting(rule core.RoutingRule) SchedulerOption {
 	return optionFunc(func(cfg *Config) { cfg.Routing = rule })
 }
 
 // WithFrankWolfe tunes the Frank-Wolfe solver used when beta > 0. Invalid
 // values (negative MaxIters, NaN or negative Tol) are rejected at New with
 // ErrBadConfig.
-func WithFrankWolfe(opts solve.FWOptions) Option {
+func WithFrankWolfe(opts solve.FWOptions) SchedulerOption {
 	return optionFunc(func(cfg *Config) { cfg.FW = opts })
 }
 
@@ -84,7 +120,7 @@ func WithFrankWolfe(opts solve.FWOptions) Option {
 // mass from a bad vertex instead of only adding new ones, converging linearly
 // where the vanilla method zigzags at O(1/k). Composes with WithFrankWolfe
 // (apply WithFrankWolfe first; it replaces all solver options at once).
-func WithAwaySteps(on bool) Option {
+func WithAwaySteps(on bool) SchedulerOption {
 	return optionFunc(func(cfg *Config) { cfg.FW.AwaySteps = on })
 }
 
@@ -93,7 +129,7 @@ func WithAwaySteps(on bool) Option {
 // current availability caps, falling back to the zero start when the repair
 // fails (first slot, availability collapse). Off by default — results agree
 // within the solver tolerance but are not bit-identical to cold starts.
-func WithWarmStart(on bool) Option {
+func WithWarmStart(on bool) SchedulerOption {
 	return optionFunc(func(cfg *Config) { cfg.WarmStart = on })
 }
 
@@ -104,19 +140,19 @@ func WithSlots(n int) SimOption {
 
 // WithAdmission installs an admission policy filtering arrivals before they
 // enter the central queues (paper section V). Nil admits everything.
-func WithAdmission(p AdmissionPolicy) SimOption {
+func WithAdmission(p AdmissionPolicy) RunOption {
 	return simOptionFunc(func(o *SimOptions) { o.Admission = p })
 }
 
 // WithRecordedSeries toggles keeping per-slot prefix-average series for
 // plotting; off, only scalar summaries are produced.
-func WithRecordedSeries(on bool) SimOption {
+func WithRecordedSeries(on bool) RunOption {
 	return simOptionFunc(func(o *SimOptions) { o.RecordSeries = on })
 }
 
 // WithActionValidation toggles re-checking every action against the model
 // constraints, failing the run on violation.
-func WithActionValidation(on bool) SimOption {
+func WithActionValidation(on bool) RunOption {
 	return simOptionFunc(func(o *SimOptions) { o.ValidateActions = on })
 }
 
@@ -124,15 +160,35 @@ func WithActionValidation(on bool) SimOption {
 // against the paper's queue dynamics (12)-(13), action feasibility, and job
 // conservation, and the run fails on the first violation. Recommended in
 // tests; off by default because it roughly doubles per-slot bookkeeping.
-func WithCheck(on bool) SimOption {
+func WithCheck(on bool) RunOption {
 	return simOptionFunc(func(o *SimOptions) { o.Check = on })
 }
 
 // WithContext makes the simulation cancelable: Simulate returns an error
 // wrapping ctx.Err() as soon as cancellation is observed between slots.
+//
+// Deprecated: the public surface is context-first — pass the context as the
+// first argument instead (SimulateContext, Sweep, Session.Tick). WithContext
+// is kept as a shim for existing Simulate callers and behaves identically.
 func WithContext(ctx context.Context) SimOption {
 	return simOptionFunc(func(o *SimOptions) { o.Context = ctx })
 }
+
+// WithInputs supplies the session's system description and environment (the
+// same Inputs bundle Simulate takes). Required by Open. A session normally
+// runs without Inputs.Workload — arrivals come from Session.Submit — but a
+// generator may be kept for synthetic background load, and its arrivals add
+// to the submitted stream.
+func WithInputs(in SimInputs) SessionOption {
+	return sessionOptionFunc(func(sc *sessionConfig) {
+		sc.inputs = in
+		sc.haveInputs = true
+	})
+}
+
+type sessionOptionFunc func(*sessionConfig)
+
+func (f sessionOptionFunc) applySession(sc *sessionConfig) { f(sc) }
 
 // observerOption attaches a SlotObserver on either side of the control loop,
 // composing with (never replacing) observers installed by earlier options.
@@ -146,6 +202,11 @@ func (oo observerOption) ApplyScheduler(cfg *Config) {
 
 func (oo observerOption) ApplySim(o *SimOptions) {
 	o.Observer = telemetry.Multi(o.Observer, oo.obs)
+}
+
+func (oo observerOption) applySession(sc *sessionConfig) {
+	oo.ApplyScheduler(&sc.sched)
+	oo.ApplySim(&sc.sim)
 }
 
 // WithObserver attaches a slot observer. Passed to New it receives one
