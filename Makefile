@@ -24,21 +24,25 @@ race:
 # detector (the sweep-engine tests in internal/runner and the parallel
 # experiment fan-out only prove determinism when raced; the serving layer in
 # internal/serve and cmd/grefar-serve only proves its tick/checkpoint locking
-# when raced), the Decide allocation-budget guard (which -race skips, so it
-# runs plain here), and a short fuzz smoke of the native fuzz targets,
-# including the snapshot-restore surface.
+# when raced; the degraded-mode controller and the chaos transport only prove
+# their kill/restart determinism when raced), the Decide allocation-budget
+# guard (which -race skips, so it runs plain here), and a short fuzz smoke of
+# the native fuzz targets, including the snapshot-restore and wire-frame
+# surfaces.
 tier1:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/runner
 	$(GO) test -race -count=1 ./internal/serve/... ./cmd/grefar-serve
+	$(GO) test -race -count=1 ./internal/controller ./internal/transport/... ./internal/experiments
 	$(GO) test -count=1 -run TestDecideAllocationBudget .
 	$(GO) test -run '^$$' -fuzz FuzzSimplex -fuzztime $(FUZZTIME) ./internal/lp
 	$(GO) test -run '^$$' -fuzz FuzzApply -fuzztime $(FUZZTIME) ./internal/queue
 	$(GO) test -run '^$$' -fuzz FuzzWarmRepair -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzRestoreSnapshot -fuzztime $(FUZZTIME) ./internal/serve
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/serve/snapshot
+	$(GO) test -run '^$$' -fuzz FuzzServerFrame -fuzztime $(FUZZTIME) ./internal/transport
 
 # fuzz runs the native fuzz targets for FUZZTIME each (default 10s); raise it
 # for a deeper soak, e.g. make fuzz FUZZTIME=5m.
@@ -48,12 +52,15 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzWarmRepair -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzRestoreSnapshot -fuzztime $(FUZZTIME) ./internal/serve
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/serve/snapshot
+	$(GO) test -run '^$$' -fuzz FuzzServerFrame -fuzztime $(FUZZTIME) ./internal/transport
 
-# golden regenerates the committed golden traces under
-# internal/invariant/testdata/golden after an intentional behavior change.
+# golden regenerates the committed golden traces — the healthy ones under
+# internal/invariant/testdata/golden and the degraded-mode chaos trace under
+# internal/controller/testdata — after an intentional behavior change.
 # Inspect the diff before committing: every changed line is a behavior change.
 golden:
 	$(GO) test ./internal/invariant -run TestGoldenTraces -update
+	$(GO) test ./internal/controller -run TestGoldenChaosTrace -update
 
 # check replays the paper's reference experiment with the invariant checker
 # attached: queue dynamics (12)-(13), action feasibility, job conservation,

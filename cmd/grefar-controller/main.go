@@ -103,7 +103,14 @@ func buildApp(args []string) (*app, error) {
 	retries := fs.Int("retries", 2, "redial attempts per RPC after a transport failure (with capped exponential backoff)")
 	metricsAddr := fs.String("metrics-addr", "", "address to serve /metrics and /healthz on (empty disables)")
 	pprofOn := fs.Bool("pprof", false, "also mount /debug/pprof/ on the metrics address")
+	failurePolicy := fs.String("failure-policy", "degrade", "reaction to agent failures: degrade (mask the site and keep scheduling) or strict (abort the run)")
+	suspectAfter := fs.Int("suspect-after", 1, "consecutive failed interactions before an agent is masked (degrade policy)")
+	deadAfter := fs.Int("dead-after", 3, "consecutive failed interactions before an agent leaves the gather set and is heartbeat-probed instead")
 	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	policyVal, err := controller.ParseFailurePolicy(*failurePolicy)
+	if err != nil {
 		return nil, err
 	}
 
@@ -149,7 +156,6 @@ func buildApp(args []string) (*app, error) {
 	}
 
 	var s sched.Scheduler
-	var err error
 	switch *policy {
 	case "grefar":
 		s, err = core.New(c, core.Config{V: *v, Beta: *beta, Observer: obs})
@@ -166,7 +172,12 @@ func buildApp(args []string) (*app, error) {
 	if err != nil {
 		return nil, fmt.Errorf("workload: %w", err)
 	}
-	a.ctrl, err = controller.New(c, s, conns, controller.WithObserver(obs))
+	a.ctrl, err = controller.New(c, s, conns,
+		controller.WithObserver(obs),
+		controller.WithFailurePolicy(policyVal),
+		controller.WithHealthThresholds(*suspectAfter, *deadAfter),
+		controller.WithHealthMetrics(reg),
+	)
 	if err != nil {
 		return nil, err
 	}

@@ -66,7 +66,7 @@ func TestControllerMainEndToEnd(t *testing.T) {
 
 func TestControllerMainAlwaysPolicy(t *testing.T) {
 	agents := startAgents(t, 7, 128)
-	if err := run(context.Background(), []string{"-agents", agents, "-slots", "48", "-policy", "always", "-seed", "7"}, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-agents", agents, "-slots", "48", "-policy", "always", "-seed", "7", "-failure-policy", "strict"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -85,6 +85,9 @@ func TestControllerMainValidation(t *testing.T) {
 	agents := startAgents(t, 7, 64)
 	if err := run(bg, []string{"-agents", agents, "-policy", "nope"}, io.Discard); err == nil {
 		t.Error("unknown policy accepted")
+	}
+	if err := run(bg, []string{"-agents", agents, "-failure-policy", "nope"}, io.Discard); err == nil {
+		t.Error("unknown failure policy accepted")
 	}
 	if err := run(bg, []string{"-not-a-flag"}, io.Discard); err == nil {
 		t.Error("bad flag accepted")
@@ -152,6 +155,8 @@ func TestControllerMetricsEndpoint(t *testing.T) {
 		`grefar_solver_iterations_count{solver="frank-wolfe"} 3`,
 		`grefar_drift`,
 		`grefar_penalty`,
+		`grefar_controller_agent_health{dc="0"} 0`,
+		`grefar_controller_degraded_slots_total 0`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q\nbody:\n%s", want, body)

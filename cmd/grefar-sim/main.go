@@ -5,9 +5,9 @@
 // Usage:
 //
 //	grefar-sim -experiment table1|fig1|fig2|fig3|fig4|fig5|workshare|theorem1|\
-//	           ablation|robustness|delays|mpc|events|all \
+//	           ablation|robustness|delays|mpc|churn|events|all \
 //	           [-slots 2000] [-seed 2012] [-workers 0] [-day 30] [-csv out.csv] \
-//	           [-events out.jsonl]
+//	           [-events out.jsonl] [-chaos-seed 2012] [-kill 2] [-down 6]
 //
 // Experiments that sweep several configurations (fig2, fig3, fig4, fig5,
 // robustness, delays, theorem1, mpc) fan their independent runs across
@@ -19,6 +19,11 @@
 // telemetry.SlotEvent schema) to -events, or to stdout when the flag is
 // empty; it is not part of -experiment all. SIGINT stops a long run at the
 // next slot boundary.
+//
+// The churn experiment (also outside -experiment all) runs the distributed
+// control loop under the Degrade failure policy with -kill agents partitioned
+// for -down slots each, every fault drawn from -chaos-seed, and reports
+// recovery times and queue-backlog inflation against a fault-free baseline.
 package main
 
 import (
@@ -48,7 +53,7 @@ func main() {
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("grefar-sim", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "which experiment to run: table1, fig1, fig2, fig3, fig4, fig5, workshare, theorem1, ablation, robustness, delays, mpc, events, or all")
+	experiment := fs.String("experiment", "all", "which experiment to run: table1, fig1, fig2, fig3, fig4, fig5, workshare, theorem1, ablation, robustness, delays, mpc, churn, events, or all")
 	slots := fs.Int("slots", 2000, "simulation horizon in hourly slots")
 	seed := fs.Int64("seed", 2012, "seed for every stochastic input")
 	day := fs.Int("day", 30, "snapshot day for fig5")
@@ -58,6 +63,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	beta := fs.Float64("beta", 100, "energy-fairness parameter for the events experiment")
 	check := fs.Bool("check", false, "verify per-slot invariants (queue dynamics, feasibility, conservation) during every run; fail on the first violation")
 	workers := fs.Int("workers", 0, "how many simulation runs to execute concurrently within an experiment (0 = one per CPU); results are identical at any setting")
+	chaosSeed := fs.Int64("chaos-seed", 2012, "seed for the churn experiment's fault streams")
+	kill := fs.Int("kill", 2, "how many agents the churn experiment partitions")
+	down := fs.Int("down", 6, "how many slots each churn outage lasts")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -119,6 +127,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return report.Histogram(out, "\nDC1 per-job delay distribution at V=7.5 (jobs per bucket):",
 				res.RefBounds, res.RefCounts, 40)
 		},
+		"churn": func() error {
+			return runChurn(out, experiments.ChurnConfig{
+				Seed:      *seed,
+				ChaosSeed: *chaosSeed,
+				Slots:     *slots,
+				Kill:      *kill,
+				Down:      *down,
+			})
+		},
 		"robustness": func() error {
 			res, err := experiments.Robustness(cfg, nil)
 			if err != nil {
@@ -147,6 +164,26 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
 	return r()
+}
+
+// runChurn runs the fault-tolerance churn experiment: kill -kill agents for
+// -down slots each (staggered), scheduled around under the Degrade policy,
+// and report recovery times and queue-backlog inflation against a fault-free
+// baseline of the same seeds.
+func runChurn(out io.Writer, cfg experiments.ChurnConfig) error {
+	res, err := experiments.Churn(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "churn over %d slots: %d degraded slots\n", res.Slots, res.DegradedSlots)
+	for _, r := range res.Recoveries {
+		fmt.Fprintf(out, "  agent %d down [%d,%d): rejoined %d slot(s) after the outage\n",
+			r.Agent, r.From, r.To, r.RecoverySlots)
+	}
+	fmt.Fprintf(out, "  avg energy: baseline %.3f, chaos %.3f\n", res.BaselineEnergy, res.ChaosEnergy)
+	fmt.Fprintf(out, "  backlog inflation: peak %.1f jobs, at horizon %.1f jobs (final %.1f vs %.1f)\n",
+		res.MaxBacklogInflation, res.FinalBacklogInflation, res.ChaosFinalBacklog, res.BaselineFinalBacklog)
+	return nil
 }
 
 func runTableI(out io.Writer, cfg experiments.Config) error {

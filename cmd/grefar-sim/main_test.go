@@ -117,6 +117,23 @@ func TestRunRobustness(t *testing.T) {
 	}
 }
 
+func TestRunChurn(t *testing.T) {
+	out := runCLI(t, "-experiment", "churn", "-slots", "72", "-chaos-seed", "2012")
+	for _, want := range []string{"churn over 72 slots", "degraded slots", "agent 1 down", "agent 2 down", "rejoined", "backlog inflation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("churn output missing %q:\n%s", want, out)
+		}
+	}
+	// Same seeds, same printout: the CLI path must be reproducible too.
+	if again := runCLI(t, "-experiment", "churn", "-slots", "72", "-chaos-seed", "2012"); again != out {
+		t.Errorf("churn rerun diverged:\n%s\nvs:\n%s", again, out)
+	}
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-experiment", "churn", "-slots", "10", "-down", "20"}, &sb); err == nil {
+		t.Error("outage longer than the horizon accepted")
+	}
+}
+
 func TestRunAllClampsSnapshotDay(t *testing.T) {
 	// A short horizon must not break the all-experiments sweep on the
 	// default fig5 day; this exercises the clamp, not the full sweep.

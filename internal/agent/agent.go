@@ -44,6 +44,13 @@ type Agent struct {
 
 	mu      sync.Mutex
 	ledgers []queue.Ledger // local FIFO per job type
+
+	// lastSlot/lastAck cache the most recent executed allocation so a
+	// duplicated or retransmitted Allocate for the same slot is answered
+	// from the cache instead of popping and pushing the ledgers twice.
+	// -1 means no allocation has been executed since start or restore.
+	lastSlot int
+	lastAck  transport.AllocateAck
 }
 
 // New validates the configuration and builds an agent.
@@ -61,8 +68,9 @@ func New(cfg Config) (*Agent, error) {
 		return nil, fmt.Errorf("price and availability sources are required")
 	}
 	return &Agent{
-		cfg:     cfg,
-		ledgers: make([]queue.Ledger, cfg.Cluster.J()),
+		cfg:      cfg,
+		ledgers:  make([]queue.Ledger, cfg.Cluster.J()),
+		lastSlot: -1,
 	}, nil
 }
 
@@ -87,6 +95,12 @@ func (a *Agent) Handle(kind string, body []byte) (any, error) {
 			return nil, err
 		}
 		return a.allocate(req)
+	case transport.KindRestore:
+		var req transport.RestoreRequest
+		if err := transport.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		return a.restoreRPC(req)
 	default:
 		return nil, fmt.Errorf("unknown message kind %q", kind)
 	}
@@ -125,6 +139,15 @@ func (a *Agent) allocate(req transport.Allocate) (transport.AllocateAck, error) 
 	a.mu.Lock()
 	defer a.mu.Unlock()
 
+	// Idempotent replay: the controller sends exactly one allocation per
+	// slot, so a second Allocate with the executed slot is a retransmission
+	// (lost response, duplicating network). Answer from the cache without
+	// touching the ledgers or re-emitting telemetry — replaying the pops and
+	// pushes would corrupt the queue trajectory.
+	if req.Slot == a.lastSlot {
+		return a.lastAck, nil
+	}
+
 	ack := transport.AllocateAck{
 		Slot:      req.Slot,
 		Processed: make([]float64, c.J()),
@@ -160,6 +183,27 @@ func (a *Agent) allocate(req transport.Allocate) (transport.AllocateAck, error) 
 		}
 		a.cfg.Observer.ObserveSlot(ev)
 	}
+	a.lastSlot = req.Slot
+	a.lastAck = ack
+	return ack, nil
+}
+
+// restoreRPC replaces the local queue state from a controller snapshot and
+// echoes the post-restore queue lengths so the controller can verify the
+// agent landed exactly where intended. The allocation-replay cache is
+// invalidated: after a restore the next Allocate must execute, whatever its
+// slot.
+func (a *Agent) restoreRPC(req transport.RestoreRequest) (transport.RestoreAck, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := queue.RestoreLedgers(a.ledgers, req.Snapshot); err != nil {
+		return transport.RestoreAck{}, err
+	}
+	a.lastSlot = -1
+	ack := transport.RestoreAck{Slot: req.Slot, QueueLens: make([]float64, len(a.ledgers))}
+	for j := range a.ledgers {
+		ack.QueueLens[j] = a.ledgers[j].Len()
+	}
 	return ack, nil
 }
 
@@ -189,7 +233,11 @@ func (a *Agent) Snapshot() ([]byte, error) {
 func (a *Agent) Restore(snapshot []byte) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return queue.RestoreLedgers(a.ledgers, snapshot)
+	if err := queue.RestoreLedgers(a.ledgers, snapshot); err != nil {
+		return err
+	}
+	a.lastSlot = -1
+	return nil
 }
 
 // Serve starts a transport server for the agent on the listener. It returns

@@ -245,3 +245,94 @@ func TestAgentSnapshotRestore(t *testing.T) {
 		t.Error("junk snapshot accepted")
 	}
 }
+
+// TestAllocateIdempotentReplay re-sends an executed slot's allocation — the
+// retransmission shape a duplicating or retrying transport produces — and
+// checks the ledgers move exactly once while the cached ack is replayed.
+func TestAllocateIdempotentReplay(t *testing.T) {
+	a, c := testAgent(t)
+
+	route := make([]int, c.J())
+	route[0] = 6
+	alloc := transport.Allocate{
+		Slot:    0,
+		Route:   route,
+		Process: make([]float64, c.J()),
+		Busy:    make([]float64, c.K(1)),
+	}
+	var first transport.AllocateAck
+	if err := call(t, a, transport.KindAllocate, alloc, &first); err != nil {
+		t.Fatal(err)
+	}
+	lensAfterFirst := a.QueueLens()
+
+	var replay transport.AllocateAck
+	if err := call(t, a, transport.KindAllocate, alloc, &replay); err != nil {
+		t.Fatalf("replayed allocation rejected: %v", err)
+	}
+	for j := range lensAfterFirst {
+		if got := a.QueueLens()[j]; got != lensAfterFirst[j] {
+			t.Errorf("queue[%d] = %v after replay, want %v (ledgers moved twice)", j, got, lensAfterFirst[j])
+		}
+	}
+	if replay.Slot != first.Slot || replay.Work != first.Work {
+		t.Errorf("replayed ack %+v differs from original %+v", replay, first)
+	}
+
+	// A new slot executes normally: process the queued jobs.
+	proc := make([]float64, c.J())
+	proc[0] = 6
+	busy := make([]float64, c.K(1))
+	busy[0] = 6 * c.JobTypes[0].Demand / c.DataCenters[1].Servers[0].Speed
+	var second transport.AllocateAck
+	if err := call(t, a, transport.KindAllocate, transport.Allocate{
+		Slot: 1, Route: make([]int, c.J()), Process: proc, Busy: busy,
+	}, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.Processed[0] != 6 {
+		t.Errorf("slot 1 processed %v, want 6 (replay cache leaked into a new slot)", second.Processed[0])
+	}
+}
+
+// TestRestoreRPC pushes backlog into one agent, snapshots it, and restores a
+// fresh agent over the wire protocol: the echoed lengths must match exactly
+// and the replay cache must be invalidated.
+func TestRestoreRPC(t *testing.T) {
+	a, c := testAgent(t)
+	route := make([]int, c.J())
+	route[0], route[1] = 3, 5
+	if err := call(t, a, transport.KindAllocate, transport.Allocate{
+		Slot: 0, Route: route, Process: make([]float64, c.J()), Busy: make([]float64, c.K(1)),
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, _ := testAgent(t)
+	var ack transport.RestoreAck
+	if err := call(t, fresh, transport.KindRestore, transport.RestoreRequest{Slot: 7, Snapshot: snap}, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Slot != 7 {
+		t.Errorf("ack slot = %d, want 7", ack.Slot)
+	}
+	want := a.QueueLens()
+	for j := range want {
+		if ack.QueueLens[j] != want[j] {
+			t.Errorf("restored queue[%d] = %v, want %v", j, ack.QueueLens[j], want[j])
+		}
+		if got := fresh.QueueLens()[j]; got != want[j] {
+			t.Errorf("agent queue[%d] = %v, want %v", j, got, want[j])
+		}
+	}
+	if fresh.lastSlot != -1 {
+		t.Error("restore left the allocation-replay cache live")
+	}
+	if err := call(t, fresh, transport.KindRestore, transport.RestoreRequest{Slot: 7, Snapshot: []byte("junk")}, nil); err == nil {
+		t.Error("junk snapshot accepted")
+	}
+}

@@ -8,6 +8,7 @@ package controller
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -61,8 +62,15 @@ type Controller struct {
 	agents  []AgentConn // index i is data center i
 	fair    fairness.Function
 	obs     telemetry.SlotObserver
+	detail  bool // obs asked for SlotEvent.Detail
 
 	central []queue.Ledger
+
+	// Fault tolerance: the failure policy and thresholds, the per-agent
+	// health records with shadow ledgers, and the optional metric surface.
+	health  HealthConfig
+	recs    []agentRecord
+	metrics *healthMetrics
 }
 
 // Option customizes a Controller.
@@ -101,9 +109,22 @@ func New(c *model.Cluster, sch sched.Scheduler, agents []AgentConn, opts ...Opti
 		agents:  agents,
 		fair:    fair,
 		central: make([]queue.Ledger, c.J()),
+		recs:    make([]agentRecord, c.N()),
+	}
+	for i := range ct.recs {
+		ct.recs[i].shadow = make([]queue.Ledger, c.J())
 	}
 	for _, opt := range opts {
 		opt(ct)
+	}
+	ct.health = ct.health.withDefaults()
+	ct.detail = telemetry.WantsDetail(ct.obs)
+	if ct.metrics != nil {
+		// Publish the healthy baseline so every per-agent series exists
+		// before the first fault, not lazily on the first transition.
+		for i := range ct.recs {
+			ct.metrics.state.With(dcLabel(i)).Set(float64(Healthy))
+		}
 	}
 	return ct, nil
 }
@@ -130,28 +151,49 @@ func (ct *Controller) Restore(snapshot []byte) error {
 	return queue.RestoreLedgers(ct.central, snapshot)
 }
 
-// gatherStates polls all agents concurrently for their slot reports.
-func (ct *Controller) gatherStates(ctx context.Context, t int) ([]transport.StateReport, error) {
+// errAgentDead marks an agent excluded from the gather set because its
+// health state is Dead; the slot opens with a probe for it instead.
+var errAgentDead = errors.New("agent is dead; probing instead of gathering")
+
+// gatherStates polls every non-Dead agent concurrently for its slot report
+// and validates each report's shape on receipt (site echo, slot echo,
+// dimensions, finite non-negative values), so a malformed or truncated
+// report surfaces as a typed per-agent error — wrapping
+// transport.ErrMalformedReport — before it can corrupt the assembled state.
+// errs[i] is nil exactly when reports[i] is usable.
+func (ct *Controller) gatherStates(ctx context.Context, t int) ([]transport.StateReport, []error) {
 	reports := make([]transport.StateReport, len(ct.agents))
 	errs := make([]error, len(ct.agents))
 	var wg sync.WaitGroup
-	for i, a := range ct.agents {
+	for i := range ct.agents {
+		if ct.recs[i].state == Dead {
+			errs[i] = errAgentDead
+			continue
+		}
 		wg.Add(1)
-		go func(i int, a AgentConn) {
+		go func(i int) {
 			defer wg.Done()
-			errs[i] = callAgent(ctx, a, transport.KindState, transport.StateRequest{Slot: t}, &reports[i])
-		}(i, a)
+			if err := ct.callAgentTimed(ctx, i, transport.KindState, transport.StateRequest{Slot: t}, &reports[i]); err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = reports[i].Validate(i, t, ct.cluster.K(i), ct.cluster.J())
+		}(i)
 	}
 	wg.Wait()
+	return reports, errs
+}
+
+// joinAgentErrors aggregates per-agent failures into one error naming every
+// failed agent, so a multi-agent outage is diagnosable from a single message.
+func joinAgentErrors(phase string, errs []error) error {
+	var joined []error
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("agent %d state: %w", i, err)
-		}
-		if reports[i].DataCenter != i {
-			return nil, fmt.Errorf("agent %d reported site %d", i, reports[i].DataCenter)
+			joined = append(joined, fmt.Errorf("agent %d %s: %w", i, phase, err))
 		}
 	}
-	return reports, nil
+	return errors.Join(joined...)
 }
 
 // RunSlot executes one slot of the control loop: gather, decide, allocate,
@@ -164,36 +206,100 @@ func (ct *Controller) RunSlot(t int, arrivals []int) (*model.Action, *model.Stat
 // RunSlotContext is RunSlot with cancellation threaded into the agent calls:
 // connections implementing ContextAgentConn abort their retry loops as soon
 // as ctx is done, so an interrupt does not wait out reconnection backoff.
+//
+// Under FailurePolicy Strict, any agent failure aborts the slot with every
+// per-agent error joined. Under Degrade the slot always completes: failed or
+// malformed-reporting agents are masked out of the decision (availability
+// zero, price and local queues frozen at the shadow), arrivals still enter
+// the central queues, Dead agents are heartbeat-probed and re-synced onto
+// the shadow state when they answer, and the emitted slot evidence is
+// derived from the shadow ledgers so the invariant checker passes on every
+// applied slot — the masked state is a valid cluster instance.
 func (ct *Controller) RunSlotContext(ctx context.Context, t int, arrivals []int) (*model.Action, *model.State, []transport.AllocateAck, error) {
 	c := ct.cluster
 	if len(arrivals) != c.J() {
 		return nil, nil, nil, fmt.Errorf("got %d arrival counts, want %d", len(arrivals), c.J())
 	}
-	reports, err := ct.gatherStates(ctx, t)
-	if err != nil {
-		return nil, nil, nil, err
+	for j, a := range arrivals {
+		if a < 0 {
+			return nil, nil, nil, fmt.Errorf("negative arrivals for job type %d", j)
+		}
+	}
+	degrade := ct.health.Policy == Degrade
+	if degrade {
+		ct.probeDead(ctx, t)
+	}
+	reports, errs := ct.gatherStates(ctx, t)
+	if !degrade {
+		if err := joinAgentErrors("state", errs); err != nil {
+			return nil, nil, nil, err
+		}
+		for i := range reports {
+			ct.trueUpShadow(i, t, &reports[i])
+		}
 	}
 
+	// Resolve each report into the health machine; ok[i] marks the agents
+	// participating in this slot's decision.
+	ok := make([]bool, c.N())
+	for i := range errs {
+		if !degrade {
+			ok[i] = true
+			continue
+		}
+		if errs[i] != nil {
+			ct.recordFailure(i)
+			continue
+		}
+		ok[i] = ct.resolveReport(ctx, i, t, &reports[i])
+	}
+
+	// Assemble the global state: reported availability and price for
+	// participating agents; masked agents contribute zero availability (no
+	// routing, no processing there) and their last known price, with local
+	// queues frozen at the shadow. Participating agents' shadow lengths are
+	// bit-identical to their reports, so the scheduler's view is unchanged
+	// from the historical report-driven assembly.
 	st := model.NewState(c)
-	lengths := queue.Lengths{
+	pre := queue.Lengths{
 		Central: ct.CentralLens(),
 		Local:   make([][]float64, c.N()),
 	}
-	for i, rep := range reports {
-		if len(rep.Avail) != c.K(i) || len(rep.QueueLens) != c.J() {
-			return nil, nil, nil, fmt.Errorf("agent %d report has wrong dimensions", i)
+	var masked []int
+	for i := 0; i < c.N(); i++ {
+		if ok[i] {
+			copy(st.Avail[i], reports[i].Avail)
+			st.Price[i] = reports[i].Price
+		} else {
+			st.Price[i] = ct.recs[i].lastPrice
+			masked = append(masked, i)
 		}
-		copy(st.Avail[i], rep.Avail)
-		st.Price[i] = rep.Price
-		lengths.Local[i] = rep.QueueLens
+		pre.Local[i] = ct.shadowLens(i)
 	}
 	if err := st.Validate(c); err != nil {
 		return nil, nil, nil, fmt.Errorf("slot %d: bad assembled state: %w", t, err)
 	}
+	if ct.metrics != nil && len(masked) > 0 {
+		ct.metrics.degraded.Inc()
+	}
 
-	act, err := ct.sch.Decide(t, st, lengths)
+	act, err := ct.sch.Decide(t, st, pre)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("slot %d: %s: %w", t, ct.sch.Name(), err)
+	}
+	// Flow around masked sites: zero their rows so the realized dispatch,
+	// the queue dynamics, and the invariant checker's nominal-route checks
+	// all agree that nothing moved there. (Schedulers route on backlog, not
+	// only on availability, so a masked site's rows are not automatically
+	// zero.)
+	for _, i := range masked {
+		for j := range act.Route[i] {
+			act.Route[i][j] = 0
+			act.Process[i][j] = 0
+		}
+		for k := range act.Busy[i] {
+			act.Busy[i][k] = 0
+		}
 	}
 	if err := act.Validate(c, st); err != nil {
 		return nil, nil, nil, fmt.Errorf("slot %d: infeasible action: %w", t, err)
@@ -203,8 +309,10 @@ func (ct *Controller) RunSlotContext(ctx context.Context, t int, arrivals []int)
 	// consumed in data-center order exactly like queue.Set.Apply so the
 	// distributed run is bit-identical to the single-process simulator.
 	routed := make([][]int, c.N())
+	routedF := make([][]float64, c.N())
 	for i := range routed {
 		routed[i] = make([]int, c.J())
+		routedF[i] = make([]float64, c.J())
 	}
 	for j := 0; j < c.J(); j++ {
 		for i := 0; i < c.N(); i++ {
@@ -214,38 +322,158 @@ func (ct *Controller) RunSlotContext(ctx context.Context, t int, arrivals []int)
 			}
 			popped, _ := ct.central[j].Pop(t, float64(r))
 			routed[i][j] = int(popped)
+			routedF[i][j] = popped
 		}
 	}
 
 	acks := make([]transport.AllocateAck, c.N())
 	errsA := make([]error, c.N())
 	var wg sync.WaitGroup
-	for i, a := range ct.agents {
+	for i := range ct.agents {
+		if !ok[i] {
+			continue
+		}
 		wg.Add(1)
-		go func(i int, a AgentConn) {
+		go func(i int) {
 			defer wg.Done()
-			errsA[i] = callAgent(ctx, a, transport.KindAllocate, transport.Allocate{
+			errsA[i] = ct.callAgentTimed(ctx, i, transport.KindAllocate, transport.Allocate{
 				Slot:    t,
 				Route:   routed[i],
 				Process: act.Process[i],
 				Busy:    act.Busy[i],
 			}, &acks[i])
-		}(i, a)
+		}(i)
 	}
 	wg.Wait()
-	for i, err := range errsA {
-		if err != nil {
-			return nil, nil, nil, fmt.Errorf("agent %d allocate: %w", i, err)
+	if !degrade {
+		if err := joinAgentErrors("allocate", errsA); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+
+	// Advance the shadow ledgers with exactly the dispatched operations, in
+	// agent execution order, and settle each agent's ack: verified against
+	// the shadow for responders, synthesized from it when the response was
+	// lost (the dispatch is authoritative — a rejoining agent is restored
+	// onto this trajectory), zero for masked agents whose rows were zeroed.
+	processedEv := make([][]float64, c.N())
+	for i := 0; i < c.N(); i++ {
+		popped, delays := ct.applyShadow(i, t, act.Process[i], routed[i])
+		processedEv[i] = popped
+		if !ok[i] {
+			acks[i] = transport.AllocateAck{
+				Slot:      t,
+				Processed: make([]float64, c.J()),
+				DelaySum:  make([]float64, c.J()),
+			}
+			continue
+		}
+		if errsA[i] != nil {
+			ct.recordFailure(i)
+			acks[i] = ct.synthesizeAck(i, t, popped, delays, st, act)
+			continue
+		}
+		for j := range popped {
+			if acks[i].Processed[j] != popped[j] {
+				// The agent executed something other than the shadow replay:
+				// its trajectory forked mid-slot (e.g. it restarted behind a
+				// reconnecting transport and answered empty). De-sync the
+				// shadow so the next report re-seeds it.
+				if ct.metrics != nil {
+					ct.metrics.divergences.With(dcLabel(i)).Inc()
+				}
+				ct.recs[i].synced = false
+				break
+			}
 		}
 	}
 
 	for j, a := range arrivals {
-		if a < 0 {
-			return nil, nil, nil, fmt.Errorf("negative arrivals for job type %d", j)
-		}
 		ct.central[j].Push(t, float64(a))
 	}
+
+	ct.emitSlot(t, arrivals, st, act, pre, routedF, processedEv, acks, masked)
 	return act, st, acks, nil
+}
+
+// synthesizeAck reconstructs what a non-responding agent did (or will be
+// restored to have done) from the shadow replay: processed counts and delay
+// sums come from the shadow pops, energy from the reported price and the
+// dispatched busy-server decision, work from the processed demand. For an
+// agent that executed the allocation but lost the response, this is
+// bit-identical to the ack it would have sent.
+func (ct *Controller) synthesizeAck(i, t int, popped, delays []float64, st *model.State, act *model.Action) transport.AllocateAck {
+	c := ct.cluster
+	ack := transport.AllocateAck{Slot: t, Processed: popped, DelaySum: delays}
+	for j := range popped {
+		ack.Work += popped[j] * c.JobTypes[j].Demand
+	}
+	for k, b := range act.Busy[i] {
+		ack.Energy += st.Price[i] * b * c.DataCenters[i].Servers[k].Power
+	}
+	return ack
+}
+
+// emitSlot assembles and publishes the controller's per-slot telemetry
+// event, including the full slot evidence when the observer asks for it.
+func (ct *Controller) emitSlot(t int, arrivals []int, st *model.State, act *model.Action,
+	pre queue.Lengths, routedF, processedEv [][]float64, acks []transport.AllocateAck, masked []int) {
+	if ct.obs == nil {
+		return
+	}
+	c := ct.cluster
+	post := queue.Lengths{Central: ct.CentralLens(), Local: make([][]float64, c.N())}
+	for i := 0; i < c.N(); i++ {
+		post.Local[i] = ct.shadowLens(i)
+	}
+	ev := telemetry.SlotEvent{
+		Slot:       t,
+		Origin:     telemetry.OriginController,
+		Scheduler:  ct.sch.Name(),
+		DataCenter: -1,
+		Degraded:   masked,
+	}
+	ev.EnergyPerDC = make([]float64, c.N())
+	alloc := make([]float64, c.M())
+	for i, ack := range acks {
+		ev.Energy += ack.Energy
+		ev.EnergyPerDC[i] = ack.Energy
+	}
+	for i := range processedEv {
+		for j, p := range processedEv[i] {
+			ev.Processed += p
+			alloc[c.JobTypes[j].Account] += p * c.JobTypes[j].Demand
+		}
+	}
+	ev.Fairness = ct.fair.Score(alloc, st.TotalResource(c))
+	for _, a := range arrivals {
+		ev.Arrived += float64(a)
+	}
+	for _, v := range post.Central {
+		ev.CentralBacklog += v
+	}
+	ev.LocalBacklog = make([]float64, c.N())
+	for i := range post.Local {
+		for _, v := range post.Local[i] {
+			ev.LocalBacklog[i] += v
+		}
+	}
+	ev.TotalBacklog = ev.CentralBacklog
+	for _, v := range ev.LocalBacklog {
+		ev.TotalBacklog += v
+	}
+	if ct.detail {
+		ev.Detail = &telemetry.SlotDetail{
+			State:     st.Clone(),
+			Action:    act.Clone(),
+			Pre:       pre.Clone(),
+			Post:      post.Clone(),
+			Arrivals:  append([]int(nil), arrivals...),
+			Routed:    routedF,
+			Processed: processedEv,
+		}
+	}
+	ct.obs.ObserveSlot(ev)
 }
 
 // Run drives the loop for the given horizon and aggregates the same metrics
@@ -281,56 +509,32 @@ func (ct *Controller) RunContext(ctx context.Context, slots int, wl workload.Gen
 			}
 		}
 		arrivals := wl.Arrivals(t)
-		act, st, acks, err := ct.RunSlotContext(ctx, t, arrivals)
+		// Per-slot telemetry (origin "controller") is emitted inside
+		// RunSlotContext so degraded-mode evidence reaches observers even when
+		// the loop is driven slot-by-slot (grefar-serve, experiments).
+		_, st, acks, err := ct.RunSlotContext(ctx, t, arrivals)
 		if err != nil {
 			return nil, err
 		}
-		var e, slotProcessed float64
-		energyPerDC := make([]float64, c.N())
+		var e float64
 		alloc := make([]float64, c.M())
 		for i, ack := range acks {
 			e += ack.Energy
-			energyPerDC[i] = ack.Energy
 			var dSum, dCount float64
 			for j := 0; j < c.J(); j++ {
 				dSum += ack.DelaySum[j]
 				dCount += ack.Processed[j]
 				alloc[c.JobTypes[j].Account] += ack.Processed[j] * c.JobTypes[j].Demand
 				res.TotalProcessed += ack.Processed[j]
-				slotProcessed += ack.Processed[j]
 			}
 			localDelay[i].Add(dSum, dCount)
 			workAvg[i].Add(ack.Work)
 		}
-		slotFairness := ct.fair.Score(alloc, st.TotalResource(c))
 		energy.Add(e)
-		fairScore.Add(slotFairness)
-		var slotArrived float64
+		fairScore.Add(ct.fair.Score(alloc, st.TotalResource(c)))
 		for _, a := range arrivals {
 			res.TotalArrived += float64(a)
-			slotArrived += float64(a)
 		}
-		if ct.obs != nil {
-			ev := telemetry.SlotEvent{
-				Slot:       t,
-				Origin:     telemetry.OriginController,
-				Scheduler:  ct.sch.Name(),
-				DataCenter: -1,
-				Energy:     e,
-				// The controller owns only the central queues; local
-				// backlogs are reported by the agents themselves.
-				EnergyPerDC: energyPerDC,
-				Fairness:    slotFairness,
-				Arrived:     slotArrived,
-				Processed:   slotProcessed,
-			}
-			for _, q := range ct.CentralLens() {
-				ev.CentralBacklog += q
-			}
-			ev.TotalBacklog = ev.CentralBacklog
-			ct.obs.ObserveSlot(ev)
-		}
-		_ = act
 	}
 	res.AvgEnergy = energy.Mean()
 	res.AvgFairness = fairScore.Mean()

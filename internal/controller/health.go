@@ -1,0 +1,399 @@
+package controller
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"time"
+
+	"grefar/internal/queue"
+	"grefar/internal/telemetry"
+	"grefar/internal/transport"
+)
+
+// AgentHealth is the controller's classification of one agent's liveness,
+// driven by the outcome of every RPC the control loop issues (state gathers,
+// allocations, heartbeat probes). Transitions happen at slot boundaries, so
+// the health trajectory is a deterministic function of the per-slot call
+// outcomes, never of wall-clock timing.
+type AgentHealth int
+
+const (
+	// Healthy: the agent answered its last interaction; it is in the gather
+	// set and receives allocations.
+	Healthy AgentHealth = iota
+	// Suspect: recent consecutive failures (>= HealthConfig.SuspectAfter).
+	// The agent is still polled each slot but its site is masked out of the
+	// scheduling decision until it answers again.
+	Suspect
+	// Dead: failures reached HealthConfig.DeadAfter. The agent leaves the
+	// gather set entirely; each slot starts with a single heartbeat probe
+	// instead, and a successful probe moves it to Rejoining.
+	Dead
+	// Rejoining: a probe succeeded and the agent has been re-synced onto the
+	// controller's shadow queue state; the next successful state report
+	// completes the rejoin and restores Healthy.
+	Rejoining
+)
+
+// String renders the state for logs and metrics.
+func (h AgentHealth) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	case Rejoining:
+		return "rejoining"
+	}
+	return fmt.Sprintf("AgentHealth(%d)", int(h))
+}
+
+// FailurePolicy selects how the control loop reacts to agent failures.
+type FailurePolicy int
+
+const (
+	// Strict aborts the slot on any agent failure — the historical behavior,
+	// and the right one for tests and experiments that demand the full
+	// cluster every slot.
+	Strict FailurePolicy = iota
+	// Degrade keeps scheduling around failed agents: their availability is
+	// masked to zero, their local queues are frozen at the controller's
+	// shadow of the last known state, arrivals keep entering the central
+	// queues, and rejoining agents are re-synced. This is the default for
+	// the grefar-controller daemon.
+	Degrade
+)
+
+// String renders the policy for flags and logs.
+func (p FailurePolicy) String() string {
+	if p == Degrade {
+		return "degrade"
+	}
+	return "strict"
+}
+
+// ParseFailurePolicy converts a flag value ("strict" or "degrade").
+func ParseFailurePolicy(s string) (FailurePolicy, error) {
+	switch s {
+	case "strict":
+		return Strict, nil
+	case "degrade":
+		return Degrade, nil
+	}
+	return Strict, fmt.Errorf("unknown failure policy %q (want strict or degrade)", s)
+}
+
+// HealthConfig tunes the health state machine. The zero value is Strict with
+// the default thresholds.
+type HealthConfig struct {
+	// Policy selects Strict (abort on failure) or Degrade (mask and carry on).
+	Policy FailurePolicy
+	// SuspectAfter is the number of consecutive failed interactions before an
+	// agent is marked Suspect (default 1: the first failure masks it).
+	SuspectAfter int
+	// DeadAfter is the number of consecutive failed interactions before an
+	// agent is marked Dead and moved from gathering to probing (default 3).
+	DeadAfter int
+}
+
+// withDefaults fills zero thresholds.
+func (hc HealthConfig) withDefaults() HealthConfig {
+	if hc.SuspectAfter <= 0 {
+		hc.SuspectAfter = 1
+	}
+	if hc.DeadAfter <= 0 {
+		hc.DeadAfter = 3
+	}
+	if hc.DeadAfter < hc.SuspectAfter {
+		hc.DeadAfter = hc.SuspectAfter
+	}
+	return hc
+}
+
+// WithFailurePolicy selects the controller's reaction to agent failures.
+func WithFailurePolicy(p FailurePolicy) Option {
+	return func(ct *Controller) { ct.health.Policy = p }
+}
+
+// WithHealthThresholds sets the consecutive-failure counts that demote an
+// agent to Suspect and Dead (non-positive values keep the defaults 1 and 3).
+func WithHealthThresholds(suspectAfter, deadAfter int) Option {
+	return func(ct *Controller) {
+		ct.health.SuspectAfter = suspectAfter
+		ct.health.DeadAfter = deadAfter
+	}
+}
+
+// WithHealthMetrics publishes the controller's fault-tolerance signals to the
+// registry: per-agent health gauges and failure counters, degraded-slot
+// counters, re-sync counters, and per-agent RPC round-trip histograms.
+func WithHealthMetrics(reg *telemetry.Registry) Option {
+	return func(ct *Controller) {
+		if reg == nil {
+			return
+		}
+		ct.metrics = &healthMetrics{
+			state: reg.Gauge("grefar_controller_agent_health",
+				"Agent health state (0 healthy, 1 suspect, 2 dead, 3 rejoining).", "dc"),
+			failures: reg.Counter("grefar_controller_agent_failures_total",
+				"Failed agent interactions (state gathers, allocations, probes).", "dc"),
+			resyncs: reg.Counter("grefar_controller_agent_resyncs_total",
+				"Queue-state restores pushed to rejoining or diverged agents.", "dc"),
+			divergences: reg.Counter("grefar_controller_agent_divergences_total",
+				"Slots where an agent's reported queues disagreed with the controller's shadow.", "dc"),
+			degraded: reg.Counter("grefar_controller_degraded_slots_total",
+				"Slots scheduled with at least one agent masked out.").With(),
+			rtt: reg.Histogram("grefar_controller_agent_rtt_seconds",
+				"Agent RPC round-trip time.",
+				[]float64{.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5}, "dc"),
+		}
+	}
+}
+
+// healthMetrics is the registry surface of the health machinery.
+type healthMetrics struct {
+	state       *telemetry.GaugeVec
+	failures    *telemetry.CounterVec
+	resyncs     *telemetry.CounterVec
+	divergences *telemetry.CounterVec
+	degraded    *telemetry.Counter
+	rtt         *telemetry.HistogramVec
+}
+
+// agentRecord is the controller's per-agent bookkeeping: the health state
+// machine plus the shadow ledgers — an exact controller-side mirror of the
+// agent's local queues, advanced by replaying the same pops and pushes the
+// controller dispatches. The shadow is what lets the controller freeze a
+// failed site's queues at their true values, synthesize the outcome of an
+// allocation whose ack was lost, and restore a rejoining agent byte-exactly.
+type agentRecord struct {
+	state AgentHealth
+	// fails counts consecutive failed interactions; any success resets it.
+	fails int
+	// synced reports whether the shadow ledgers are authoritative: false
+	// until the first valid report seeds them.
+	synced bool
+	// lastPrice is the most recent reported electricity price, frozen into
+	// the assembled state while the agent is masked.
+	lastPrice float64
+	// shadow mirrors the agent's local FIFO ledgers per job type.
+	shadow []queue.Ledger
+}
+
+// Health returns the per-agent health states (index i is data center i).
+func (ct *Controller) Health() []AgentHealth {
+	out := make([]AgentHealth, len(ct.recs))
+	for i := range ct.recs {
+		out[i] = ct.recs[i].state
+	}
+	return out
+}
+
+// dcLabel renders the agent index as a metric label.
+func dcLabel(i int) string { return strconv.Itoa(i) }
+
+// setState moves an agent's state machine and publishes the gauge.
+func (ct *Controller) setState(i int, s AgentHealth) {
+	ct.recs[i].state = s
+	if ct.metrics != nil {
+		ct.metrics.state.With(dcLabel(i)).Set(float64(s))
+	}
+}
+
+// recordFailure notes one failed interaction with agent i and advances the
+// state machine: SuspectAfter consecutive failures mask the agent,
+// DeadAfter move it from gathering to probing.
+func (ct *Controller) recordFailure(i int) {
+	rec := &ct.recs[i]
+	rec.fails++
+	if ct.metrics != nil {
+		ct.metrics.failures.With(dcLabel(i)).Inc()
+	}
+	switch {
+	case rec.fails >= ct.health.DeadAfter:
+		ct.setState(i, Dead)
+	case rec.fails >= ct.health.SuspectAfter:
+		ct.setState(i, Suspect)
+	}
+}
+
+// recordSuccess notes a fully-resolved interaction: the failure streak ends
+// and the agent is Healthy again.
+func (ct *Controller) recordSuccess(i int) {
+	ct.recs[i].fails = 0
+	if ct.recs[i].state != Healthy {
+		ct.setState(i, Healthy)
+	}
+}
+
+// shadowLens returns the shadow backlog per job type for agent i (zeros
+// before the shadow is seeded).
+func (ct *Controller) shadowLens(i int) []float64 {
+	out := make([]float64, ct.cluster.J())
+	for j := range ct.recs[i].shadow {
+		out[j] = ct.recs[i].shadow[j].Len()
+	}
+	return out
+}
+
+// seedShadow replaces agent i's shadow with fresh ledgers holding the given
+// backlogs as single cohorts arriving at the current slot. Amounts are exact
+// from here on; waiting times of the pre-existing backlog are approximated as
+// zero, which only affects synthesized delay sums, never job counts.
+func (ct *Controller) seedShadow(i, slot int, lens []float64) {
+	rec := &ct.recs[i]
+	rec.shadow = make([]queue.Ledger, ct.cluster.J())
+	for j, v := range lens {
+		rec.shadow[j].Push(slot, v)
+	}
+	rec.synced = true
+}
+
+// applyShadow replays one slot's allocation on agent i's shadow ledgers in
+// exactly the agent's execution order (pop then push, per job type) and
+// returns the realized processed amounts and delay sums. Because the shadow
+// held the same cohorts, the popped amounts are bit-identical to what the
+// agent itself reports.
+func (ct *Controller) applyShadow(i, t int, process []float64, routed []int) (popped, delays []float64) {
+	rec := &ct.recs[i]
+	j := ct.cluster.J()
+	popped = make([]float64, j)
+	delays = make([]float64, j)
+	for jj := 0; jj < j; jj++ {
+		p, d := rec.shadow[jj].Pop(t, process[jj])
+		popped[jj], delays[jj] = p, d
+		rec.shadow[jj].Push(t, float64(routed[jj]))
+	}
+	return popped, delays
+}
+
+// lensEqualShadow reports whether the agent-reported queue lengths coincide
+// exactly with the shadow. Exact comparison is correct: the shadow replays
+// the identical float operations the agent performs, so any difference means
+// the trajectories genuinely forked (restart, missed allocation, meddling).
+func (ct *Controller) lensEqualShadow(i int, lens []float64) bool {
+	if len(lens) != ct.cluster.J() {
+		return false
+	}
+	for j := range ct.recs[i].shadow {
+		if ct.recs[i].shadow[j].Len() != lens[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// resync pushes the controller's shadow queue state onto agent i and
+// verifies the agent landed exactly on it. With an unseeded shadow there is
+// nothing authoritative to push; the next state report seeds it instead.
+func (ct *Controller) resync(ctx context.Context, i, t int) error {
+	rec := &ct.recs[i]
+	if !rec.synced {
+		return nil
+	}
+	snap, err := queue.SnapshotLedgers(rec.shadow)
+	if err != nil {
+		return fmt.Errorf("snapshot shadow: %w", err)
+	}
+	var ack transport.RestoreAck
+	if err := ct.callAgentTimed(ctx, i, transport.KindRestore, transport.RestoreRequest{Slot: t, Snapshot: snap}, &ack); err != nil {
+		return err
+	}
+	if !ct.lensEqualShadow(i, ack.QueueLens) {
+		return fmt.Errorf("restore verification failed: agent echoed %v, shadow holds %v", ack.QueueLens, ct.shadowLens(i))
+	}
+	if ct.metrics != nil {
+		ct.metrics.resyncs.With(dcLabel(i)).Inc()
+	}
+	return nil
+}
+
+// probeDead opens the slot by heartbeating every Dead agent once. A probe
+// answer re-syncs the agent onto the shadow state and moves it to Rejoining,
+// so the following gather can complete the rejoin; a failed probe (or a
+// failed re-sync) keeps it Dead.
+func (ct *Controller) probeDead(ctx context.Context, t int) {
+	for i := range ct.recs {
+		if ct.recs[i].state != Dead {
+			continue
+		}
+		var pong transport.Ping
+		if err := ct.callAgentTimed(ctx, i, transport.KindPing, transport.Ping{Nonce: uint64(t), Slot: t}, &pong); err != nil {
+			ct.recordFailure(i)
+			continue
+		}
+		if err := ct.resync(ctx, i, t); err != nil {
+			ct.recordFailure(i)
+			continue
+		}
+		ct.setState(i, Rejoining)
+	}
+}
+
+// resolveReport folds one valid state report into the health machine under
+// the Degrade policy and reports whether the agent participates in this
+// slot's scheduling decision.
+//
+// The trust rules: a Healthy agent owns its physical queues, so a shadow
+// mismatch (an externally restored or replaced agent) re-seeds the shadow
+// from the report; a Suspect or Rejoining agent diverged while the
+// controller was scheduling around it, so the shadow — the trajectory every
+// emitted slot already accounted for — is authoritative and is restored onto
+// the agent before it rejoins.
+func (ct *Controller) resolveReport(ctx context.Context, i, t int, rep *transport.StateReport) bool {
+	rec := &ct.recs[i]
+	if !rec.synced {
+		ct.seedShadow(i, t, rep.QueueLens)
+		rec.lastPrice = rep.Price
+		ct.recordSuccess(i)
+		return true
+	}
+	equal := ct.lensEqualShadow(i, rep.QueueLens)
+	if rec.state == Healthy {
+		if !equal {
+			if ct.metrics != nil {
+				ct.metrics.divergences.With(dcLabel(i)).Inc()
+			}
+			ct.seedShadow(i, t, rep.QueueLens)
+		}
+		rec.lastPrice = rep.Price
+		ct.recordSuccess(i)
+		return true
+	}
+	// Suspect or Rejoining: let it back in only on the shadow trajectory.
+	if !equal {
+		if err := ct.resync(ctx, i, t); err != nil {
+			ct.recordFailure(i)
+			return false
+		}
+	}
+	rec.lastPrice = rep.Price
+	ct.recordSuccess(i)
+	return true
+}
+
+// trueUpShadow keeps the shadow exact under the Strict policy, where the
+// health machine is inert: seed on first contact, re-seed if the agent's
+// trajectory forked (an agent restarted behind a reconnecting transport).
+func (ct *Controller) trueUpShadow(i, t int, rep *transport.StateReport) {
+	rec := &ct.recs[i]
+	if !rec.synced || !ct.lensEqualShadow(i, rep.QueueLens) {
+		ct.seedShadow(i, t, rep.QueueLens)
+	}
+	rec.lastPrice = rep.Price
+}
+
+// callAgentTimed is callAgent with the round-trip recorded in the RTT
+// histogram when health metrics are wired.
+func (ct *Controller) callAgentTimed(ctx context.Context, i int, kind string, reqBody, respBody any) error {
+	if ct.metrics == nil {
+		return callAgent(ctx, ct.agents[i], kind, reqBody, respBody)
+	}
+	start := time.Now()
+	err := callAgent(ctx, ct.agents[i], kind, reqBody, respBody)
+	ct.metrics.rtt.With(dcLabel(i)).Observe(time.Since(start).Seconds())
+	return err
+}

@@ -1,0 +1,159 @@
+package controller
+
+import (
+	"testing"
+
+	"grefar/internal/core"
+	"grefar/internal/telemetry"
+)
+
+func TestParseFailurePolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want FailurePolicy
+		ok   bool
+	}{
+		{"strict", Strict, true},
+		{"degrade", Degrade, true},
+		{"", Strict, false},
+		{"lenient", Strict, false},
+	} {
+		got, err := ParseFailurePolicy(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("ParseFailurePolicy(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("ParseFailurePolicy(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+		if err == nil && got.String() != tc.in {
+			t.Errorf("%v.String() = %q, want %q", got, got.String(), tc.in)
+		}
+	}
+}
+
+func TestHealthConfigDefaults(t *testing.T) {
+	hc := HealthConfig{}.withDefaults()
+	if hc.SuspectAfter != 1 || hc.DeadAfter != 3 {
+		t.Errorf("defaults = %+v, want SuspectAfter 1, DeadAfter 3", hc)
+	}
+	// DeadAfter is clamped to at least SuspectAfter.
+	hc = HealthConfig{SuspectAfter: 5, DeadAfter: 2}.withDefaults()
+	if hc.DeadAfter != 5 {
+		t.Errorf("DeadAfter = %d, want clamped to 5", hc.DeadAfter)
+	}
+}
+
+func TestAgentHealthString(t *testing.T) {
+	for h, want := range map[AgentHealth]string{
+		Healthy: "healthy", Suspect: "suspect", Dead: "dead", Rejoining: "rejoining",
+	} {
+		if h.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(h), h.String(), want)
+		}
+	}
+}
+
+// TestHealthStateMachineTransitions drives the failure/success counters
+// directly and checks the threshold-governed transitions, including the gauge
+// published per agent.
+func TestHealthStateMachineTransitions(t *testing.T) {
+	in, conns, cleanup := buildSystem(t, 10, false)
+	defer cleanup()
+	g, err := core.New(in.Cluster, core.Config{V: 7.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	ct, err := New(in.Cluster, g, conns,
+		WithFailurePolicy(Degrade),
+		WithHealthThresholds(2, 4),
+		WithHealthMetrics(reg),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := func(i int, s AgentHealth) {
+		t.Helper()
+		if got := ct.Health()[i]; got != s {
+			t.Fatalf("agent %d health = %v, want %v", i, got, s)
+		}
+	}
+
+	want(0, Healthy)
+	ct.recordFailure(0)
+	want(0, Healthy) // one failure is below SuspectAfter=2
+	ct.recordFailure(0)
+	want(0, Suspect)
+	ct.recordFailure(0)
+	want(0, Suspect)
+	ct.recordFailure(0)
+	want(0, Dead) // fourth consecutive failure reaches DeadAfter=4
+	ct.recordSuccess(0)
+	want(0, Healthy)
+
+	// A success mid-streak resets the counter entirely.
+	ct.recordFailure(1)
+	ct.recordSuccess(1)
+	ct.recordFailure(1)
+	want(1, Healthy)
+
+	// Rejoining is left by recordSuccess only.
+	ct.setState(2, Rejoining)
+	ct.recordSuccess(2)
+	want(2, Healthy)
+
+	if v := ct.metrics.failures.With(dcLabel(0)).Value(); v != 4 {
+		t.Errorf("failure counter = %v, want 4", v)
+	}
+	if v := ct.metrics.state.With(dcLabel(0)).Value(); v != float64(Healthy) {
+		t.Errorf("state gauge = %v, want %v", v, float64(Healthy))
+	}
+}
+
+// TestShadowSeedApplyRestore exercises the shadow-ledger bookkeeping that
+// degraded mode rests on: seeding from a report, replaying an allocation, and
+// exact equality checks.
+func TestShadowSeedApplyRestore(t *testing.T) {
+	in, conns, cleanup := buildSystem(t, 10, false)
+	defer cleanup()
+	g, _ := core.New(in.Cluster, core.Config{V: 7.5})
+	ct, err := New(in.Cluster, g, conns, WithFailurePolicy(Degrade))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := in.Cluster.J()
+	lens := make([]float64, j)
+	for jj := range lens {
+		lens[jj] = float64(3 * (jj + 1))
+	}
+	if ct.recs[0].synced {
+		t.Fatal("shadow synced before any report")
+	}
+	ct.seedShadow(0, 0, lens)
+	if !ct.recs[0].synced {
+		t.Fatal("seedShadow did not mark the shadow synced")
+	}
+	if !ct.lensEqualShadow(0, lens) {
+		t.Fatalf("shadow lens %v != seed %v", ct.shadowLens(0), lens)
+	}
+
+	process := make([]float64, j)
+	routed := make([]int, j)
+	process[0], routed[0] = 2, 5 // pop 2 of 3, then push 5
+	process[1] = 100             // over-processing caps at content
+	popped, _ := ct.applyShadow(0, 1, process, routed)
+	if popped[0] != 2 || popped[1] != lens[1] {
+		t.Errorf("popped = %v, want [2 %v ...]", popped, lens[1])
+	}
+	got := ct.shadowLens(0)
+	if got[0] != lens[0]-2+5 || got[1] != 0 {
+		t.Errorf("post-apply lens = %v", got)
+	}
+	if ct.lensEqualShadow(0, lens) {
+		t.Error("stale lens still compare equal after apply")
+	}
+	if ct.lensEqualShadow(0, lens[:1]) {
+		t.Error("short lens compare equal")
+	}
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import "testing"
+
+func TestChurnDefaultsAndValidation(t *testing.T) {
+	cfg, err := ChurnConfig{}.withDefaults(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Kill != 2 || cfg.Down != 6 || cfg.Slots != 240 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	// Kill is capped so at least one site survives.
+	cfg, err = ChurnConfig{Kill: 9}.withDefaults(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Kill != 2 {
+		t.Errorf("Kill = %d, want capped to 2", cfg.Kill)
+	}
+	if _, err := (ChurnConfig{Slots: 10, From: 8, Down: 6}).withDefaults(3); err == nil {
+		t.Error("outage past the horizon accepted")
+	}
+	if _, err := Churn(ChurnConfig{Slots: 40, Drop: 2}); err == nil {
+		t.Error("bad drop probability accepted")
+	}
+	ws := ChurnConfig{Kill: 2, From: 10, Down: 4, Stagger: 8}.windows()
+	if len(ws) != 2 || ws[0].Agent != 1 || ws[1].Agent != 2 || ws[1].From != 18 || ws[1].To != 22 {
+		t.Errorf("windows = %+v", ws)
+	}
+}
+
+// TestChurnExperiment runs the full kill/restart scenario at a small horizon:
+// both runs pass the invariant checker (inside Churn), every outage window
+// degrades the schedule, recovery is bounded, and the chaos run's backlog
+// inflation is measurable while the outage lasts.
+func TestChurnExperiment(t *testing.T) {
+	cfg := ChurnConfig{Slots: 72, From: 20, Down: 5, Kill: 2}
+	res, err := Churn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slots != 72 {
+		t.Errorf("Slots = %d", res.Slots)
+	}
+	if res.DegradedSlots < 2*5 {
+		t.Errorf("DegradedSlots = %d, want >= 10 (two 5-slot outages)", res.DegradedSlots)
+	}
+	if len(res.Recoveries) != 2 {
+		t.Fatalf("got %d recoveries, want 2", len(res.Recoveries))
+	}
+	for _, r := range res.Recoveries {
+		if r.RecoverySlots > 1 {
+			t.Errorf("agent %d took %d slots past its window to rejoin", r.Agent, r.RecoverySlots)
+		}
+	}
+	if res.MaxBacklogInflation <= 0 {
+		t.Error("masking two sites never inflated the backlog, which cannot be right")
+	}
+	if res.BaselineEnergy <= 0 || res.ChaosEnergy <= 0 {
+		t.Errorf("energy: baseline %v, chaos %v", res.BaselineEnergy, res.ChaosEnergy)
+	}
+
+	// Same config, same seeds: the experiment must reproduce exactly.
+	again, err := Churn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.DegradedSlots != res.DegradedSlots ||
+		again.ChaosEnergy != res.ChaosEnergy ||
+		again.ChaosFinalBacklog != res.ChaosFinalBacklog ||
+		again.MaxBacklogInflation != res.MaxBacklogInflation {
+		t.Errorf("rerun diverged: %+v vs %+v", again, res)
+	}
+}

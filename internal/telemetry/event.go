@@ -124,6 +124,11 @@ type SlotEvent struct {
 	// TotalBacklog is the total backlog across every queue the emitter sees.
 	TotalBacklog float64 `json:"total_backlog"`
 
+	// Degraded lists the data centers masked out of this slot's decision
+	// because their agents were failed, malformed, or dead (controller
+	// events under the Degrade failure policy; nil on healthy slots).
+	Degraded []int `json:"degraded,omitempty"`
+
 	// Drift is the queue-drift component of the slot objective (paper
 	// eq. 14): sum_j sum_{i in D_j} [q_{i,j}(r-h) - Q_j r].
 	Drift float64 `json:"drift,omitempty"`

@@ -1,0 +1,222 @@
+package chaos
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"grefar/internal/transport"
+)
+
+// echoHandler answers pings and counts deliveries.
+type echoHandler struct{ calls atomic.Int64 }
+
+func (h *echoHandler) handle(kind string, body []byte) (any, error) {
+	h.calls.Add(1)
+	var p transport.Ping
+	if err := transport.Unmarshal(body, &p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// faultSequence records which of n slot-tagged calls fail, and how.
+func faultSequence(t *testing.T, plan *Plan, n int) []string {
+	t.Helper()
+	h := &echoHandler{}
+	conn := plan.Wrap(transport.NewLoopback(h.handle), 0)
+	out := make([]string, n)
+	for s := 0; s < n; s++ {
+		var resp transport.Ping
+		err := conn.Call(transport.KindPing, transport.Ping{Nonce: uint64(s), Slot: s}, &resp)
+		switch e := err.(type) {
+		case nil:
+			out[s] = "ok"
+		case *Error:
+			out[s] = e.Fault
+		default:
+			t.Fatalf("slot %d: unexpected error type %T: %v", s, err, err)
+		}
+	}
+	return out
+}
+
+func TestPlanDeterministicAcrossRuns(t *testing.T) {
+	plan := &Plan{Seed: 7, Drop: 0.3, Kill: 0.1}
+	a := faultSequence(t, plan, 200)
+	b := faultSequence(t, plan, 200)
+	var faults int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d: %q != %q across identical runs", i, a[i], b[i])
+		}
+		if a[i] != "ok" {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Error("200 calls at 40% combined fault rate produced no faults")
+	}
+	if c := faultSequence(t, &Plan{Seed: 8, Drop: 0.3, Kill: 0.1}, 200); equalSeq(a, c) {
+		t.Error("different seeds produced identical fault sequences")
+	}
+}
+
+func equalSeq(a, b []string) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPartitionWindowExactAndDrawFree(t *testing.T) {
+	base := &Plan{Seed: 3, Drop: 0.25}
+	withWindow := &Plan{Seed: 3, Drop: 0.25, Windows: []Window{{Agent: 0, From: 5, To: 9}}}
+	a := faultSequence(t, base, 20)
+	b := faultSequence(t, withWindow, 20)
+	for s := 0; s < 20; s++ {
+		if s >= 5 && s < 9 {
+			if b[s] != FaultPartition {
+				t.Errorf("slot %d inside window: fault %q, want %q", s, b[s], FaultPartition)
+			}
+			continue
+		}
+		// Partition checks draw nothing from the PRNG, so outside the window
+		// the probabilistic fault stream is untouched... but only up to the
+		// first in-window call, after which the windowed run has made fewer
+		// draws. Verify the prefix exactly.
+		if s < 5 && a[s] != b[s] {
+			t.Errorf("slot %d before window: %q != %q; window perturbed the fault stream", s, a[s], b[s])
+		}
+	}
+	// A window for another agent must not blackhole this one.
+	other := &Plan{Seed: 3, Windows: []Window{{Agent: 2, From: 0, To: 100}}}
+	for s, f := range faultSequence(t, other, 10) {
+		if f != "ok" {
+			t.Errorf("slot %d: fault %q from another agent's window", s, f)
+		}
+	}
+}
+
+func TestDupDeliversTwice(t *testing.T) {
+	h := &echoHandler{}
+	plan := &Plan{Seed: 1, Dup: 1}
+	conn := plan.Wrap(transport.NewLoopback(h.handle), 0)
+	var resp transport.Ping
+	if err := conn.Call(transport.KindPing, transport.Ping{Nonce: 9}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.calls.Load(); got != 2 {
+		t.Errorf("handler saw %d deliveries, want 2", got)
+	}
+	if resp.Nonce != 9 {
+		t.Errorf("Nonce = %d, want 9", resp.Nonce)
+	}
+}
+
+// dropperConn counts DropConn invocations.
+type dropperConn struct {
+	Conn
+	drops atomic.Int64
+}
+
+func (d *dropperConn) DropConn() { d.drops.Add(1) }
+
+func TestKillSeversConnection(t *testing.T) {
+	h := &echoHandler{}
+	inner := &dropperConn{Conn: transport.NewLoopback(h.handle)}
+	plan := &Plan{Seed: 1, Kill: 1}
+	conn := plan.Wrap(inner, 0)
+	err := conn.Call(transport.KindPing, transport.Ping{}, nil)
+	var ce *Error
+	if !errors.As(err, &ce) || ce.Fault != FaultKill {
+		t.Fatalf("err = %v, want kill fault", err)
+	}
+	if inner.drops.Load() != 1 {
+		t.Errorf("DropConn called %d times, want 1", inner.drops.Load())
+	}
+	if h.calls.Load() != 0 {
+		t.Error("killed call still reached the handler")
+	}
+}
+
+func TestDelayStallsButSucceeds(t *testing.T) {
+	h := &echoHandler{}
+	plan := &Plan{Seed: 1, Delay: 1, MaxDelay: 20 * time.Millisecond}
+	conn := plan.Wrap(transport.NewLoopback(h.handle), 0)
+	if err := conn.Call(transport.KindPing, transport.Ping{}, nil); err != nil {
+		t.Fatalf("delayed call failed: %v", err)
+	}
+	if h.calls.Load() != 1 {
+		t.Error("delayed call did not reach the handler")
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	for _, bad := range []*Plan{
+		{Drop: -0.1},
+		{Kill: 1.5},
+		{Windows: []Window{{Agent: -1}}},
+		{Windows: []Window{{From: 5, To: 2}}},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("plan %+v validated", bad)
+		}
+	}
+	if err := (&Plan{Seed: 1, Drop: 0.5, Windows: []Window{{Agent: 0, From: 1, To: 4}}}).Validate(); err != nil {
+		t.Errorf("good plan rejected: %v", err)
+	}
+}
+
+// TestNetConnFaultsDoNotWedgeServer streams corrupted frames at a live
+// transport server: each poisoned session must die alone, leaving the accept
+// loop serving fresh connections.
+func TestNetConnFaultsDoNotWedgeServer(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := transport.NewServer(lis, func(kind string, body []byte) (any, error) {
+		var p transport.Ping
+		if err := transport.Unmarshal(body, &p); err != nil {
+			return nil, err
+		}
+		return p, nil
+	})
+	go srv.Serve()
+	defer srv.Close()
+
+	for trial := 0; trial < 8; trial++ {
+		raw, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc := WrapNetConn(raw, int64(trial), 0.7, 0.1)
+		// A gob stream with flipped bytes; the server should shrug each
+		// session off. Errors here are expected (killed connections).
+		for i := 0; i < 20; i++ {
+			if _, err := cc.Write([]byte("\x13\xff\x81\x03\x01\x01\x05frame\x01\xff\x82")); err != nil {
+				break
+			}
+		}
+		cc.Close()
+	}
+
+	// The accept loop must still answer a clean client.
+	cli, err := transport.Dial(srv.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial after chaos sessions: %v", err)
+	}
+	defer cli.Close()
+	var resp transport.Ping
+	if err := cli.Call(transport.KindPing, transport.Ping{Nonce: 77}, &resp); err != nil {
+		t.Fatalf("ping after chaos sessions: %v", err)
+	}
+	if resp.Nonce != 77 {
+		t.Errorf("Nonce = %d, want 77", resp.Nonce)
+	}
+}

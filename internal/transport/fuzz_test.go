@@ -1,0 +1,73 @@
+package transport_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"grefar/internal/transport"
+)
+
+// FuzzServerFrame streams arbitrary bytes at a live transport server as if
+// they were a gob frame stream. Whatever arrives — garbage, truncated frames,
+// huge claimed lengths, or a byte-flipped valid frame — the server must
+// neither panic nor wedge: the poisoned session dies alone and the accept
+// loop keeps answering clean clients. This is the wire-level contract the
+// chaos NetConn tests sample and the fuzzer explores exhaustively.
+func FuzzServerFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("\x00"))
+	f.Add([]byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n"))
+	// A plausible gob stream prefix with flipped bytes (from a real frame).
+	f.Add([]byte("\x13\xff\x81\x03\x01\x01\x05frame\x01\xff\x82"))
+	// A length prefix claiming an enormous message.
+	f.Add([]byte("\xf8\xff\xff\xff\xff\xff\xff\xff\xff"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip("oversized input adds wire time, not coverage")
+		}
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := transport.NewServer(lis, func(kind string, body []byte) (any, error) {
+			var p transport.Ping
+			if err := transport.Unmarshal(body, &p); err != nil {
+				return nil, err
+			}
+			return p, nil
+		})
+		go srv.Serve()
+		defer srv.Close()
+
+		raw, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A short deadline keeps throughput up: when the input is a valid
+		// frame prefix the server just waits for more bytes, and the
+		// interesting assertion is the clean dial below, not this read.
+		raw.SetDeadline(time.Now().Add(100 * time.Millisecond))
+		// Write errors are expected: the server may reset the connection as
+		// soon as decoding fails.
+		_, _ = raw.Write(data)
+		buf := make([]byte, 512)
+		_, _ = raw.Read(buf)
+		raw.Close()
+
+		// The accept loop must still serve a clean session.
+		cli, err := transport.Dial(srv.Addr(), 2*time.Second)
+		if err != nil {
+			t.Fatalf("dial after poisoned session: %v", err)
+		}
+		defer cli.Close()
+		var pong transport.Ping
+		if err := cli.Call(transport.KindPing, transport.Ping{Nonce: 42}, &pong); err != nil {
+			t.Fatalf("ping after poisoned session: %v", err)
+		}
+		if pong.Nonce != 42 {
+			t.Fatalf("Nonce = %d, want 42", pong.Nonce)
+		}
+	})
+}

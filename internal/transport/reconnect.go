@@ -3,6 +3,8 @@ package transport
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"sync"
 	"time"
 )
@@ -31,6 +33,11 @@ type ReconnectClient struct {
 	// maxBackoff); defaults to baseBackoff, overridable in tests.
 	backoff time.Duration
 
+	// jitterMu guards rng; retryDelay runs outside mu so a slow backoff
+	// computation never extends the connection critical section.
+	jitterMu sync.Mutex
+	rng      *rand.Rand
+
 	mu     sync.Mutex
 	client *Client
 	closed bool
@@ -42,11 +49,34 @@ func NewReconnectClient(addr string, timeout time.Duration, retries int) *Reconn
 	if retries <= 0 {
 		retries = 2
 	}
-	return &ReconnectClient{addr: addr, timeout: timeout, retries: retries, backoff: baseBackoff}
+	// Seed the backoff jitter from the address so each client draws a
+	// distinct but reproducible delay sequence: a fleet of agents restarted
+	// together spreads its reconnect attempts instead of herding, and a test
+	// re-running the same topology sees the same delays.
+	h := fnv.New64a()
+	h.Write([]byte(addr))
+	return &ReconnectClient{
+		addr:    addr,
+		timeout: timeout,
+		retries: retries,
+		backoff: baseBackoff,
+		rng:     rand.New(rand.NewSource(int64(h.Sum64()))),
+	}
+}
+
+// SetJitterSeed reseeds the backoff jitter, pinning the exact delay sequence
+// for deterministic tests.
+func (r *ReconnectClient) SetJitterSeed(seed int64) {
+	r.jitterMu.Lock()
+	r.rng = rand.New(rand.NewSource(seed))
+	r.jitterMu.Unlock()
 }
 
 // retryDelay returns how long to wait before the given retry attempt
-// (attempt >= 1): capped exponential growth from the base delay.
+// (attempt >= 1): capped exponential growth from the base delay, with equal
+// jitter — the upper half of the window is drawn uniformly, so the delay
+// lands in [d/2, d]. Jitter never exceeds the un-jittered cap, keeping every
+// existing worst-case bound intact.
 func (r *ReconnectClient) retryDelay(attempt int) time.Duration {
 	d := r.backoff
 	for i := 1; i < attempt && d < maxBackoff; i++ {
@@ -55,7 +85,14 @@ func (r *ReconnectClient) retryDelay(attempt int) time.Duration {
 	if d > maxBackoff {
 		d = maxBackoff
 	}
-	return d
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	r.jitterMu.Lock()
+	j := time.Duration(r.rng.Int63n(int64(half) + 1))
+	r.jitterMu.Unlock()
+	return half + j
 }
 
 // sleepContext waits for d or until ctx is canceled, whichever comes first.
@@ -145,6 +182,19 @@ func (r *ReconnectClient) CallContext(ctx context.Context, kind string, reqBody,
 		lastErr = err
 	}
 	return fmt.Errorf("after %d attempts: %w", r.retries+1, lastErr)
+}
+
+// DropConn severs the current connection without closing the client: the
+// next call redials. It exists for fault injection — the chaos transport's
+// kill fault uses it to model an agent-side connection reset — and is a no-op
+// when no connection is live.
+func (r *ReconnectClient) DropConn() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.client != nil {
+		r.client.Close()
+		r.client = nil
+	}
 }
 
 // Close shuts the client down permanently.

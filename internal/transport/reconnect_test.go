@@ -137,9 +137,10 @@ func TestReconnectClientBacksOffThroughRefusals(t *testing.T) {
 	if resp.Nonce != 7 {
 		t.Errorf("Nonce = %d, want 7", resp.Nonce)
 	}
-	// Two refused connections force at least two backoff sleeps (10+20ms).
-	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
-		t.Errorf("call returned after %v; expected at least 30ms of backoff", elapsed)
+	// Two refused connections force at least two backoff sleeps; with equal
+	// jitter the windows are [5,10]ms and [10,20]ms, so at least 15ms total.
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("call returned after %v; expected at least 15ms of backoff", elapsed)
 	}
 }
 
@@ -175,16 +176,76 @@ func TestReconnectClientCallContextAlreadyCanceled(t *testing.T) {
 	}
 }
 
-func TestRetryDelayCapped(t *testing.T) {
+func TestRetryDelayCappedWithJitter(t *testing.T) {
 	c := NewReconnectClient("127.0.0.1:1", time.Second, 3)
-	if d := c.retryDelay(1); d != baseBackoff {
-		t.Errorf("retryDelay(1) = %v, want %v", d, baseBackoff)
+	// Equal jitter draws each delay from [d/2, d], where d is the un-jittered
+	// capped exponential value; the cap is never exceeded.
+	for attempt, want := range map[int]time.Duration{1: baseBackoff, 2: 2 * baseBackoff, 100: maxBackoff} {
+		for trial := 0; trial < 32; trial++ {
+			if d := c.retryDelay(attempt); d < want/2 || d > want {
+				t.Errorf("retryDelay(%d) = %v, want within [%v, %v]", attempt, d, want/2, want)
+			}
+		}
 	}
-	if d := c.retryDelay(2); d != 2*baseBackoff {
-		t.Errorf("retryDelay(2) = %v, want %v", d, 2*baseBackoff)
+}
+
+func TestRetryDelayJitterDeterministic(t *testing.T) {
+	// Same seed, same sequence: tests can pin the exact delays.
+	sample := func(seed int64) []time.Duration {
+		c := NewReconnectClient("127.0.0.1:1", time.Second, 3)
+		c.SetJitterSeed(seed)
+		out := make([]time.Duration, 8)
+		for i := range out {
+			out[i] = c.retryDelay(i + 1)
+		}
+		return out
 	}
-	if d := c.retryDelay(100); d != maxBackoff {
-		t.Errorf("retryDelay(100) = %v, want cap %v", d, maxBackoff)
+	a, b := sample(42), sample(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delay %d: %v != %v with identical seeds", i, a[i], b[i])
+		}
+	}
+	// Different addresses default to different streams (anti thundering-herd):
+	// at least one of the first 8 delays should differ.
+	c1 := NewReconnectClient("127.0.0.1:1", time.Second, 3)
+	c2 := NewReconnectClient("127.0.0.1:2", time.Second, 3)
+	same := true
+	for i := 1; i <= 8; i++ {
+		if c1.retryDelay(i) != c2.retryDelay(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("two addresses drew identical jitter sequences")
+	}
+}
+
+func TestDropConnForcesRedial(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(lis, pingHandler)
+	go srv.Serve()
+	defer srv.Close()
+
+	c := NewReconnectClient(srv.Addr(), time.Second, 3)
+	defer c.Close()
+	var resp Ping
+	if err := c.Call(KindPing, Ping{Nonce: 1}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	c.DropConn()
+	if c.client != nil {
+		t.Fatal("DropConn left a live connection")
+	}
+	if err := c.Call(KindPing, Ping{Nonce: 2}, &resp); err != nil {
+		t.Fatalf("call after DropConn: %v", err)
+	}
+	if resp.Nonce != 2 {
+		t.Errorf("Nonce = %d, want 2", resp.Nonce)
 	}
 }
 

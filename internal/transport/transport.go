@@ -11,6 +11,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"time"
@@ -25,6 +26,9 @@ const (
 	KindAllocate = "allocate"
 	// KindPing checks liveness.
 	KindPing = "ping"
+	// KindRestore replaces an agent's local queue state from a controller
+	// snapshot, re-syncing a rejoined agent onto the controller's view.
+	KindRestore = "restore"
 )
 
 // StateRequest asks an agent to reveal its state for a slot.
@@ -72,9 +76,72 @@ type AllocateAck struct {
 	Work float64
 }
 
-// Ping is a liveness probe; agents echo it.
+// ErrMalformedReport classifies a StateReport that fails Validate; wrap
+// checks with errors.Is. A malformed report means the agent and controller
+// disagree about the cluster shape (or the payload was corrupted in flight),
+// so the controller must reject it before assembling the global state rather
+// than panic or silently corrupt the slot downstream.
+var ErrMalformedReport = errors.New("transport: malformed state report")
+
+// Validate checks the report against the expected site index, slot, and
+// cluster dimensions (K server types at this site, J job types): lengths must
+// match, and every numeric field must be finite and non-negative. Errors wrap
+// ErrMalformedReport.
+func (r *StateReport) Validate(site, slot, numServers, numJobTypes int) error {
+	switch {
+	case r.DataCenter != site:
+		return fmt.Errorf("%w: reported site %d, want %d", ErrMalformedReport, r.DataCenter, site)
+	case r.Slot != slot:
+		return fmt.Errorf("%w: site %d reported slot %d, want %d", ErrMalformedReport, site, r.Slot, slot)
+	case len(r.Avail) != numServers:
+		return fmt.Errorf("%w: site %d reported %d availability entries, want %d", ErrMalformedReport, site, len(r.Avail), numServers)
+	case len(r.QueueLens) != numJobTypes:
+		return fmt.Errorf("%w: site %d reported %d queue lengths, want %d", ErrMalformedReport, site, len(r.QueueLens), numJobTypes)
+	}
+	if !isFiniteNonNeg(r.Price) {
+		return fmt.Errorf("%w: site %d reported price %v", ErrMalformedReport, site, r.Price)
+	}
+	for k, v := range r.Avail {
+		if !isFiniteNonNeg(v) {
+			return fmt.Errorf("%w: site %d reported avail[%d]=%v", ErrMalformedReport, site, k, v)
+		}
+	}
+	for j, v := range r.QueueLens {
+		if !isFiniteNonNeg(v) {
+			return fmt.Errorf("%w: site %d reported queue[%d]=%v", ErrMalformedReport, site, j, v)
+		}
+	}
+	return nil
+}
+
+// isFiniteNonNeg reports whether v is a finite, non-negative float (NaN and
+// infinities fail).
+func isFiniteNonNeg(v float64) bool {
+	return v >= 0 && v <= math.MaxFloat64
+}
+
+// RestoreRequest carries a queue.SnapshotLedgers payload for the agent's
+// local queues; the controller sends it to re-sync a rejoining agent onto the
+// authoritative (shadow) queue state it tracked through the outage.
+type RestoreRequest struct {
+	Slot     int
+	Snapshot []byte
+}
+
+// RestoreAck confirms a restore and echoes the post-restore queue lengths so
+// the controller can verify the agent landed exactly on the intended state.
+type RestoreAck struct {
+	Slot      int
+	QueueLens []float64
+}
+
+// Ping is a liveness probe; agents echo it. Slot tags the probe with the
+// control-loop slot that issued it (zero for plain liveness checks), letting
+// slot-aware transport middleware — the chaos injector's partition windows —
+// decide the probe's fate deterministically.
 type Ping struct {
 	Nonce uint64
+	Slot  int
 }
 
 // frame is the wire envelope. Bodies are gob-encoded separately so the
@@ -279,6 +346,39 @@ func (c *Client) Close() error {
 	}
 	c.closed = true
 	return c.conn.Close()
+}
+
+// Loopback is an in-process connection that routes calls straight to a
+// Handler through the same Marshal/Unmarshal round-trip the TCP path uses, so
+// tests and experiments exercise the real wire encoding without sockets. It
+// is safe for concurrent calls when the handler is.
+type Loopback struct {
+	handler Handler
+}
+
+// NewLoopback wraps a handler (typically agent.Agent.Handle) as a connection.
+func NewLoopback(h Handler) *Loopback { return &Loopback{handler: h} }
+
+// Call encodes the request, dispatches it to the handler, and decodes the
+// response, mirroring Client.Call's semantics: handler errors come back as
+// *RemoteError, exactly as they would over TCP.
+func (l *Loopback) Call(kind string, reqBody, respBody any) error {
+	body, err := Marshal(reqBody)
+	if err != nil {
+		return err
+	}
+	out, err := l.handler(kind, body)
+	if err != nil {
+		return &RemoteError{Kind: kind, Message: err.Error()}
+	}
+	if respBody == nil {
+		return nil
+	}
+	data, err := Marshal(out)
+	if err != nil {
+		return err
+	}
+	return Unmarshal(data, respBody)
 }
 
 // RemoteError is an error returned by the remote handler, preserving the
