@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test tier1 vet race bench bench-slot bench-json bench-compare fuzz golden check clean
+.PHONY: all build test tier1 vet race bench bench-slot bench-json bench-compare hollow-bench fuzz golden check clean
 
 all: tier1
 
@@ -26,16 +26,18 @@ race:
 # internal/serve and cmd/grefar-serve only proves its tick/checkpoint locking
 # when raced; the degraded-mode controller and the chaos transport only prove
 # their kill/restart determinism when raced), the Decide allocation-budget
-# guard (which -race skips, so it runs plain here), and a short fuzz smoke of
-# the native fuzz targets, including the snapshot-restore and wire-frame
-# surfaces.
+# guard (which -race skips, so it runs plain here), a race-enabled hollow
+# smoke (64 in-process agents, 5 slots, 5% killed mid-run — the degraded-mode
+# cycle end to end), and a short fuzz smoke of the native fuzz targets,
+# including the snapshot-restore and wire-frame surfaces.
 tier1:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/runner
 	$(GO) test -race -count=1 ./internal/serve/... ./cmd/grefar-serve
-	$(GO) test -race -count=1 ./internal/controller ./internal/transport/... ./internal/experiments
+	$(GO) test -race -count=1 ./internal/controller ./internal/transport/... ./internal/experiments ./internal/hollow
+	$(GO) run -race ./cmd/grefar-hollow -agents 64 -slots 5 -kill-frac 0.05
 	$(GO) test -count=1 -run TestDecideAllocationBudget .
 	$(GO) test -run '^$$' -fuzz FuzzSimplex -fuzztime $(FUZZTIME) ./internal/lp
 	$(GO) test -run '^$$' -fuzz FuzzApply -fuzztime $(FUZZTIME) ./internal/queue
@@ -80,24 +82,39 @@ bench-slot:
 	$(GO) test -run '^$$' -bench BenchmarkSlotDecision -benchmem .
 	$(GO) test -count=1 -run TestDecideAllocationBudget -v .
 
-# BENCHES is the benchmark set recorded in BENCH_slot.json: the per-slot
-# solver cost (with and without the warm-started away-step path) and the
-# distributed controller round-trip.
-BENCHES = BenchmarkSlotDecision$$|BenchmarkDistributedSlot$$
+# SLOT_BENCHES is the set recorded in BENCH_slot.json: the per-slot solver
+# cost (with and without the warm-started away-step path). DIST_BENCHES is
+# the set recorded in BENCH_distributed.json: the 3-agent point-to-point
+# controller round and the hollow-fleet sweep at 100/500/1000/2000 agents.
+SLOT_BENCHES = BenchmarkSlotDecision$$
+DIST_BENCHES = BenchmarkDistributedSlot$$|BenchmarkHollowSlot/
 BENCHCOUNT ?= 3
 
-# bench-json refreshes the committed solver baseline BENCH_slot.json.
-# Run it after an intentional performance change and commit the diff.
+# bench-json refreshes the committed baselines BENCH_slot.json and
+# BENCH_distributed.json. Run it after an intentional performance change and
+# commit the diff.
 bench-json:
-	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -count=$(BENCHCOUNT) . \
+	$(GO) test -run '^$$' -bench '$(SLOT_BENCHES)' -benchmem -count=$(BENCHCOUNT) . \
 		| $(GO) run ./cmd/benchjson -out BENCH_slot.json
+	$(GO) test -run '^$$' -bench '$(DIST_BENCHES)' -benchmem -count=$(BENCHCOUNT) . \
+		| $(GO) run ./cmd/benchjson -out BENCH_distributed.json
 
-# bench-compare re-runs the same benchmarks and fails when a beta=100 slot
-# decision (cold or warm) regresses more than 15% in ns/op or allocs/op
-# against the committed BENCH_slot.json; other benchmarks only warn.
+# bench-compare re-runs the same benchmarks and fails on >15% ns/op or
+# allocs/op regressions: the beta=100 slot decisions (cold and warm) against
+# BENCH_slot.json, and the distributed slot ticks (point-to-point and every
+# hollow fleet size) against BENCH_distributed.json; other benchmarks warn.
 bench-compare:
-	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -count=$(BENCHCOUNT) . \
+	$(GO) test -run '^$$' -bench '$(SLOT_BENCHES)' -benchmem -count=$(BENCHCOUNT) . \
 		| $(GO) run ./cmd/benchjson -compare BENCH_slot.json -max-regress 0.15
+	$(GO) test -run '^$$' -bench '$(DIST_BENCHES)' -benchmem -count=$(BENCHCOUNT) . \
+		| $(GO) run ./cmd/benchjson -compare BENCH_distributed.json \
+			-guard '^BenchmarkDistributedSlot$$|^BenchmarkHollowSlot' -max-regress 0.15
+
+# hollow-bench runs the hollow-fleet scale sweep locally — fault-free and
+# chaos variants at each fleet size — and prints the measurement table
+# (slot-tick latency percentiles, throughput, allocs/slot, heap ceiling).
+hollow-bench: build
+	$(GO) run ./cmd/grefar-sim -experiment scale
 
 clean:
 	$(GO) clean ./...

@@ -2,6 +2,7 @@ package grefar_test
 
 import (
 	"net"
+	"runtime"
 	"testing"
 	"time"
 
@@ -11,17 +12,25 @@ import (
 	"grefar/internal/transport"
 )
 
-// BenchmarkDistributedSlot measures one full control-loop round over real
-// loopback TCP: state gathering from three agents, the GreFar decision, and
-// allocation dispatch — the number that bounds how fast slots can tick in a
-// live deployment.
-func BenchmarkDistributedSlot(b *testing.B) {
+// startDistributed builds the 3-site reference system over real loopback TCP
+// — one listener, server, and client per agent — and returns the controller
+// with a teardown that closes every connection, server, and listener. Both
+// the benchmark and its companion leak test run through this helper so the
+// lifecycle they exercise is identical.
+func startDistributed(tb testing.TB) (*controller.Controller, grefar.SimInputs, func()) {
+	tb.Helper()
 	inputs, err := grefar.ReferenceInputs(2012, 4096)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	c := inputs.Cluster
 	conns := make([]controller.AgentConn, c.N())
+	var cleanups []func()
+	teardown := func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}
 	for i := 0; i < c.N(); i++ {
 		a, err := agent.New(agent.Config{
 			Cluster:      c,
@@ -30,33 +39,73 @@ func BenchmarkDistributedSlot(b *testing.B) {
 			Availability: inputs.Availability,
 		})
 		if err != nil {
-			b.Fatal(err)
+			teardown()
+			tb.Fatal(err)
 		}
 		lis, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			b.Fatal(err)
+			teardown()
+			tb.Fatal(err)
 		}
 		srv := a.Serve(lis)
-		defer srv.Close()
+		cleanups = append(cleanups, func() { srv.Close() })
 		cli, err := transport.Dial(srv.Addr(), 5*time.Second)
 		if err != nil {
-			b.Fatal(err)
+			teardown()
+			tb.Fatal(err)
 		}
-		defer cli.Close()
+		cleanups = append(cleanups, func() { cli.Close() })
 		conns[i] = cli
 	}
 	g, err := grefar.New(c, grefar.Config{V: 7.5, Beta: 100})
 	if err != nil {
-		b.Fatal(err)
+		teardown()
+		tb.Fatal(err)
 	}
 	ct, err := controller.New(c, g, conns)
 	if err != nil {
-		b.Fatal(err)
+		teardown()
+		tb.Fatal(err)
 	}
+	return ct, inputs, teardown
+}
+
+// BenchmarkDistributedSlot measures one full control-loop round over real
+// loopback TCP: state gathering from three agents, the GreFar decision, and
+// allocation dispatch — the number that bounds how fast slots can tick in a
+// live deployment. Teardown runs outside the timer so repeated invocations
+// (go test -count=N) never accumulate listeners or goroutines.
+func BenchmarkDistributedSlot(b *testing.B) {
+	ct, inputs, teardown := startDistributed(b)
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
 		if _, _, _, err := ct.RunSlot(n%4096, inputs.Workload.Arrivals(n%4096)); err != nil {
 			b.Fatal(err)
 		}
+	}
+	b.StopTimer()
+	teardown()
+}
+
+// TestDistributedBenchHarnessLeaksNoGoroutines pins the benchmark harness's
+// hygiene: a full start/run/teardown cycle must return the process to its
+// prior goroutine count, so a -count=N benchmark run cannot accumulate
+// listeners, server loops, or client readers across iterations.
+func TestDistributedBenchHarnessLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ct, inputs, teardown := startDistributed(t)
+	for n := 0; n < 3; n++ {
+		if _, _, _, err := ct.RunSlot(n, inputs.Workload.Arrivals(n)); err != nil {
+			teardown()
+			t.Fatal(err)
+		}
+	}
+	teardown()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Errorf("goroutines: %d before harness, %d after teardown", before, got)
 	}
 }

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestThousandAgentsWithMidRunKill is the acceptance run: >= 1000 hollow
+// agents in this one process, real controller slot ticks over the mux wire,
+// 5% of the fleet killed mid-run, invariant checker green, everyone healthy
+// at the horizon.
+func TestThousandAgentsWithMidRunKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-agent run skipped in -short mode")
+	}
+	var out strings.Builder
+	err := run(context.Background(), []string{
+		"-agents", "1000", "-slots", "9",
+		"-kill-frac", "0.05", "-kill-at", "3", "-revive-at", "6",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"hollow fleet: 1000 agents",
+		"killing 50 agents over [3,6)",
+		"invariant checker: ok on every applied slot",
+		"final healthy 1000/1000",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q\noutput:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestSmallRunNoKill exercises the no-outage path and the summary shape.
+func TestSmallRunNoKill(t *testing.T) {
+	var out strings.Builder
+	if err := run(context.Background(), []string{"-agents", "16", "-slots", "5"}, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "final healthy 16/16") {
+		t.Errorf("output:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "killing") {
+		t.Errorf("no-kill run mentions killing:\n%s", out.String())
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-agents", "0"},
+		{"-slots", "0"},
+		{"-kill-frac", "1.5"},
+		{"-kill-frac", "0.05", "-kill-at", "8", "-revive-at", "4", "-slots", "10"},
+		{"-not-a-flag"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(context.Background(), args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestCancelStopsRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out strings.Builder
+	if err := run(ctx, []string{"-agents", "8", "-slots", "50"}, &out); err == nil {
+		t.Error("canceled run returned nil")
+	}
+}

@@ -24,6 +24,12 @@
 // control loop under the Degrade failure policy with -kill agents partitioned
 // for -down slots each, every fault drawn from -chaos-seed, and reports
 // recovery times and queue-backlog inflation against a fault-free baseline.
+//
+// The scale experiment (also outside -experiment all) sweeps hollow fleets of
+// -scale-agents in-process agents through the real control loop for
+// -scale-slots slots each, measuring slot-tick latency percentiles,
+// throughput, allocation rate, and heap ceiling — fault-free and, with
+// -scale-chaos, under partitions of -kill-frac of the fleet plus call drops.
 package main
 
 import (
@@ -35,7 +41,9 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
+	"time"
 
 	"grefar"
 	"grefar/internal/experiments"
@@ -53,7 +61,7 @@ func main() {
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("grefar-sim", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "which experiment to run: table1, fig1, fig2, fig3, fig4, fig5, workshare, theorem1, ablation, robustness, delays, mpc, churn, events, or all")
+	experiment := fs.String("experiment", "all", "which experiment to run: table1, fig1, fig2, fig3, fig4, fig5, workshare, theorem1, ablation, robustness, delays, mpc, churn, scale, events, or all")
 	slots := fs.Int("slots", 2000, "simulation horizon in hourly slots")
 	seed := fs.Int64("seed", 2012, "seed for every stochastic input")
 	day := fs.Int("day", 30, "snapshot day for fig5")
@@ -66,6 +74,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	chaosSeed := fs.Int64("chaos-seed", 2012, "seed for the churn experiment's fault streams")
 	kill := fs.Int("kill", 2, "how many agents the churn experiment partitions")
 	down := fs.Int("down", 6, "how many slots each churn outage lasts")
+	scaleAgents := fs.String("scale-agents", "100,500,1000,2000", "comma-separated fleet sizes for the scale experiment")
+	scaleSlots := fs.Int("scale-slots", 40, "per-fleet-size horizon for the scale experiment")
+	scaleChaos := fs.Bool("scale-chaos", true, "also run each scale point with injected churn and drops")
+	killFrac := fs.Float64("kill-frac", 0.05, "fraction of agents the scale chaos variant partitions")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -127,6 +139,22 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return report.Histogram(out, "\nDC1 per-job delay distribution at V=7.5 (jobs per bucket):",
 				res.RefBounds, res.RefCounts, 40)
 		},
+		"scale": func() error {
+			agents, err := parseIntList(*scaleAgents)
+			if err != nil {
+				return fmt.Errorf("-scale-agents: %w", err)
+			}
+			return runScale(out, experiments.ScaleConfig{
+				Seed:      *seed,
+				ChaosSeed: *chaosSeed,
+				Agents:    agents,
+				Slots:     *scaleSlots,
+				Chaos:     *scaleChaos,
+				KillFrac:  *killFrac,
+				Check:     *check,
+				Context:   ctx,
+			})
+		},
 		"churn": func() error {
 			return runChurn(out, experiments.ChurnConfig{
 				Seed:      *seed,
@@ -184,6 +212,56 @@ func runChurn(out io.Writer, cfg experiments.ChurnConfig) error {
 	fmt.Fprintf(out, "  backlog inflation: peak %.1f jobs, at horizon %.1f jobs (final %.1f vs %.1f)\n",
 		res.MaxBacklogInflation, res.FinalBacklogInflation, res.ChaosFinalBacklog, res.BaselineFinalBacklog)
 	return nil
+}
+
+// parseIntList parses a comma-separated list of positive ints.
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+// runScale runs the hollow-fleet scale sweep: per agent count, a real
+// controller drives N in-process agents over the multiplexed gob-over-TCP
+// wire, fault-free and (with -scale-chaos) under injected churn.
+func runScale(out io.Writer, cfg experiments.ScaleConfig) error {
+	res, err := experiments.Scale(cfg)
+	if err != nil {
+		return err
+	}
+	table := make([][]string, len(res.Points))
+	for x, pt := range res.Points {
+		mode := "clean"
+		if pt.Chaos {
+			mode = "chaos"
+		}
+		table[x] = []string{
+			strconv.Itoa(pt.Agents),
+			mode,
+			pt.P50.Round(10 * time.Microsecond).String(),
+			pt.P99.Round(10 * time.Microsecond).String(),
+			report.FormatFloat(pt.SlotsPerSec, 1),
+			report.FormatFloat(pt.AllocsPerSlot, 0),
+			report.FormatFloat(pt.HeapMB, 1),
+			strconv.Itoa(pt.DegradedSlots),
+			report.FormatFloat(pt.EnergyPerSlot, 1),
+			report.FormatFloat(pt.FinalBacklog, 0),
+		}
+	}
+	return report.Table(out, []string{"Agents", "Mode", "p50 tick", "p99 tick", "Slots/s", "Allocs/slot", "Heap MiB", "Degraded", "Energy/slot", "Backlog"}, table)
 }
 
 func runTableI(out io.Writer, cfg experiments.Config) error {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strconv"
+	"sync"
 	"time"
 
 	"grefar/internal/queue"
@@ -315,21 +316,41 @@ func (ct *Controller) resync(ctx context.Context, i, t int) error {
 // answer re-syncs the agent onto the shadow state and moves it to Rejoining,
 // so the following gather can complete the rejoin; a failed probe (or a
 // failed re-sync) keeps it Dead.
+//
+// Probes run concurrently, like the gather: a mass outage must cost one probe
+// timeout per slot, not one per dead agent — at fleet scale a sequential
+// probe loop would stall the slot for minutes. The RPCs (ping, then restore)
+// touch only agent i's record, which nothing else reads during the probe
+// phase; state transitions are applied serially in index order afterwards so
+// the health machine stays single-threaded.
 func (ct *Controller) probeDead(ctx context.Context, t int) {
+	probed := make([]bool, len(ct.recs))
+	joined := make([]bool, len(ct.recs))
+	var wg sync.WaitGroup
 	for i := range ct.recs {
 		if ct.recs[i].state != Dead {
 			continue
 		}
-		var pong transport.Ping
-		if err := ct.callAgentTimed(ctx, i, transport.KindPing, transport.Ping{Nonce: uint64(t), Slot: t}, &pong); err != nil {
+		probed[i] = true
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var pong transport.Ping
+			if err := ct.callAgentTimed(ctx, i, transport.KindPing, transport.Ping{Nonce: uint64(t), Slot: t}, &pong); err != nil {
+				return
+			}
+			joined[i] = ct.resync(ctx, i, t) == nil
+		}(i)
+	}
+	wg.Wait()
+	for i := range ct.recs {
+		switch {
+		case !probed[i]:
+		case joined[i]:
+			ct.setState(i, Rejoining)
+		default:
 			ct.recordFailure(i)
-			continue
 		}
-		if err := ct.resync(ctx, i, t); err != nil {
-			ct.recordFailure(i)
-			continue
-		}
-		ct.setState(i, Rejoining)
 	}
 }
 

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestScaleSweepSmall runs the full scale harness — fleet construction, the
+// fault-free cell, and the chaos cell — at test-sized fleets and checks every
+// measured field is sane. The production-sized sweep (100..2000 agents) runs
+// through grefar-sim and make hollow-bench, not in tier-1.
+func TestScaleSweepSmall(t *testing.T) {
+	res, err := Scale(ScaleConfig{
+		Seed:   7,
+		Agents: []int{8, 24},
+		Slots:  16,
+		Chaos:  true,
+		Check:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("got %d points, want 4 (2 sizes x fault-free+chaos)", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if pt.P50 <= 0 || pt.P99 < pt.P50 {
+			t.Errorf("agents=%d chaos=%v: bad latency percentiles p50=%v p99=%v", pt.Agents, pt.Chaos, pt.P50, pt.P99)
+		}
+		if pt.SlotsPerSec <= 0 {
+			t.Errorf("agents=%d chaos=%v: throughput %v", pt.Agents, pt.Chaos, pt.SlotsPerSec)
+		}
+		if pt.AllocsPerSlot <= 0 {
+			t.Errorf("agents=%d chaos=%v: allocs/slot %v", pt.Agents, pt.Chaos, pt.AllocsPerSlot)
+		}
+		if pt.EnergyPerSlot <= 0 {
+			t.Errorf("agents=%d chaos=%v: no energy spent; the fleet did no work", pt.Agents, pt.Chaos)
+		}
+		if !pt.Chaos && pt.DegradedSlots != 0 {
+			t.Errorf("agents=%d: fault-free run reported %d degraded slots", pt.Agents, pt.DegradedSlots)
+		}
+	}
+	// The chaos cells must actually exercise the degraded path: the plan
+	// partitions at least one agent inside the horizon.
+	for _, pt := range res.Points {
+		if pt.Chaos && pt.DegradedSlots == 0 {
+			t.Errorf("agents=%d: chaos run never degraded", pt.Agents)
+		}
+	}
+}
+
+func TestScaleContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Scale(ScaleConfig{Agents: []int{8}, Slots: 1000, Context: ctx})
+	if err == nil {
+		t.Fatal("canceled sweep returned nil error")
+	}
+}
+
+func TestScaleChaosPlanShape(t *testing.T) {
+	cfg := ScaleConfig{Slots: 40, KillFrac: 0.05}.withDefaults()
+	for _, n := range []int{2, 20, 100, 1000} {
+		plan := scaleChaosPlan(cfg, n)
+		if err := plan.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := int(float64(n) * 0.05)
+		if want < 1 {
+			want = 1
+		}
+		if want >= n {
+			want = n - 1
+		}
+		if len(plan.Windows) != want {
+			t.Errorf("n=%d: %d windows, want %d", n, len(plan.Windows), want)
+		}
+		for _, w := range plan.Windows {
+			if w.Agent < 1 || w.Agent >= n {
+				t.Errorf("n=%d: window partitions agent %d", n, w.Agent)
+			}
+			if w.From < 0 || w.To > cfg.Slots {
+				t.Errorf("n=%d: window [%d,%d) outside horizon %d", n, w.From, w.To, cfg.Slots)
+			}
+		}
+	}
+}
+
+// TestScaleLatencyUnits guards against the classic harness bug of reporting
+// percentiles in the wrong unit: a 16-slot run's p99 must be under a minute.
+func TestScaleLatencyUnits(t *testing.T) {
+	res, err := Scale(ScaleConfig{Seed: 3, Agents: []int{8}, Slots: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p99 := res.Points[0].P99; p99 > time.Minute {
+		t.Errorf("p99 = %v; unit bug?", p99)
+	}
+}

@@ -1,0 +1,329 @@
+// Multiplexed transport: many logical endpoints behind one listener, many
+// in-flight calls on one connection.
+//
+// The point-to-point Client/Server pair costs one TCP connection, one
+// goroutine, and one file descriptor per agent — fine for the paper's three
+// sites, fatal for a hollow fleet of thousands. The mux layer reuses the
+// exact frame format and gob encoding but adds two degrees of freedom:
+//
+//   - MuxServer hosts any number of targets behind a single listener. Each
+//     request frame carries a Target index and is dispatched to one handler
+//     with that index; in-flight requests on a connection are served
+//     concurrently, so one slow target never head-of-line-blocks the rest.
+//
+//   - MuxClient pipelines calls: any number of goroutines issue requests on
+//     the same connection concurrently, and a reader goroutine routes each
+//     response back to its caller by frame ID. A gather over N agents
+//     therefore costs max(RTT) wall-clock, not N*RTT.
+//
+// Agent(target) binds a MuxClient to one target index as a per-agent
+// connection satisfying the controller's AgentConn and ContextAgentConn,
+// so the scale-out path slots into the existing control loop unchanged.
+package transport
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// MuxHandler processes one request addressed to a target endpoint.
+type MuxHandler func(target int, kind string, body []byte) (any, error)
+
+// MuxServer accepts connections and dispatches frames to a target-aware
+// handler. Every request on a connection is served in its own goroutine;
+// responses are serialized onto the connection's encoder.
+type MuxServer struct {
+	lis     net.Listener
+	handler MuxHandler
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewMuxServer wraps a listener. Call Serve to start accepting.
+func NewMuxServer(lis net.Listener, handler MuxHandler) *MuxServer {
+	return &MuxServer{lis: lis, handler: handler, conns: make(map[net.Conn]struct{})}
+}
+
+// Addr returns the listener address.
+func (s *MuxServer) Addr() string { return s.lis.Addr().String() }
+
+// Serve accepts connections until the server is closed. It blocks; run it in
+// a goroutine and call Close to stop.
+func (s *MuxServer) Serve() error {
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *MuxServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var encMu sync.Mutex // response writes interleave across request goroutines
+	for {
+		var req frame
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or broken connection ends the session
+		}
+		go func(req frame) {
+			resp := frame{ID: req.ID, Target: req.Target, Kind: req.Kind}
+			body, err := s.handler(req.Target, req.Kind, req.Body)
+			if err != nil {
+				resp.Err = err.Error()
+			} else if encoded, merr := Marshal(body); merr != nil {
+				resp.Err = merr.Error()
+			} else {
+				resp.Body = encoded
+			}
+			encMu.Lock()
+			err = enc.Encode(&resp)
+			encMu.Unlock()
+			if err != nil {
+				conn.Close() // the reader loop notices and ends the session
+			}
+		}(req)
+	}
+}
+
+// Close stops accepting and closes open connections. Like net/http's Close,
+// it does not wait for in-flight handlers: a wedged handler must not wedge
+// shutdown, and its eventual response write fails harmlessly on the closed
+// connection. It does wait for the per-connection reader goroutines.
+func (s *MuxServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.lis.Close()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// MuxClient is a pipelining RPC client: calls from any number of goroutines
+// share one connection, with responses routed back by frame ID. Per-call
+// timeouts are enforced with timers rather than connection deadlines, because
+// a deadline would abort every in-flight call, not the late one.
+type MuxClient struct {
+	conn    net.Conn
+	timeout time.Duration
+
+	encMu sync.Mutex // gob encoders are not concurrent-safe
+	enc   *gob.Encoder
+
+	mu      sync.Mutex
+	pending map[uint64]chan frame
+	nextID  uint64
+	closed  bool
+	readErr error
+	done    chan struct{} // closed when the read loop exits
+}
+
+// DialMux connects a pipelining client to a MuxServer. timeout bounds the
+// dial and each call; zero means 10 seconds.
+func DialMux(addr string, timeout time.Duration) (*MuxClient, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w", addr, err)
+	}
+	m := &MuxClient{
+		conn:    conn,
+		timeout: timeout,
+		enc:     gob.NewEncoder(conn),
+		pending: make(map[uint64]chan frame),
+		done:    make(chan struct{}),
+	}
+	go m.readLoop()
+	return m, nil
+}
+
+// readLoop routes response frames to their waiting callers until the
+// connection dies, then fails every pending call.
+func (m *MuxClient) readLoop() {
+	dec := gob.NewDecoder(m.conn)
+	for {
+		var resp frame
+		if err := dec.Decode(&resp); err != nil {
+			m.mu.Lock()
+			if m.readErr == nil {
+				m.readErr = fmt.Errorf("mux read: %w", err)
+			}
+			m.mu.Unlock()
+			close(m.done)
+			return
+		}
+		m.mu.Lock()
+		ch, ok := m.pending[resp.ID]
+		if ok {
+			delete(m.pending, resp.ID)
+		}
+		m.mu.Unlock()
+		if ok {
+			ch <- resp // buffered; never blocks the read loop
+		}
+	}
+}
+
+// CallTarget sends a request addressed to target and decodes the response
+// into respBody (nil discards it). It honors ctx and the client timeout;
+// an abandoned call's late response is dropped by the read loop.
+func (m *MuxClient) CallTarget(ctx context.Context, target int, kind string, reqBody, respBody any) error {
+	body, err := Marshal(reqBody)
+	if err != nil {
+		return err
+	}
+	ch := make(chan frame, 1)
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	if m.readErr != nil {
+		err := m.readErr
+		m.mu.Unlock()
+		return err
+	}
+	m.nextID++
+	id := m.nextID
+	m.pending[id] = ch
+	m.mu.Unlock()
+
+	req := frame{ID: id, Target: target, Kind: kind, Body: body}
+	m.encMu.Lock()
+	// Bound the write alone: a per-connection read deadline would abort
+	// every pipelined call in flight, not just a stalled one.
+	m.conn.SetWriteDeadline(time.Now().Add(m.timeout))
+	err = m.enc.Encode(&req)
+	m.encMu.Unlock()
+	if err != nil {
+		m.abandon(id)
+		return fmt.Errorf("send %s to target %d: %w", kind, target, err)
+	}
+
+	timer := time.NewTimer(m.timeout)
+	defer timer.Stop()
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
+	select {
+	case resp := <-ch:
+		if resp.Err != "" {
+			return &RemoteError{Kind: kind, Message: resp.Err}
+		}
+		if respBody == nil {
+			return nil
+		}
+		return Unmarshal(resp.Body, respBody)
+	case <-ctxDone:
+		m.abandon(id)
+		return ctx.Err()
+	case <-timer.C:
+		m.abandon(id)
+		return fmt.Errorf("target %d %s: %w", target, kind, ErrCallTimeout)
+	case <-m.done:
+		m.abandon(id)
+		// The read loop may have delivered the response before dying.
+		select {
+		case resp := <-ch:
+			if resp.Err != "" {
+				return &RemoteError{Kind: kind, Message: resp.Err}
+			}
+			if respBody == nil {
+				return nil
+			}
+			return Unmarshal(resp.Body, respBody)
+		default:
+		}
+		m.mu.Lock()
+		err := m.readErr
+		m.mu.Unlock()
+		return err
+	}
+}
+
+// ErrCallTimeout marks a pipelined call that outlived the client timeout.
+var ErrCallTimeout = fmt.Errorf("transport: call timed out")
+
+// abandon forgets a pending call so its late response is dropped.
+func (m *MuxClient) abandon(id uint64) {
+	m.mu.Lock()
+	delete(m.pending, id)
+	m.mu.Unlock()
+}
+
+// Close shuts down the connection; pending calls fail promptly.
+func (m *MuxClient) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	err := m.conn.Close()
+	<-m.done // read loop exit fails the stragglers
+	return err
+}
+
+// MuxConn binds a MuxClient to one target, satisfying the controller's
+// per-agent connection surfaces (Call and CallContext).
+type MuxConn struct {
+	client *MuxClient
+	target int
+}
+
+// Agent returns the per-target connection for one multiplexed endpoint.
+func (m *MuxClient) Agent(target int) *MuxConn {
+	return &MuxConn{client: m, target: target}
+}
+
+// Call implements the synchronous connection surface.
+func (c *MuxConn) Call(kind string, reqBody, respBody any) error {
+	return c.client.CallTarget(context.Background(), c.target, kind, reqBody, respBody)
+}
+
+// CallContext is Call honoring a context.
+func (c *MuxConn) CallContext(ctx context.Context, kind string, reqBody, respBody any) error {
+	return c.client.CallTarget(ctx, c.target, kind, reqBody, respBody)
+}

@@ -1,0 +1,272 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startMux spins up a MuxServer on loopback TCP with the given handler and
+// returns it with a connected client; both are torn down with the test.
+func startMux(t *testing.T, h MuxHandler) (*MuxServer, *MuxClient) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewMuxServer(lis, h)
+	go srv.Serve()
+	t.Cleanup(func() { srv.Close() })
+	cli, err := DialMux(srv.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return srv, cli
+}
+
+// echoMux answers pings with the target folded into the nonce so tests can
+// verify routing.
+func echoMux(target int, kind string, body []byte) (any, error) {
+	var p Ping
+	if err := Unmarshal(body, &p); err != nil {
+		return nil, err
+	}
+	p.Nonce += uint64(target) * 1000
+	return p, nil
+}
+
+func TestMuxRoutesByTarget(t *testing.T) {
+	_, cli := startMux(t, echoMux)
+	for target := 0; target < 5; target++ {
+		var pong Ping
+		if err := cli.Agent(target).Call(KindPing, Ping{Nonce: 7}, &pong); err != nil {
+			t.Fatalf("target %d: %v", target, err)
+		}
+		if want := uint64(7 + target*1000); pong.Nonce != want {
+			t.Errorf("target %d answered nonce %d, want %d", target, pong.Nonce, want)
+		}
+	}
+}
+
+// TestMuxPipelinesConcurrentCalls proves a slow target does not serialize the
+// rest: N calls that each stall 30ms must complete together, far under N*30ms.
+func TestMuxPipelinesConcurrentCalls(t *testing.T) {
+	const n = 16
+	_, cli := startMux(t, func(target int, kind string, body []byte) (any, error) {
+		time.Sleep(30 * time.Millisecond)
+		return echoMux(target, kind, body)
+	})
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var pong Ping
+			errs[i] = cli.Agent(i).Call(KindPing, Ping{Nonce: uint64(i)}, &pong)
+			if errs[i] == nil && pong.Nonce != uint64(i+i*1000) {
+				errs[i] = fmt.Errorf("target %d got nonce %d", i, pong.Nonce)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("call %d: %v", i, err)
+		}
+	}
+	// Sequential round-trips would take n*30ms = 480ms; pipelined they share
+	// the stall. The bound is loose to survive CI scheduling noise.
+	if elapsed > 300*time.Millisecond {
+		t.Errorf("%d pipelined 30ms calls took %v; transport is serializing", n, elapsed)
+	}
+}
+
+func TestMuxRemoteErrorAndConcurrentMix(t *testing.T) {
+	_, cli := startMux(t, func(target int, kind string, body []byte) (any, error) {
+		if target%2 == 1 {
+			return nil, fmt.Errorf("target %d is down", target)
+		}
+		return echoMux(target, kind, body)
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var pong Ping
+			err := cli.Agent(i).Call(KindPing, Ping{Nonce: 1}, &pong)
+			if i%2 == 1 {
+				var re *RemoteError
+				if !errors.As(err, &re) {
+					t.Errorf("target %d: err = %v, want RemoteError", i, err)
+				}
+			} else if err != nil {
+				t.Errorf("target %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestMuxCallTimeout(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	srv, _ := startMux(t, func(target int, kind string, body []byte) (any, error) {
+		<-block
+		return Ping{}, nil
+	})
+	cli, err := DialMux(srv.Addr(), 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Agent(0).Call(KindPing, Ping{}, nil); !errors.Is(err, ErrCallTimeout) {
+		t.Errorf("err = %v, want ErrCallTimeout", err)
+	}
+}
+
+func TestMuxContextCancelAbortsCall(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	_, cli := startMux(t, func(target int, kind string, body []byte) (any, error) {
+		<-block
+		return Ping{}, nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := cli.Agent(0).CallContext(ctx, KindPing, Ping{}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("cancellation did not abort the call promptly")
+	}
+}
+
+func TestMuxServerCloseFailsPendingCalls(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	srv, cli := startMux(t, func(target int, kind string, body []byte) (any, error) {
+		<-block
+		return Ping{}, nil
+	})
+	errCh := make(chan error, 1)
+	go func() { errCh <- cli.Agent(0).Call(KindPing, Ping{}, nil) }()
+	time.Sleep(20 * time.Millisecond)
+	srv.Close()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Error("call against a closed server succeeded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending call did not fail after server close")
+	}
+}
+
+func TestMuxClosedClient(t *testing.T) {
+	_, cli := startMux(t, echoMux)
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Agent(0).Call(KindPing, Ping{}, nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+	if err := cli.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+// TestMuxControlLoopShapes runs the real message kinds (state, allocate)
+// through the mux wire to prove the framing round-trips typed bodies exactly
+// as the point-to-point client does.
+func TestMuxControlLoopShapes(t *testing.T) {
+	_, cli := startMux(t, func(target int, kind string, body []byte) (any, error) {
+		switch kind {
+		case KindState:
+			var req StateRequest
+			if err := Unmarshal(body, &req); err != nil {
+				return nil, err
+			}
+			return StateReport{
+				Slot: req.Slot, DataCenter: target,
+				Price: 0.5, Avail: []float64{3}, QueueLens: []float64{1, 2},
+			}, nil
+		case KindAllocate:
+			var req Allocate
+			if err := Unmarshal(body, &req); err != nil {
+				return nil, err
+			}
+			return AllocateAck{Slot: req.Slot, Processed: make([]float64, len(req.Process)), DelaySum: make([]float64, len(req.Process))}, nil
+		}
+		return nil, fmt.Errorf("unknown kind %q", kind)
+	})
+	var rep StateReport
+	if err := cli.Agent(3).Call(KindState, StateRequest{Slot: 9}, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.DataCenter != 3 || rep.Slot != 9 {
+		t.Errorf("report = %+v", rep)
+	}
+	if err := rep.Validate(3, 9, 1, 2); err != nil {
+		t.Errorf("round-tripped report invalid: %v", err)
+	}
+	var ack AllocateAck
+	if err := cli.Agent(3).Call(KindAllocate, Allocate{Slot: 9, Route: []int{0, 1}, Process: []float64{0, 1}, Busy: []float64{1}}, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Slot != 9 {
+		t.Errorf("ack slot = %d", ack.Slot)
+	}
+}
+
+// TestMuxShutdownLeaksNoGoroutines pins the lifecycle: a served fleet of
+// calls followed by client and server shutdown must return the process to
+// its pre-test goroutine count.
+func TestMuxShutdownLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewMuxServer(lis, echoMux)
+	go srv.Serve()
+	cli, err := DialMux(srv.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var pong Ping
+			if err := cli.Agent(i).Call(KindPing, Ping{Nonce: 1}, &pong); err != nil {
+				t.Errorf("call %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	cli.Close()
+	srv.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Errorf("goroutines: %d before, %d after shutdown", before, got)
+	}
+}

@@ -145,12 +145,16 @@ type Ping struct {
 }
 
 // frame is the wire envelope. Bodies are gob-encoded separately so the
-// dispatcher can route on Kind without knowing every body type.
+// dispatcher can route on Kind without knowing every body type. Target
+// addresses one of many endpoints multiplexed behind a shared listener
+// (MuxServer); the plain Server ignores it, and gob skips absent fields, so
+// mux-aware and historical peers interoperate on the same wire format.
 type frame struct {
-	ID   uint64
-	Kind string
-	Err  string
-	Body []byte
+	ID     uint64
+	Target int
+	Kind   string
+	Err    string
+	Body   []byte
 }
 
 // Marshal gob-encodes a message body.
