@@ -26,18 +26,20 @@ race:
 # internal/serve and cmd/grefar-serve only proves its tick/checkpoint locking
 # when raced; the degraded-mode controller and the chaos transport only prove
 # their kill/restart determinism when raced), the Decide allocation-budget
-# guard (which -race skips, so it runs plain here), a race-enabled hollow
-# smoke (64 in-process agents, 5 slots, 5% killed mid-run — the degraded-mode
-# cycle end to end), and a short fuzz smoke of the native fuzz targets,
-# including the snapshot-restore and wire-frame surfaces.
+# guard (which -race skips, so it runs plain here), race-enabled hollow
+# smokes (64 in-process agents, 5 slots, 5% killed mid-run — the degraded-mode
+# cycle end to end, once under the single controller and once under the
+# 2-partition control plane), and a short fuzz smoke of the native fuzz
+# targets, including the snapshot-restore and wire-frame surfaces.
 tier1:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/runner
 	$(GO) test -race -count=1 ./internal/serve/... ./cmd/grefar-serve
-	$(GO) test -race -count=1 ./internal/controller ./internal/transport/... ./internal/experiments ./internal/hollow
+	$(GO) test -race -count=1 ./internal/controller ./internal/controlplane ./internal/transport/... ./internal/experiments ./internal/hollow
 	$(GO) run -race ./cmd/grefar-hollow -agents 64 -slots 5 -kill-frac 0.05
+	$(GO) run -race ./cmd/grefar-hollow -agents 64 -slots 5 -kill-frac 0.05 -partitions 2
 	$(GO) test -count=1 -run TestDecideAllocationBudget .
 	$(GO) test -run '^$$' -fuzz FuzzSimplex -fuzztime $(FUZZTIME) ./internal/lp
 	$(GO) test -run '^$$' -fuzz FuzzApply -fuzztime $(FUZZTIME) ./internal/queue
@@ -63,6 +65,7 @@ fuzz:
 golden:
 	$(GO) test ./internal/invariant -run TestGoldenTraces -update
 	$(GO) test ./internal/controller -run TestGoldenChaosTrace -update
+	$(GO) test ./internal/controlplane -run TestPartitionedMatchesSingle -update
 
 # check replays the paper's reference experiment with the invariant checker
 # attached: queue dynamics (12)-(13), action feasibility, job conservation,
@@ -85,9 +88,10 @@ bench-slot:
 # SLOT_BENCHES is the set recorded in BENCH_slot.json: the per-slot solver
 # cost (with and without the warm-started away-step path). DIST_BENCHES is
 # the set recorded in BENCH_distributed.json: the 3-agent point-to-point
-# controller round and the hollow-fleet sweep at 100/500/1000/2000 agents.
+# controller round, the hollow-fleet sweep at 100/500/1000/2000 agents, and
+# the partitioned-control-plane cells (agents x partitions).
 SLOT_BENCHES = BenchmarkSlotDecision$$
-DIST_BENCHES = BenchmarkDistributedSlot$$|BenchmarkHollowSlot/
+DIST_BENCHES = BenchmarkDistributedSlot$$|BenchmarkHollowSlot/|BenchmarkPartitionedSlot/
 BENCHCOUNT ?= 3
 
 # bench-json refreshes the committed baselines BENCH_slot.json and
@@ -108,7 +112,7 @@ bench-compare:
 		| $(GO) run ./cmd/benchjson -compare BENCH_slot.json -max-regress 0.15
 	$(GO) test -run '^$$' -bench '$(DIST_BENCHES)' -benchmem -count=$(BENCHCOUNT) . \
 		| $(GO) run ./cmd/benchjson -compare BENCH_distributed.json \
-			-guard '^BenchmarkDistributedSlot$$|^BenchmarkHollowSlot' -max-regress 0.15
+			-guard '^BenchmarkDistributedSlot$$|^BenchmarkHollowSlot|^BenchmarkPartitionedSlot' -max-regress 0.15
 
 # hollow-bench runs the hollow-fleet scale sweep locally — fault-free and
 # chaos variants at each fleet size — and prints the measurement table

@@ -9,7 +9,13 @@
 //
 //	grefar-controller -agents 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 \
 //	                  [-V 7.5] [-beta 100] [-slots 2000] [-seed 2012] \
-//	                  [-policy grefar|always] [-metrics-addr 127.0.0.1:9090] [-pprof]
+//	                  [-policy grefar|always] [-partitions 1] \
+//	                  [-metrics-addr 127.0.0.1:9090] [-pprof]
+//
+// With -partitions > 1 the control loop runs as that many concurrent
+// controller partitions over disjoint data-center ranges, committing
+// optimistically against a shared queue board; per-partition commit and
+// conflict counters are served on /metrics.
 //
 // The seed must match the agents' so the controller's workload lines up with
 // the world the agents simulate. Agent connections redial with capped
@@ -32,9 +38,11 @@ import (
 	"time"
 
 	"grefar/internal/controller"
+	"grefar/internal/controlplane"
 	"grefar/internal/core"
 	"grefar/internal/model"
 	"grefar/internal/sched"
+	"grefar/internal/sim"
 	"grefar/internal/telemetry"
 	"grefar/internal/transport"
 	"grefar/internal/workload"
@@ -49,12 +57,18 @@ func main() {
 	}
 }
 
+// loopRunner is the control loop the app drives: the single controller and
+// the partitioned plane expose the same run surface.
+type loopRunner interface {
+	RunContext(ctx context.Context, slots int, wl workload.Generator) (*sim.Result, error)
+}
+
 // app is a fully wired controller run: the control loop plus its
 // observability mux. Tests build one with buildApp and mount Metrics on an
 // httptest server instead of a real listener.
 type app struct {
 	cluster *model.Cluster
-	ctrl    *controller.Controller
+	ctrl    loopRunner
 	// Metrics serves /metrics, /healthz, and optionally /debug/pprof/.
 	Metrics http.Handler
 
@@ -99,6 +113,7 @@ func buildApp(args []string) (*app, error) {
 	slots := fs.Int("slots", 2000, "horizon in hourly slots")
 	seed := fs.Int64("seed", 2012, "workload seed (must match the agents)")
 	policy := fs.String("policy", "grefar", "scheduling policy: grefar or always")
+	partitions := fs.Int("partitions", 1, "controller partitions (>1 runs the partitioned shared-state control plane)")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-RPC timeout")
 	retries := fs.Int("retries", 2, "redial attempts per RPC after a transport failure (with capped exponential backoff)")
 	metricsAddr := fs.String("metrics-addr", "", "address to serve /metrics and /healthz on (empty disables)")
@@ -155,29 +170,53 @@ func buildApp(args []string) (*app, error) {
 		conns[i] = cli
 	}
 
-	var s sched.Scheduler
-	switch *policy {
-	case "grefar":
-		s, err = core.New(c, core.Config{V: *v, Beta: *beta, Observer: obs})
-	case "always":
-		s, err = sched.NewAlways(c)
-	default:
-		err = fmt.Errorf("unknown policy %q", *policy)
-	}
-	if err != nil {
-		return nil, err
+	// factory builds one scheduler per consumer. Only the first instance gets
+	// the decision observer, so a partitioned run emits one scheduler event
+	// stream per slot instead of one per partition.
+	built := 0
+	factory := func() (sched.Scheduler, error) {
+		built++
+		switch *policy {
+		case "grefar":
+			cfg := core.Config{V: *v, Beta: *beta}
+			if built == 1 {
+				cfg.Observer = obs
+			}
+			return core.New(c, cfg)
+		case "always":
+			return sched.NewAlways(c)
+		default:
+			return nil, fmt.Errorf("unknown policy %q", *policy)
+		}
 	}
 
 	a.wl, err = workload.NewReferenceWorkload(*seed+1, c, *slots)
 	if err != nil {
 		return nil, fmt.Errorf("workload: %w", err)
 	}
-	a.ctrl, err = controller.New(c, s, conns,
-		controller.WithObserver(obs),
-		controller.WithFailurePolicy(policyVal),
-		controller.WithHealthThresholds(*suspectAfter, *deadAfter),
-		controller.WithHealthMetrics(reg),
-	)
+	if *partitions > 1 {
+		a.ctrl, err = controlplane.New(c, conns, controlplane.Config{
+			Partitions:   *partitions,
+			NewScheduler: factory,
+			Policy:       policyVal,
+			SuspectAfter: *suspectAfter,
+			DeadAfter:    *deadAfter,
+			Observer:     obs,
+			Registry:     reg,
+		})
+	} else {
+		var s sched.Scheduler
+		s, err = factory()
+		if err != nil {
+			return nil, err
+		}
+		a.ctrl, err = controller.New(c, s, conns,
+			controller.WithObserver(obs),
+			controller.WithFailurePolicy(policyVal),
+			controller.WithHealthThresholds(*suspectAfter, *deadAfter),
+			controller.WithHealthMetrics(reg),
+		)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -8,14 +8,19 @@
 // Usage:
 //
 //	grefar-hollow [-agents 1000] [-slots 60] [-seed 2012] [-conns 4]
-//	              [-kill-frac 0.05] [-kill-at slots/3] [-revive-at 2*slots/3]
-//	              [-V 7.5] [-beta 100] [-check] [-metrics :9300] [-pprof]
+//	              [-partitions 1] [-kill-frac 0.05] [-kill-at slots/3]
+//	              [-revive-at 2*slots/3] [-V 7.5] [-beta 100] [-check]
+//	              [-metrics :9300] [-pprof]
 //
 // With -kill-frac > 0 the harness kills that fraction of the fleet at
 // -kill-at and revives it at -revive-at, so one run demonstrates the full
 // mask -> probe -> resync -> rejoin cycle; the invariant checker (-check,
 // default on) verifies every applied slot. With -metrics, the controller's
 // health gauges, RTT histograms, and slot telemetry are served on /metrics.
+// With -partitions > 1 the fleet is driven by the partitioned control plane
+// — concurrent per-partition gather/decide/scatter with optimistic commits
+// against the shared queue board — and the run report includes each
+// partition's commit/conflict counters.
 package main
 
 import (
@@ -31,11 +36,22 @@ import (
 	"time"
 
 	"grefar/internal/controller"
+	"grefar/internal/controlplane"
 	"grefar/internal/core"
 	"grefar/internal/hollow"
 	"grefar/internal/invariant"
+	"grefar/internal/model"
+	"grefar/internal/sched"
 	"grefar/internal/telemetry"
+	"grefar/internal/transport"
 )
+
+// slotDriver is the slice of the control loop the harness drives: the single
+// controller and the partitioned plane both satisfy it.
+type slotDriver interface {
+	RunSlotContext(ctx context.Context, t int, arrivals []int) (*model.Action, *model.State, []transport.AllocateAck, error)
+	Health() []controller.AgentHealth
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -52,6 +68,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	slots := fs.Int("slots", 60, "horizon in slots")
 	seed := fs.Int64("seed", 2012, "seed for the synthetic workload")
 	conns := fs.Int("conns", 0, "multiplexed client connections carrying the fleet's traffic (0 = default)")
+	partitions := fs.Int("partitions", 1, "controller partitions (>1 drives the fleet with the partitioned control plane)")
 	killFrac := fs.Float64("kill-frac", 0, "fraction of agents killed mid-run (0 disables the outage)")
 	killAt := fs.Int("kill-at", 0, "slot the outage starts (default slots/3)")
 	reviveAt := fs.Int("revive-at", 0, "slot the killed agents come back (default 2*slots/3)")
@@ -65,6 +82,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if *agents <= 0 || *slots <= 0 {
 		return fmt.Errorf("need positive -agents and -slots")
+	}
+	if *partitions < 1 || *partitions > *agents {
+		return fmt.Errorf("-partitions %d outside [1,%d]", *partitions, *agents)
 	}
 	if *killFrac < 0 || *killFrac >= 1 {
 		return fmt.Errorf("-kill-frac %v outside [0,1)", *killFrac)
@@ -89,10 +109,6 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	defer fleet.Close()
 
-	g, err := core.New(in.Cluster, core.Config{V: *v, Beta: *beta})
-	if err != nil {
-		return err
-	}
 	reg := telemetry.NewRegistry()
 	obs := []telemetry.SlotObserver{telemetry.NewRegistryObserver(reg)}
 	var ck *invariant.Checker
@@ -100,13 +116,36 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		ck = invariant.NewChecker(in.Cluster, invariant.CheckerOptions{})
 		obs = append(obs, ck)
 	}
-	ct, err := controller.New(in.Cluster, g, fleet.Conns(),
-		controller.WithObserver(telemetry.Multi(obs...)),
-		controller.WithFailurePolicy(controller.Degrade),
-		controller.WithHealthMetrics(reg),
-	)
-	if err != nil {
-		return err
+	var ct slotDriver
+	var plane *controlplane.Plane
+	if *partitions > 1 {
+		plane, err = controlplane.New(in.Cluster, fleet.Conns(), controlplane.Config{
+			Partitions: *partitions,
+			NewScheduler: func() (sched.Scheduler, error) {
+				return core.New(in.Cluster, core.Config{V: *v, Beta: *beta})
+			},
+			Policy:   controller.Degrade,
+			Observer: telemetry.Multi(obs...),
+			Registry: reg,
+		})
+		if err != nil {
+			return err
+		}
+		ct = plane
+	} else {
+		g, err := core.New(in.Cluster, core.Config{V: *v, Beta: *beta})
+		if err != nil {
+			return err
+		}
+		ctrl, err := controller.New(in.Cluster, g, fleet.Conns(),
+			controller.WithObserver(telemetry.Multi(obs...)),
+			controller.WithFailurePolicy(controller.Degrade),
+			controller.WithHealthMetrics(reg),
+		)
+		if err != nil {
+			return err
+		}
+		ct = ctrl
 	}
 
 	var metricsSrv *http.Server
@@ -121,6 +160,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 	killed := killSet(*agents, *killFrac)
 	fmt.Fprintf(out, "hollow fleet: %d agents on %s, %d slots", fleet.N(), fleet.Addr(), *slots)
+	if *partitions > 1 {
+		fmt.Fprintf(out, ", %d controller partitions", *partitions)
+	}
 	if len(killed) > 0 {
 		fmt.Fprintf(out, ", killing %d agents over [%d,%d)", len(killed), *killAt, *reviveAt)
 	}
@@ -133,6 +175,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	for t := 0; t < *slots; t++ {
 		if err := ctx.Err(); err != nil {
 			return err
+		}
+		// A dead accept loop would otherwise surface only as gather timeouts
+		// slots later; fail the run the moment Serve reports it.
+		select {
+		case serr := <-fleet.ServeErr():
+			if serr != nil {
+				return fmt.Errorf("slot %d: fleet listener died: %w", t, serr)
+			}
+		default:
 		}
 		if len(killed) > 0 && t == *killAt {
 			for _, i := range killed {
@@ -179,6 +230,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		ticks[len(ticks)/2].Round(10*time.Microsecond), ticks[(len(ticks)*99)/100].Round(10*time.Microsecond))
 	fmt.Fprintf(out, "degraded slots %d; energy/slot %.1f; final healthy %d/%d\n",
 		degraded, energy/float64(*slots), healthy, fleet.N())
+	if plane != nil {
+		for _, st := range plane.Stats() {
+			fmt.Fprintf(out, "partition %d: %d agents, %d commits, %d conflicts, %d forced\n",
+				st.Partition, st.Owned, st.Commits, st.Conflicts, st.Forced)
+		}
+	}
 	if *check {
 		fmt.Fprintln(out, "invariant checker: ok on every applied slot")
 	}

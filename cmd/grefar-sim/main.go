@@ -77,6 +77,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	scaleAgents := fs.String("scale-agents", "100,500,1000,2000", "comma-separated fleet sizes for the scale experiment")
 	scaleSlots := fs.Int("scale-slots", 40, "per-fleet-size horizon for the scale experiment")
 	scaleChaos := fs.Bool("scale-chaos", true, "also run each scale point with injected churn and drops")
+	scaleParts := fs.Int("scale-partitions", 4, "partitioned-control-plane arm of the scale experiment (<=1 disables)")
 	killFrac := fs.Float64("kill-frac", 0.05, "fraction of agents the scale chaos variant partitions")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -145,14 +146,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 				return fmt.Errorf("-scale-agents: %w", err)
 			}
 			return runScale(out, experiments.ScaleConfig{
-				Seed:      *seed,
-				ChaosSeed: *chaosSeed,
-				Agents:    agents,
-				Slots:     *scaleSlots,
-				Chaos:     *scaleChaos,
-				KillFrac:  *killFrac,
-				Check:     *check,
-				Context:   ctx,
+				Seed:       *seed,
+				ChaosSeed:  *chaosSeed,
+				Agents:     agents,
+				Slots:      *scaleSlots,
+				Chaos:      *scaleChaos,
+				Partitions: *scaleParts,
+				KillFrac:   *killFrac,
+				Check:      *check,
+				Context:    ctx,
 			})
 		},
 		"churn": func() error {
@@ -248,20 +250,26 @@ func runScale(out io.Writer, cfg experiments.ScaleConfig) error {
 		if pt.Chaos {
 			mode = "chaos"
 		}
+		parts := pt.Partitions
+		if parts < 1 {
+			parts = 1
+		}
 		table[x] = []string{
 			strconv.Itoa(pt.Agents),
 			mode,
+			strconv.Itoa(parts),
 			pt.P50.Round(10 * time.Microsecond).String(),
 			pt.P99.Round(10 * time.Microsecond).String(),
 			report.FormatFloat(pt.SlotsPerSec, 1),
 			report.FormatFloat(pt.AllocsPerSlot, 0),
 			report.FormatFloat(pt.HeapMB, 1),
 			strconv.Itoa(pt.DegradedSlots),
+			strconv.FormatInt(pt.Conflicts, 10),
 			report.FormatFloat(pt.EnergyPerSlot, 1),
 			report.FormatFloat(pt.FinalBacklog, 0),
 		}
 	}
-	return report.Table(out, []string{"Agents", "Mode", "p50 tick", "p99 tick", "Slots/s", "Allocs/slot", "Heap MiB", "Degraded", "Energy/slot", "Backlog"}, table)
+	return report.Table(out, []string{"Agents", "Mode", "Parts", "p50 tick", "p99 tick", "Slots/s", "Allocs/slot", "Heap MiB", "Degraded", "Conflicts", "Energy/slot", "Backlog"}, table)
 }
 
 func runTableI(out io.Writer, cfg experiments.Config) error {

@@ -66,9 +66,11 @@ type Controller struct {
 
 	central []queue.Ledger
 
-	// Fault tolerance: the failure policy and thresholds, the per-agent
-	// health records with shadow ledgers, and the optional metric surface.
+	// Fault tolerance: the failure policy and thresholds, the health tracker
+	// owning the per-agent records and shadow ledgers, and the optional
+	// metric surface. recs aliases the tracker's records for in-package use.
 	health  HealthConfig
+	tracker *Tracker
 	recs    []agentRecord
 	metrics *healthMetrics
 }
@@ -109,23 +111,14 @@ func New(c *model.Cluster, sch sched.Scheduler, agents []AgentConn, opts ...Opti
 		agents:  agents,
 		fair:    fair,
 		central: make([]queue.Ledger, c.J()),
-		recs:    make([]agentRecord, c.N()),
-	}
-	for i := range ct.recs {
-		ct.recs[i].shadow = make([]queue.Ledger, c.J())
 	}
 	for _, opt := range opts {
 		opt(ct)
 	}
 	ct.health = ct.health.withDefaults()
 	ct.detail = telemetry.WantsDetail(ct.obs)
-	if ct.metrics != nil {
-		// Publish the healthy baseline so every per-agent series exists
-		// before the first fault, not lazily on the first transition.
-		for i := range ct.recs {
-			ct.metrics.state.With(dcLabel(i)).Set(float64(Healthy))
-		}
-	}
+	ct.tracker = newTracker(c, agents, ct.health, ct.metrics)
+	ct.recs = ct.tracker.recs
 	return ct, nil
 }
 
@@ -305,6 +298,19 @@ func (ct *Controller) RunSlotContext(ctx context.Context, t int, arrivals []int)
 		return nil, nil, nil, fmt.Errorf("slot %d: infeasible action: %w", t, err)
 	}
 
+	// Under Strict an allocate failure below aborts the slot, but the central
+	// pops happen first: without a checkpoint the caller's retry of the same
+	// slot would pop the same jobs twice and break conservation. Clone the
+	// ledgers now and restore them on the abort path so a failed slot leaves
+	// the central queues exactly as it found them. (Degrade never aborts.)
+	var checkpoint []queue.Ledger
+	if !degrade {
+		checkpoint = make([]queue.Ledger, c.J())
+		for j := range ct.central {
+			checkpoint[j] = ct.central[j].Clone()
+		}
+	}
+
 	// Dispatch jobs from the central queues, capped at queue content,
 	// consumed in data-center order exactly like queue.Set.Apply so the
 	// distributed run is bit-identical to the single-process simulator.
@@ -347,6 +353,7 @@ func (ct *Controller) RunSlotContext(ctx context.Context, t int, arrivals []int)
 	wg.Wait()
 	if !degrade {
 		if err := joinAgentErrors("allocate", errsA); err != nil {
+			copy(ct.central, checkpoint)
 			return nil, nil, nil, err
 		}
 	}
@@ -379,10 +386,7 @@ func (ct *Controller) RunSlotContext(ctx context.Context, t int, arrivals []int)
 				// its trajectory forked mid-slot (e.g. it restarted behind a
 				// reconnecting transport and answered empty). De-sync the
 				// shadow so the next report re-seeds it.
-				if ct.metrics != nil {
-					ct.metrics.divergences.With(dcLabel(i)).Inc()
-				}
-				ct.recs[i].synced = false
+				ct.tracker.NoteDivergence(i)
 				break
 			}
 		}
@@ -394,24 +398,6 @@ func (ct *Controller) RunSlotContext(ctx context.Context, t int, arrivals []int)
 
 	ct.emitSlot(t, arrivals, st, act, pre, routedF, processedEv, acks, masked)
 	return act, st, acks, nil
-}
-
-// synthesizeAck reconstructs what a non-responding agent did (or will be
-// restored to have done) from the shadow replay: processed counts and delay
-// sums come from the shadow pops, energy from the reported price and the
-// dispatched busy-server decision, work from the processed demand. For an
-// agent that executed the allocation but lost the response, this is
-// bit-identical to the ack it would have sent.
-func (ct *Controller) synthesizeAck(i, t int, popped, delays []float64, st *model.State, act *model.Action) transport.AllocateAck {
-	c := ct.cluster
-	ack := transport.AllocateAck{Slot: t, Processed: popped, DelaySum: delays}
-	for j := range popped {
-		ack.Work += popped[j] * c.JobTypes[j].Demand
-	}
-	for k, b := range act.Busy[i] {
-		ack.Energy += st.Price[i] * b * c.DataCenters[i].Servers[k].Power
-	}
-	return ack
 }
 
 // emitSlot assembles and publishes the controller's per-slot telemetry

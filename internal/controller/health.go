@@ -4,9 +4,8 @@ import (
 	"context"
 	"fmt"
 	"strconv"
-	"sync"
-	"time"
 
+	"grefar/internal/model"
 	"grefar/internal/queue"
 	"grefar/internal/telemetry"
 	"grefar/internal/transport"
@@ -136,21 +135,29 @@ func WithHealthMetrics(reg *telemetry.Registry) Option {
 		if reg == nil {
 			return
 		}
-		ct.metrics = &healthMetrics{
-			state: reg.Gauge("grefar_controller_agent_health",
-				"Agent health state (0 healthy, 1 suspect, 2 dead, 3 rejoining).", "dc"),
-			failures: reg.Counter("grefar_controller_agent_failures_total",
-				"Failed agent interactions (state gathers, allocations, probes).", "dc"),
-			resyncs: reg.Counter("grefar_controller_agent_resyncs_total",
-				"Queue-state restores pushed to rejoining or diverged agents.", "dc"),
-			divergences: reg.Counter("grefar_controller_agent_divergences_total",
-				"Slots where an agent's reported queues disagreed with the controller's shadow.", "dc"),
-			degraded: reg.Counter("grefar_controller_degraded_slots_total",
-				"Slots scheduled with at least one agent masked out.").With(),
-			rtt: reg.Histogram("grefar_controller_agent_rtt_seconds",
-				"Agent RPC round-trip time.",
-				[]float64{.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5}, "dc"),
-		}
+		ct.metrics = newHealthMetrics(reg)
+	}
+}
+
+// newHealthMetrics registers (or re-resolves — registration is idempotent per
+// name) the health metric families. Trackers sharing one registry share the
+// families, so a partitioned control plane reports into the same series a
+// single controller would.
+func newHealthMetrics(reg *telemetry.Registry) *healthMetrics {
+	return &healthMetrics{
+		state: reg.Gauge("grefar_controller_agent_health",
+			"Agent health state (0 healthy, 1 suspect, 2 dead, 3 rejoining).", "dc"),
+		failures: reg.Counter("grefar_controller_agent_failures_total",
+			"Failed agent interactions (state gathers, allocations, probes).", "dc"),
+		resyncs: reg.Counter("grefar_controller_agent_resyncs_total",
+			"Queue-state restores pushed to rejoining or diverged agents.", "dc"),
+		divergences: reg.Counter("grefar_controller_agent_divergences_total",
+			"Slots where an agent's reported queues disagreed with the controller's shadow.", "dc"),
+		degraded: reg.Counter("grefar_controller_degraded_slots_total",
+			"Slots scheduled with at least one agent masked out.").With(),
+		rtt: reg.Histogram("grefar_controller_agent_rtt_seconds",
+			"Agent RPC round-trip time.",
+			[]float64{.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5}, "dc"),
 	}
 }
 
@@ -185,236 +192,45 @@ type agentRecord struct {
 }
 
 // Health returns the per-agent health states (index i is data center i).
-func (ct *Controller) Health() []AgentHealth {
-	out := make([]AgentHealth, len(ct.recs))
-	for i := range ct.recs {
-		out[i] = ct.recs[i].state
-	}
-	return out
-}
+func (ct *Controller) Health() []AgentHealth { return ct.tracker.Health() }
 
 // dcLabel renders the agent index as a metric label.
 func dcLabel(i int) string { return strconv.Itoa(i) }
 
-// setState moves an agent's state machine and publishes the gauge.
-func (ct *Controller) setState(i int, s AgentHealth) {
-	ct.recs[i].state = s
-	if ct.metrics != nil {
-		ct.metrics.state.With(dcLabel(i)).Set(float64(s))
-	}
-}
+// The health machinery itself lives on Tracker (tracker.go) so the
+// partitioned control plane can drive it per-owned-agent. The Controller
+// keeps thin delegations for its own slot loop and the package tests.
 
-// recordFailure notes one failed interaction with agent i and advances the
-// state machine: SuspectAfter consecutive failures mask the agent,
-// DeadAfter move it from gathering to probing.
-func (ct *Controller) recordFailure(i int) {
-	rec := &ct.recs[i]
-	rec.fails++
-	if ct.metrics != nil {
-		ct.metrics.failures.With(dcLabel(i)).Inc()
-	}
-	switch {
-	case rec.fails >= ct.health.DeadAfter:
-		ct.setState(i, Dead)
-	case rec.fails >= ct.health.SuspectAfter:
-		ct.setState(i, Suspect)
-	}
-}
+func (ct *Controller) setState(i int, s AgentHealth) { ct.tracker.setState(i, s) }
+func (ct *Controller) recordFailure(i int)           { ct.tracker.RecordFailure(i) }
+func (ct *Controller) recordSuccess(i int)           { ct.tracker.RecordSuccess(i) }
 
-// recordSuccess notes a fully-resolved interaction: the failure streak ends
-// and the agent is Healthy again.
-func (ct *Controller) recordSuccess(i int) {
-	ct.recs[i].fails = 0
-	if ct.recs[i].state != Healthy {
-		ct.setState(i, Healthy)
-	}
-}
+func (ct *Controller) shadowLens(i int) []float64 { return ct.tracker.ShadowLens(i) }
 
-// shadowLens returns the shadow backlog per job type for agent i (zeros
-// before the shadow is seeded).
-func (ct *Controller) shadowLens(i int) []float64 {
-	out := make([]float64, ct.cluster.J())
-	for j := range ct.recs[i].shadow {
-		out[j] = ct.recs[i].shadow[j].Len()
-	}
-	return out
-}
+func (ct *Controller) seedShadow(i, slot int, lens []float64) { ct.tracker.seedShadow(i, slot, lens) }
 
-// seedShadow replaces agent i's shadow with fresh ledgers holding the given
-// backlogs as single cohorts arriving at the current slot. Amounts are exact
-// from here on; waiting times of the pre-existing backlog are approximated as
-// zero, which only affects synthesized delay sums, never job counts.
-func (ct *Controller) seedShadow(i, slot int, lens []float64) {
-	rec := &ct.recs[i]
-	rec.shadow = make([]queue.Ledger, ct.cluster.J())
-	for j, v := range lens {
-		rec.shadow[j].Push(slot, v)
-	}
-	rec.synced = true
-}
-
-// applyShadow replays one slot's allocation on agent i's shadow ledgers in
-// exactly the agent's execution order (pop then push, per job type) and
-// returns the realized processed amounts and delay sums. Because the shadow
-// held the same cohorts, the popped amounts are bit-identical to what the
-// agent itself reports.
 func (ct *Controller) applyShadow(i, t int, process []float64, routed []int) (popped, delays []float64) {
-	rec := &ct.recs[i]
-	j := ct.cluster.J()
-	popped = make([]float64, j)
-	delays = make([]float64, j)
-	for jj := 0; jj < j; jj++ {
-		p, d := rec.shadow[jj].Pop(t, process[jj])
-		popped[jj], delays[jj] = p, d
-		rec.shadow[jj].Push(t, float64(routed[jj]))
-	}
-	return popped, delays
+	return ct.tracker.ApplyShadow(i, t, process, routed)
 }
 
-// lensEqualShadow reports whether the agent-reported queue lengths coincide
-// exactly with the shadow. Exact comparison is correct: the shadow replays
-// the identical float operations the agent performs, so any difference means
-// the trajectories genuinely forked (restart, missed allocation, meddling).
 func (ct *Controller) lensEqualShadow(i int, lens []float64) bool {
-	if len(lens) != ct.cluster.J() {
-		return false
-	}
-	for j := range ct.recs[i].shadow {
-		if ct.recs[i].shadow[j].Len() != lens[j] {
-			return false
-		}
-	}
-	return true
+	return ct.tracker.lensEqualShadow(i, lens)
 }
 
-// resync pushes the controller's shadow queue state onto agent i and
-// verifies the agent landed exactly on it. With an unseeded shadow there is
-// nothing authoritative to push; the next state report seeds it instead.
-func (ct *Controller) resync(ctx context.Context, i, t int) error {
-	rec := &ct.recs[i]
-	if !rec.synced {
-		return nil
-	}
-	snap, err := queue.SnapshotLedgers(rec.shadow)
-	if err != nil {
-		return fmt.Errorf("snapshot shadow: %w", err)
-	}
-	var ack transport.RestoreAck
-	if err := ct.callAgentTimed(ctx, i, transport.KindRestore, transport.RestoreRequest{Slot: t, Snapshot: snap}, &ack); err != nil {
-		return err
-	}
-	if !ct.lensEqualShadow(i, ack.QueueLens) {
-		return fmt.Errorf("restore verification failed: agent echoed %v, shadow holds %v", ack.QueueLens, ct.shadowLens(i))
-	}
-	if ct.metrics != nil {
-		ct.metrics.resyncs.With(dcLabel(i)).Inc()
-	}
-	return nil
-}
+func (ct *Controller) probeDead(ctx context.Context, t int) { ct.tracker.ProbeDead(ctx, t, nil) }
 
-// probeDead opens the slot by heartbeating every Dead agent once. A probe
-// answer re-syncs the agent onto the shadow state and moves it to Rejoining,
-// so the following gather can complete the rejoin; a failed probe (or a
-// failed re-sync) keeps it Dead.
-//
-// Probes run concurrently, like the gather: a mass outage must cost one probe
-// timeout per slot, not one per dead agent — at fleet scale a sequential
-// probe loop would stall the slot for minutes. The RPCs (ping, then restore)
-// touch only agent i's record, which nothing else reads during the probe
-// phase; state transitions are applied serially in index order afterwards so
-// the health machine stays single-threaded.
-func (ct *Controller) probeDead(ctx context.Context, t int) {
-	probed := make([]bool, len(ct.recs))
-	joined := make([]bool, len(ct.recs))
-	var wg sync.WaitGroup
-	for i := range ct.recs {
-		if ct.recs[i].state != Dead {
-			continue
-		}
-		probed[i] = true
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			var pong transport.Ping
-			if err := ct.callAgentTimed(ctx, i, transport.KindPing, transport.Ping{Nonce: uint64(t), Slot: t}, &pong); err != nil {
-				return
-			}
-			joined[i] = ct.resync(ctx, i, t) == nil
-		}(i)
-	}
-	wg.Wait()
-	for i := range ct.recs {
-		switch {
-		case !probed[i]:
-		case joined[i]:
-			ct.setState(i, Rejoining)
-		default:
-			ct.recordFailure(i)
-		}
-	}
-}
-
-// resolveReport folds one valid state report into the health machine under
-// the Degrade policy and reports whether the agent participates in this
-// slot's scheduling decision.
-//
-// The trust rules: a Healthy agent owns its physical queues, so a shadow
-// mismatch (an externally restored or replaced agent) re-seeds the shadow
-// from the report; a Suspect or Rejoining agent diverged while the
-// controller was scheduling around it, so the shadow — the trajectory every
-// emitted slot already accounted for — is authoritative and is restored onto
-// the agent before it rejoins.
 func (ct *Controller) resolveReport(ctx context.Context, i, t int, rep *transport.StateReport) bool {
-	rec := &ct.recs[i]
-	if !rec.synced {
-		ct.seedShadow(i, t, rep.QueueLens)
-		rec.lastPrice = rep.Price
-		ct.recordSuccess(i)
-		return true
-	}
-	equal := ct.lensEqualShadow(i, rep.QueueLens)
-	if rec.state == Healthy {
-		if !equal {
-			if ct.metrics != nil {
-				ct.metrics.divergences.With(dcLabel(i)).Inc()
-			}
-			ct.seedShadow(i, t, rep.QueueLens)
-		}
-		rec.lastPrice = rep.Price
-		ct.recordSuccess(i)
-		return true
-	}
-	// Suspect or Rejoining: let it back in only on the shadow trajectory.
-	if !equal {
-		if err := ct.resync(ctx, i, t); err != nil {
-			ct.recordFailure(i)
-			return false
-		}
-	}
-	rec.lastPrice = rep.Price
-	ct.recordSuccess(i)
-	return true
+	return ct.tracker.ResolveReport(ctx, i, t, rep)
 }
 
-// trueUpShadow keeps the shadow exact under the Strict policy, where the
-// health machine is inert: seed on first contact, re-seed if the agent's
-// trajectory forked (an agent restarted behind a reconnecting transport).
 func (ct *Controller) trueUpShadow(i, t int, rep *transport.StateReport) {
-	rec := &ct.recs[i]
-	if !rec.synced || !ct.lensEqualShadow(i, rep.QueueLens) {
-		ct.seedShadow(i, t, rep.QueueLens)
-	}
-	rec.lastPrice = rep.Price
+	ct.tracker.TrueUpShadow(i, t, rep)
 }
 
-// callAgentTimed is callAgent with the round-trip recorded in the RTT
-// histogram when health metrics are wired.
+func (ct *Controller) synthesizeAck(i, t int, popped, delays []float64, st *model.State, act *model.Action) transport.AllocateAck {
+	return ct.tracker.SynthesizeAck(i, t, popped, delays, st, act)
+}
+
 func (ct *Controller) callAgentTimed(ctx context.Context, i int, kind string, reqBody, respBody any) error {
-	if ct.metrics == nil {
-		return callAgent(ctx, ct.agents[i], kind, reqBody, respBody)
-	}
-	start := time.Now()
-	err := callAgent(ctx, ct.agents[i], kind, reqBody, respBody)
-	ct.metrics.rtt.With(dcLabel(i)).Observe(time.Since(start).Seconds())
-	return err
+	return ct.tracker.Call(ctx, i, kind, reqBody, respBody)
 }

@@ -1,0 +1,118 @@
+package controller
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"grefar/internal/core"
+	"grefar/internal/invariant"
+	"grefar/internal/transport"
+)
+
+// allocGateConn is an agent connection whose allocate calls fail while the
+// gate is tripped — before reaching the agent, so nothing executes. This
+// models a scatter-phase outage (the controller decided, the dispatch never
+// arrived), which under Strict must abort the slot without side effects.
+type allocGateConn struct {
+	inner AgentConn
+	fail  *atomic.Bool
+}
+
+func (g allocGateConn) Call(kind string, reqBody, respBody any) error {
+	if kind == transport.KindAllocate && g.fail.Load() {
+		return errors.New("allocGateConn: scatter failed")
+	}
+	return g.inner.Call(kind, reqBody, respBody)
+}
+
+// TestStrictAllocateAbortConservesJobs pins the Strict-mode atomicity
+// contract: an allocate-phase failure aborts the slot AFTER the central
+// ledger pops, so without checkpoint/restore a retried slot would pop the
+// same jobs twice and leak them out of the system. The test runs a faulty
+// system (one slot fails at scatter, then is retried) side by side with a
+// clean one on identical inputs, with the invariant checker attached to the
+// faulty run: the retried slot must leave a trajectory byte-identical to the
+// clean run's, and the checker's conservation and flow rules must hold on
+// every applied slot.
+func TestStrictAllocateAbortConservesJobs(t *testing.T) {
+	const slots, failAt = 12, 6
+	inClean, connsClean, cleanupClean := buildSystem(t, slots, false)
+	defer cleanupClean()
+	inFaulty, connsFaulty, cleanupFaulty := buildSystem(t, slots, false)
+	defer cleanupFaulty()
+
+	var fail atomic.Bool
+	gated := make([]AgentConn, len(connsFaulty))
+	for i := range connsFaulty {
+		gated[i] = allocGateConn{inner: connsFaulty[i], fail: &fail}
+	}
+
+	gClean, err := core.New(inClean.Cluster, core.Config{V: 7.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gFaulty, err := core.New(inFaulty.Cluster, core.Config{V: 7.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctClean, err := New(inClean.Cluster, gClean, connsClean) // default policy: Strict
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := invariant.NewChecker(inFaulty.Cluster, invariant.CheckerOptions{})
+	ctFaulty, err := New(inFaulty.Cluster, gFaulty, gated, WithObserver(ck))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for tt := 0; tt < slots; tt++ {
+		arrivals := inClean.Workload.Arrivals(tt)
+		_, _, acksClean, err := ctClean.RunSlot(tt, arrivals)
+		if err != nil {
+			t.Fatalf("clean slot %d: %v", tt, err)
+		}
+
+		if tt == failAt {
+			before := ctFaulty.CentralLens()
+			fail.Store(true)
+			if _, _, _, err := ctFaulty.RunSlot(tt, arrivals); err == nil {
+				t.Fatalf("slot %d: scatter outage did not abort the strict slot", tt)
+			}
+			fail.Store(false)
+			after := ctFaulty.CentralLens()
+			for j := range before {
+				if after[j] != before[j] {
+					t.Fatalf("slot %d abort moved central queue %d: %v -> %v (popped jobs not restored)",
+						tt, j, before[j], after[j])
+				}
+			}
+		}
+		_, _, acksFaulty, err := ctFaulty.RunSlot(tt, arrivals)
+		if err != nil {
+			t.Fatalf("faulty slot %d (retry): %v", tt, err)
+		}
+
+		for i := range acksClean {
+			if acksClean[i].Energy != acksFaulty[i].Energy {
+				t.Fatalf("slot %d agent %d: energy %v != clean %v", tt, i, acksFaulty[i].Energy, acksClean[i].Energy)
+			}
+			for j := range acksClean[i].Processed {
+				if acksClean[i].Processed[j] != acksFaulty[i].Processed[j] {
+					t.Fatalf("slot %d agent %d job %d: processed %v != clean %v",
+						tt, i, j, acksFaulty[i].Processed[j], acksClean[i].Processed[j])
+				}
+			}
+		}
+	}
+
+	cleanLens, faultyLens := ctClean.CentralLens(), ctFaulty.CentralLens()
+	for j := range cleanLens {
+		if cleanLens[j] != faultyLens[j] {
+			t.Errorf("final central queue %d: %v != clean %v", j, faultyLens[j], cleanLens[j])
+		}
+	}
+	if err := ck.Err(); err != nil {
+		t.Errorf("invariant check on failed-then-retried trajectory: %v", err)
+	}
+}

@@ -8,10 +8,14 @@ import (
 	"time"
 
 	"grefar/internal/controller"
+	"grefar/internal/controlplane"
 	"grefar/internal/core"
 	"grefar/internal/hollow"
 	"grefar/internal/invariant"
+	"grefar/internal/model"
+	"grefar/internal/sched"
 	"grefar/internal/telemetry"
+	"grefar/internal/transport"
 	"grefar/internal/transport/chaos"
 )
 
@@ -37,6 +41,11 @@ type ScaleConfig struct {
 	Conns int
 	// Chaos adds a second run per agent count with partitions and drops.
 	Chaos bool
+	// Partitions, when > 1, adds a partitioned-control-plane arm per agent
+	// count: the same fleet driven by that many concurrent controller
+	// partitions committing optimistically against the shared queue board
+	// (fault-free, and under chaos when Chaos is set).
+	Partitions int
 	// KillFrac is the fraction of agents the chaos variant partitions
 	// (default 0.05), staggered through the middle half of the horizon.
 	KillFrac float64
@@ -74,6 +83,12 @@ type ScalePoint struct {
 	Agents, Slots int
 	// Chaos marks the churn/partition variant of the sweep.
 	Chaos bool
+	// Partitions is the controller partition count driving this cell
+	// (1 = the single controller).
+	Partitions int
+	// Conflicts, Retries, and ForcedCommits aggregate the optimistic-commit
+	// protocol across partitions and slots; all zero for Partitions == 1.
+	Conflicts, Retries, ForcedCommits int64
 	// P50 and P99 are slot-tick latency percentiles: one tick is probe +
 	// gather + decide + scatter + settle, the full RunSlot critical path.
 	P50, P99 time.Duration
@@ -145,9 +160,10 @@ func scaleChaosPlan(cfg ScaleConfig, n int) *chaos.Plan {
 }
 
 // scaleRun measures one cell: build the fleet, run the horizon, report the
-// point. plan nil is the fault-free variant.
-func scaleRun(cfg ScaleConfig, n int, plan *chaos.Plan) (ScalePoint, error) {
-	pt := ScalePoint{Agents: n, Slots: cfg.Slots, Chaos: plan != nil}
+// point. plan nil is the fault-free variant; parts > 1 drives the fleet with
+// the partitioned control plane instead of the single controller.
+func scaleRun(cfg ScaleConfig, n, parts int, plan *chaos.Plan) (ScalePoint, error) {
+	pt := ScalePoint{Agents: n, Slots: cfg.Slots, Chaos: plan != nil, Partitions: parts}
 	in, err := hollow.NewScaleInputs(cfg.Seed, n, cfg.Slots)
 	if err != nil {
 		return pt, err
@@ -177,16 +193,37 @@ func scaleRun(cfg ScaleConfig, n int, plan *chaos.Plan) (ScalePoint, error) {
 	if cfg.Observer != nil {
 		obs = append(obs, cfg.Observer)
 	}
-	g, err := core.New(in.Cluster, core.Config{V: 7.5, Beta: 100})
-	if err != nil {
-		return pt, err
+	type slotDriver interface {
+		RunSlotContext(ctx context.Context, t int, arrivals []int) (*model.Action, *model.State, []transport.AllocateAck, error)
 	}
-	ct, err := controller.New(in.Cluster, g, conns,
-		controller.WithObserver(telemetry.Multi(obs...)),
-		controller.WithFailurePolicy(controller.Degrade),
-	)
-	if err != nil {
-		return pt, err
+	var ct slotDriver
+	var plane *controlplane.Plane
+	if parts > 1 {
+		plane, err = controlplane.New(in.Cluster, conns, controlplane.Config{
+			Partitions: parts,
+			NewScheduler: func() (sched.Scheduler, error) {
+				return core.New(in.Cluster, core.Config{V: 7.5, Beta: 100})
+			},
+			Policy:   controller.Degrade,
+			Observer: telemetry.Multi(obs...),
+		})
+		if err != nil {
+			return pt, err
+		}
+		ct = plane
+	} else {
+		g, err := core.New(in.Cluster, core.Config{V: 7.5, Beta: 100})
+		if err != nil {
+			return pt, err
+		}
+		ctrl, err := controller.New(in.Cluster, g, conns,
+			controller.WithObserver(telemetry.Multi(obs...)),
+			controller.WithFailurePolicy(controller.Degrade),
+		)
+		if err != nil {
+			return pt, err
+		}
+		ct = ctrl
 	}
 
 	ticks := make([]time.Duration, cfg.Slots)
@@ -221,6 +258,13 @@ func scaleRun(cfg ScaleConfig, n int, plan *chaos.Plan) (ScalePoint, error) {
 	pt.DegradedSlots = col.degraded
 	pt.EnergyPerSlot = col.energy / float64(cfg.Slots)
 	pt.FinalBacklog = col.backlog
+	if plane != nil {
+		for _, st := range plane.Stats() {
+			pt.Conflicts += st.Conflicts
+			pt.Retries += st.Retries
+			pt.ForcedCommits += st.Forced
+		}
+	}
 	return pt, nil
 }
 
@@ -231,17 +275,31 @@ func Scale(cfg ScaleConfig) (*ScaleResult, error) {
 	cfg = cfg.withDefaults()
 	res := &ScaleResult{}
 	for _, n := range cfg.Agents {
-		pt, err := scaleRun(cfg, n, nil)
+		pt, err := scaleRun(cfg, n, 1, nil)
 		if err != nil {
 			return nil, err
 		}
 		res.Points = append(res.Points, pt)
 		if cfg.Chaos {
-			cpt, err := scaleRun(cfg, n, scaleChaosPlan(cfg, n))
+			cpt, err := scaleRun(cfg, n, 1, scaleChaosPlan(cfg, n))
 			if err != nil {
 				return nil, err
 			}
 			res.Points = append(res.Points, cpt)
+		}
+		if cfg.Partitions > 1 && cfg.Partitions <= n {
+			ppt, err := scaleRun(cfg, n, cfg.Partitions, nil)
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, ppt)
+			if cfg.Chaos {
+				cpt, err := scaleRun(cfg, n, cfg.Partitions, scaleChaosPlan(cfg, n))
+				if err != nil {
+					return nil, err
+				}
+				res.Points = append(res.Points, cpt)
+			}
 		}
 	}
 	return res, nil

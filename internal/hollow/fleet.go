@@ -50,8 +50,10 @@ type Fleet struct {
 	agents []atomic.Pointer[agent.Agent]
 	down   []atomic.Bool
 
-	srv     *transport.MuxServer
-	clients []*transport.MuxClient
+	srv      *transport.MuxServer
+	lis      net.Listener
+	serveErr chan error // buffered; Serve's return value, surfaced by ServeErr/Close
+	clients  []*transport.MuxClient
 }
 
 // NewFleet builds and starts a fleet: one agent per data center of
@@ -84,8 +86,10 @@ func NewFleet(in sim.Inputs, opts Options) (*Fleet, error) {
 	if err != nil {
 		return nil, fmt.Errorf("hollow: listen: %w", err)
 	}
+	f.lis = lis
 	f.srv = transport.NewMuxServer(lis, f.handle)
-	go f.srv.Serve()
+	f.serveErr = make(chan error, 1)
+	go func() { f.serveErr <- f.srv.Serve() }()
 
 	f.clients = make([]*transport.MuxClient, opts.Conns)
 	for c := range f.clients {
@@ -181,12 +185,31 @@ func (f *Fleet) TotalBacklog() float64 {
 	return sum
 }
 
-// Close shuts down the client connections and the shared server.
+// ServeErr exposes the accept loop's failure, if any: the channel receives
+// exactly one value when Serve returns — nil on a clean Close, the accept
+// error otherwise (e.g. FD exhaustion under a huge fleet). Run loops should
+// poll it non-blockingly each slot so a wedged listener surfaces as an error
+// instead of a silent stall.
+func (f *Fleet) ServeErr() <-chan error { return f.serveErr }
+
+// Close shuts down the client connections and the shared server, and returns
+// any accept-loop error the run loop did not already consume, so a fleet
+// whose listener died mid-run cannot shut down silently.
 func (f *Fleet) Close() error {
 	for _, cli := range f.clients {
 		if cli != nil {
 			cli.Close()
 		}
 	}
-	return f.srv.Close()
+	err := f.srv.Close()
+	select {
+	case serr := <-f.serveErr:
+		if err == nil {
+			err = serr
+		}
+	default:
+		// Serve has not returned yet; its nil result after this Close is
+		// uninteresting, and a late error stays readable on ServeErr.
+	}
+	return err
 }

@@ -1,13 +1,16 @@
 package hollow
 
 import (
+	"sync"
 	"testing"
+	"time"
 
 	"grefar/internal/controller"
 	"grefar/internal/core"
 	"grefar/internal/invariant"
 	"grefar/internal/sim"
 	"grefar/internal/telemetry"
+	"grefar/internal/transport"
 )
 
 // startFleet builds inputs, a fleet, and a Degrade-mode controller with the
@@ -177,5 +180,122 @@ func TestFleetRestartResyncsFromShadow(t *testing.T) {
 	}
 	if sum == 0 {
 		t.Error("restarted agent has empty queues; shadow restore did not land")
+	}
+}
+
+// TestFleetServeErrorSurfaces yanks the listener out from under the accept
+// loop — the in-process stand-in for FD exhaustion or a dying NIC — and
+// requires the failure to surface on ServeErr instead of wedging silently,
+// and to come back from Close when the run loop never drained it.
+func TestFleetServeErrorSurfaces(t *testing.T) {
+	in, err := NewScaleInputs(5, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFleet(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.lis.Close()
+	select {
+	case err := <-f.ServeErr():
+		if err == nil {
+			t.Fatal("Serve returned nil after the listener died")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept failure never surfaced on ServeErr")
+	}
+	f.Close()
+
+	// Same failure, but left undrained: Close must report it.
+	f2, err := NewFleet(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2.lis.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(f2.serveErr) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := f2.Close(); err == nil {
+		t.Fatal("Close swallowed the accept-loop failure")
+	}
+}
+
+// TestFleetRestartRacesInflightHandles hammers one agent with concurrent
+// calls while crash-restarting it in a loop, pinning the atomic pointer-swap
+// semantics: an in-flight request completes on the agent it loaded (no call
+// errors, no torn state — the race detector holds this), and the first
+// request after a restart sees the fresh instance (empty queues where the
+// old one held backlog). Runs under -race in tier1.
+func TestFleetRestartRacesInflightHandles(t *testing.T) {
+	in, err := NewScaleInputs(3, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFleet(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	const target = 2
+	conns := f.Conns()
+
+	// Seed backlog on the victim so the post-restart emptiness is observable.
+	c := in.Cluster
+	route := make([]int, c.J())
+	route[0] = 5
+	alloc := transport.Allocate{
+		Slot:    0,
+		Route:   route,
+		Process: make([]float64, c.J()),
+		Busy:    make([]float64, c.K(target)),
+	}
+	var ack transport.AllocateAck
+	if err := conns[target].Call(transport.KindAllocate, alloc, &ack); err != nil {
+		t.Fatal(err)
+	}
+	var before float64
+	for _, l := range f.Agent(target).QueueLens() {
+		before += l
+	}
+	if before == 0 {
+		t.Fatal("seeding allocation left the victim's queues empty")
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var pong transport.Ping
+				if err := conns[target].Call(transport.KindPing, transport.Ping{Nonce: uint64(w*1000 + n)}, &pong); err != nil {
+					t.Errorf("worker %d call %d: %v", w, n, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 50; r++ {
+		if err := f.Restart(target); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	var after float64
+	for _, l := range f.Agent(target).QueueLens() {
+		after += l
+	}
+	if after != 0 {
+		t.Errorf("post-restart agent holds backlog %v; a fresh instance should be empty", after)
 	}
 }

@@ -33,6 +33,15 @@ type Ledger struct {
 // Len returns the number of jobs currently queued.
 func (l *Ledger) Len() float64 { return l.total }
 
+// Clone returns an independent deep copy: cohort entries, head, and total,
+// so the copy can be mutated (or used to restore this ledger) without
+// sharing state. Cheap relative to a serialized snapshot — one slice copy.
+func (l *Ledger) Clone() Ledger {
+	out := *l
+	out.entries = append([]entry(nil), l.entries...)
+	return out
+}
+
 // Push appends amount jobs that entered during the given slot. Pushing a
 // non-positive amount is a no-op.
 func (l *Ledger) Push(slot int, amount float64) {

@@ -33,6 +33,23 @@ import (
 // MuxHandler processes one request addressed to a target endpoint.
 type MuxHandler func(target int, kind string, body []byte) (any, error)
 
+// KindBatch is the reserved frame kind carrying a batch of requests. The
+// server unpacks it itself; handlers never see it.
+const KindBatch = "__batch"
+
+// batchItem and batchReply are the gob wire shapes inside a batch frame:
+// one request and one response per call, kept in item order.
+type batchItem struct {
+	Target int
+	Kind   string
+	Body   []byte
+}
+
+type batchReply struct {
+	Err  string
+	Body []byte
+}
+
 // MuxServer accepts connections and dispatches frames to a target-aware
 // handler. Every request on a connection is served in its own goroutine;
 // responses are serialized onto the connection's encoder.
@@ -99,7 +116,13 @@ func (s *MuxServer) serveConn(conn net.Conn) {
 		}
 		go func(req frame) {
 			resp := frame{ID: req.ID, Target: req.Target, Kind: req.Kind}
-			body, err := s.handler(req.Target, req.Kind, req.Body)
+			var body any
+			var err error
+			if req.Kind == KindBatch {
+				body, err = s.serveBatch(req.Body)
+			} else {
+				body, err = s.handler(req.Target, req.Kind, req.Body)
+			}
 			if err != nil {
 				resp.Err = err.Error()
 			} else if encoded, merr := Marshal(body); merr != nil {
@@ -115,6 +138,37 @@ func (s *MuxServer) serveConn(conn net.Conn) {
 			}
 		}(req)
 	}
+}
+
+// serveBatch fans the items of one batch frame out to the handler
+// concurrently — a gather over the targets behind this connection costs one
+// slow handler, not the sum — and collects the replies in item order.
+func (s *MuxServer) serveBatch(body []byte) ([]batchReply, error) {
+	var items []batchItem
+	if err := Unmarshal(body, &items); err != nil {
+		return nil, fmt.Errorf("batch decode: %w", err)
+	}
+	replies := make([]batchReply, len(items))
+	var wg sync.WaitGroup
+	wg.Add(len(items))
+	for i := range items {
+		go func(i int) {
+			defer wg.Done()
+			out, err := s.handler(items[i].Target, items[i].Kind, items[i].Body)
+			if err != nil {
+				replies[i].Err = err.Error()
+				return
+			}
+			encoded, merr := Marshal(out)
+			if merr != nil {
+				replies[i].Err = merr.Error()
+				return
+			}
+			replies[i].Body = encoded
+		}(i)
+	}
+	wg.Wait()
+	return replies, nil
 }
 
 // Close stops accepting and closes open connections. Like net/http's Close,
@@ -212,16 +266,33 @@ func (m *MuxClient) CallTarget(ctx context.Context, target int, kind string, req
 	if err != nil {
 		return err
 	}
+	resp, err := m.roundTrip(ctx, target, kind, body)
+	if err != nil {
+		return err
+	}
+	if resp.Err != "" {
+		return &RemoteError{Kind: kind, Message: resp.Err}
+	}
+	if respBody == nil {
+		return nil
+	}
+	return Unmarshal(resp.Body, respBody)
+}
+
+// roundTrip sends one pre-marshalled frame and waits for its response. All
+// client calls — single and batched — funnel through here, so the poisoning,
+// timeout, and abandonment rules are identical across both surfaces.
+func (m *MuxClient) roundTrip(ctx context.Context, target int, kind string, body []byte) (frame, error) {
 	ch := make(chan frame, 1)
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
-		return ErrClosed
+		return frame{}, ErrClosed
 	}
 	if m.readErr != nil {
 		err := m.readErr
 		m.mu.Unlock()
-		return err
+		return frame{}, err
 	}
 	m.nextID++
 	id := m.nextID
@@ -233,11 +304,15 @@ func (m *MuxClient) CallTarget(ctx context.Context, target int, kind string, req
 	// Bound the write alone: a per-connection read deadline would abort
 	// every pipelined call in flight, not just a stalled one.
 	m.conn.SetWriteDeadline(time.Now().Add(m.timeout))
-	err = m.enc.Encode(&req)
+	err := m.enc.Encode(&req)
 	m.encMu.Unlock()
 	if err != nil {
+		// The gob stream is shared and stateful: a partial write leaves it
+		// corrupt for every later call on this client, so poison the whole
+		// client rather than letting the next call emit garbage frames.
+		m.poison(fmt.Errorf("%w: send %s to target %d: %v", ErrClientPoisoned, kind, target, err))
 		m.abandon(id)
-		return fmt.Errorf("send %s to target %d: %w", kind, target, err)
+		return frame{}, fmt.Errorf("send %s to target %d: %w", kind, target, err)
 	}
 
 	timer := time.NewTimer(m.timeout)
@@ -248,42 +323,108 @@ func (m *MuxClient) CallTarget(ctx context.Context, target int, kind string, req
 	}
 	select {
 	case resp := <-ch:
-		if resp.Err != "" {
-			return &RemoteError{Kind: kind, Message: resp.Err}
-		}
-		if respBody == nil {
-			return nil
-		}
-		return Unmarshal(resp.Body, respBody)
+		return resp, nil
 	case <-ctxDone:
 		m.abandon(id)
-		return ctx.Err()
+		return frame{}, ctx.Err()
 	case <-timer.C:
 		m.abandon(id)
-		return fmt.Errorf("target %d %s: %w", target, kind, ErrCallTimeout)
+		return frame{}, fmt.Errorf("target %d %s: %w", target, kind, ErrCallTimeout)
 	case <-m.done:
 		m.abandon(id)
 		// The read loop may have delivered the response before dying.
 		select {
 		case resp := <-ch:
-			if resp.Err != "" {
-				return &RemoteError{Kind: kind, Message: resp.Err}
-			}
-			if respBody == nil {
-				return nil
-			}
-			return Unmarshal(resp.Body, respBody)
+			return resp, nil
 		default:
 		}
 		m.mu.Lock()
 		err := m.readErr
 		m.mu.Unlock()
+		return frame{}, err
+	}
+}
+
+// poison marks the client's stream as unusable and closes the connection so
+// the read loop exits and fails every pending and future call. The first
+// error recorded wins; later failures keep it.
+func (m *MuxClient) poison(err error) {
+	m.mu.Lock()
+	if m.readErr == nil {
+		m.readErr = err
+	}
+	m.mu.Unlock()
+	m.conn.Close()
+}
+
+// BatchCall is one request in a MuxClient.CallBatch: the target endpoint and
+// kind, the request to marshal, an optional response destination, and the
+// per-call result. Transport-level failures fail the whole batch; per-call
+// handler errors land in Err.
+type BatchCall struct {
+	Target int
+	Kind   string
+	Req    any
+	Resp   any
+	Err    error
+}
+
+// CallBatch sends every call in one frame and decodes the replies in order.
+// The server fans the items out to its handler concurrently, so a batch over
+// N targets costs one round trip plus the slowest handler, not N round trips
+// or N frame encodes. A nil return means the batch itself was delivered and
+// answered; inspect each call's Err for per-target outcomes.
+func (m *MuxClient) CallBatch(ctx context.Context, calls []BatchCall) error {
+	if len(calls) == 0 {
+		return nil
+	}
+	items := make([]batchItem, len(calls))
+	for i := range calls {
+		body, err := Marshal(calls[i].Req)
+		if err != nil {
+			return fmt.Errorf("batch call %d (%s): %w", i, calls[i].Kind, err)
+		}
+		items[i] = batchItem{Target: calls[i].Target, Kind: calls[i].Kind, Body: body}
+	}
+	body, err := Marshal(items)
+	if err != nil {
 		return err
 	}
+	resp, err := m.roundTrip(ctx, -1, KindBatch, body)
+	if err != nil {
+		return err
+	}
+	if resp.Err != "" {
+		return &RemoteError{Kind: KindBatch, Message: resp.Err}
+	}
+	var replies []batchReply
+	if err := Unmarshal(resp.Body, &replies); err != nil {
+		return err
+	}
+	if len(replies) != len(calls) {
+		return fmt.Errorf("batch: %d replies for %d calls", len(replies), len(calls))
+	}
+	for i := range calls {
+		if replies[i].Err != "" {
+			calls[i].Err = &RemoteError{Kind: calls[i].Kind, Message: replies[i].Err}
+			continue
+		}
+		if calls[i].Resp == nil {
+			calls[i].Err = nil
+			continue
+		}
+		calls[i].Err = Unmarshal(replies[i].Body, calls[i].Resp)
+	}
+	return nil
 }
 
 // ErrCallTimeout marks a pipelined call that outlived the client timeout.
 var ErrCallTimeout = fmt.Errorf("transport: call timed out")
+
+// ErrClientPoisoned marks a MuxClient whose shared gob stream may be corrupt
+// after a failed request write. The client closes itself; every later call
+// fails fast with an error wrapping this one instead of emitting garbage.
+var ErrClientPoisoned = fmt.Errorf("transport: mux client poisoned by failed write")
 
 // abandon forgets a pending call so its late response is dropped.
 func (m *MuxClient) abandon(id uint64) {
@@ -317,6 +458,13 @@ type MuxConn struct {
 func (m *MuxClient) Agent(target int) *MuxConn {
 	return &MuxConn{client: m, target: target}
 }
+
+// Client returns the multiplexed client carrying this connection, so callers
+// holding many MuxConns can group them by wire and batch their calls.
+func (c *MuxConn) Client() *MuxClient { return c.client }
+
+// Target returns the endpoint index this connection is bound to.
+func (c *MuxConn) Target() int { return c.target }
 
 // Call implements the synchronous connection surface.
 func (c *MuxConn) Call(kind string, reqBody, respBody any) error {

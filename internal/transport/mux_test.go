@@ -270,3 +270,115 @@ func TestMuxShutdownLeaksNoGoroutines(t *testing.T) {
 		t.Errorf("goroutines: %d before, %d after shutdown", before, got)
 	}
 }
+
+// TestMuxEncodeFailurePoisonsClient pins the poisoning contract: a write that
+// dies mid-encode leaves the shared gob stream in an unknown state, so the
+// client must refuse all later calls with a typed error rather than emitting
+// garbage frames or hanging. The failed write is forced by pointing the
+// client at a peer that accepts but never reads, then pushing a payload far
+// larger than the kernel socket buffers under a short write deadline.
+func TestMuxEncodeFailurePoisonsClient(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		<-done // hold the connection open without ever reading
+		conn.Close()
+	}()
+	cli, err := DialMux(lis.Addr().String(), 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	payload := make([]byte, 32<<20)
+	err = cli.CallTarget(context.Background(), 0, KindPing, payload, nil)
+	if err == nil {
+		t.Fatal("32MB write to a never-reading peer succeeded; wanted a deadline failure")
+	}
+
+	start := time.Now()
+	err = cli.CallTarget(context.Background(), 0, KindPing, Ping{Nonce: 1}, nil)
+	if !errors.Is(err, ErrClientPoisoned) {
+		t.Fatalf("post-failure call returned %v, want ErrClientPoisoned", err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("post-failure call took %v; poisoned clients must fail fast", elapsed)
+	}
+	var calls = []BatchCall{{Target: 0, Kind: KindPing, Req: Ping{Nonce: 2}}}
+	if err := cli.CallBatch(context.Background(), calls); !errors.Is(err, ErrClientPoisoned) {
+		t.Fatalf("post-failure batch returned %v, want ErrClientPoisoned", err)
+	}
+}
+
+// TestMuxBatchRoundTrip exercises the batched call surface end to end:
+// responses land in call order, per-call handler errors surface as that
+// call's RemoteError without failing the batch, and targets are routed.
+func TestMuxBatchRoundTrip(t *testing.T) {
+	_, cli := startMux(t, func(target int, kind string, body []byte) (any, error) {
+		if target == 3 {
+			return nil, fmt.Errorf("target 3 rejects")
+		}
+		return echoMux(target, kind, body)
+	})
+	calls := make([]BatchCall, 5)
+	pongs := make([]Ping, 5)
+	for i := range calls {
+		calls[i] = BatchCall{Target: i, Kind: KindPing, Req: Ping{Nonce: 7}, Resp: &pongs[i]}
+	}
+	if err := cli.CallBatch(context.Background(), calls); err != nil {
+		t.Fatal(err)
+	}
+	for i := range calls {
+		if i == 3 {
+			var re *RemoteError
+			if !errors.As(calls[i].Err, &re) {
+				t.Fatalf("call 3 err = %v, want RemoteError", calls[i].Err)
+			}
+			continue
+		}
+		if calls[i].Err != nil {
+			t.Fatalf("call %d: %v", i, calls[i].Err)
+		}
+		if want := uint64(7 + i*1000); pongs[i].Nonce != want {
+			t.Errorf("call %d answered nonce %d, want %d", i, pongs[i].Nonce, want)
+		}
+	}
+	if err := cli.CallBatch(context.Background(), nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+// TestMuxBatchFansOutConcurrently proves the server dispatches batch items
+// in parallel: 8 handlers that each stall 30ms must answer together, far
+// under the 240ms a serial walk would cost.
+func TestMuxBatchFansOutConcurrently(t *testing.T) {
+	_, cli := startMux(t, func(target int, kind string, body []byte) (any, error) {
+		time.Sleep(30 * time.Millisecond)
+		return echoMux(target, kind, body)
+	})
+	calls := make([]BatchCall, 8)
+	for i := range calls {
+		calls[i] = BatchCall{Target: i, Kind: KindPing, Req: Ping{Nonce: 1}}
+	}
+	start := time.Now()
+	if err := cli.CallBatch(context.Background(), calls); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Errorf("batch of 8x30ms handlers took %v; want concurrent fan-out", elapsed)
+	}
+	for i, c := range calls {
+		if c.Err != nil {
+			t.Errorf("call %d: %v", i, c.Err)
+		}
+	}
+}
