@@ -29,8 +29,11 @@ race:
 # guard (which -race skips, so it runs plain here), race-enabled hollow
 # smokes (64 in-process agents, 5 slots, 5% killed mid-run — the degraded-mode
 # cycle end to end, once under the single controller and once under the
-# 2-partition control plane), and a short fuzz smoke of the native fuzz
-# targets, including the snapshot-restore and wire-frame surfaces.
+# 2-partition control plane), a race-enabled rerun of the sparse/decomposed
+# solver suites (the pooled block solves only prove their disjoint-write
+# determinism when raced) plus the cross-solver agreement smoke, and a short
+# fuzz smoke of the native fuzz targets, including the snapshot-restore,
+# wire-frame, and incremental-refresh surfaces.
 tier1:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -38,12 +41,15 @@ tier1:
 	$(GO) test -race -count=1 ./internal/runner
 	$(GO) test -race -count=1 ./internal/serve/... ./cmd/grefar-serve
 	$(GO) test -race -count=1 ./internal/controller ./internal/controlplane ./internal/transport/... ./internal/experiments ./internal/hollow
+	$(GO) test -race -count=1 -run 'TestSparse|TestDecomposed|TestSharingADMM' ./internal/core ./internal/solve
+	$(GO) test -count=1 -run TestCrossCheckDecomposed ./internal/invariant
 	$(GO) run -race ./cmd/grefar-hollow -agents 64 -slots 5 -kill-frac 0.05
 	$(GO) run -race ./cmd/grefar-hollow -agents 64 -slots 5 -kill-frac 0.05 -partitions 2
 	$(GO) test -count=1 -run TestDecideAllocationBudget .
 	$(GO) test -run '^$$' -fuzz FuzzSimplex -fuzztime $(FUZZTIME) ./internal/lp
 	$(GO) test -run '^$$' -fuzz FuzzApply -fuzztime $(FUZZTIME) ./internal/queue
 	$(GO) test -run '^$$' -fuzz FuzzWarmRepair -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzSparseRefresh -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzRestoreSnapshot -fuzztime $(FUZZTIME) ./internal/serve
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/serve/snapshot
 	$(GO) test -run '^$$' -fuzz FuzzServerFrame -fuzztime $(FUZZTIME) ./internal/transport
@@ -54,6 +60,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSimplex -fuzztime $(FUZZTIME) ./internal/lp
 	$(GO) test -run '^$$' -fuzz FuzzApply -fuzztime $(FUZZTIME) ./internal/queue
 	$(GO) test -run '^$$' -fuzz FuzzWarmRepair -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzSparseRefresh -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzRestoreSnapshot -fuzztime $(FUZZTIME) ./internal/serve
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/serve/snapshot
 	$(GO) test -run '^$$' -fuzz FuzzServerFrame -fuzztime $(FUZZTIME) ./internal/transport
@@ -86,7 +93,9 @@ bench-slot:
 	$(GO) test -count=1 -run TestDecideAllocationBudget -v .
 
 # SLOT_BENCHES is the set recorded in BENCH_slot.json: the per-slot solver
-# cost (with and without the warm-started away-step path). DIST_BENCHES is
+# cost on the reference cluster (with and without the warm-started away-step
+# path) plus the large-instance N=200/J=100 arms (dense, sparse, decomposed,
+# pooled decomposed) at ~10% active-pair density. DIST_BENCHES is
 # the set recorded in BENCH_distributed.json: the 3-agent point-to-point
 # controller round, the hollow-fleet sweep at 100/500/1000/2000 agents, and
 # the partitioned-control-plane cells (agents x partitions).
@@ -104,8 +113,10 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -out BENCH_distributed.json
 
 # bench-compare re-runs the same benchmarks and fails on >15% ns/op or
-# allocs/op regressions: the beta=100 slot decisions (cold and warm) against
-# BENCH_slot.json, and the distributed slot ticks (point-to-point and every
+# allocs/op regressions: the beta=100 slot decisions (cold and warm) and the
+# N=200/J=100 large-instance arms against BENCH_slot.json (the benchjson
+# default guard covers both families), and the distributed slot ticks
+# (point-to-point and every
 # hollow fleet size) against BENCH_distributed.json; other benchmarks warn.
 bench-compare:
 	$(GO) test -run '^$$' -bench '$(SLOT_BENCHES)' -benchmem -count=$(BENCHCOUNT) . \

@@ -18,6 +18,7 @@ package grefar_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"grefar"
@@ -268,4 +269,58 @@ func BenchmarkSlotDecision(b *testing.B) {
 		b.ReportAllocs()
 		benchmarkSlotDecision(b, 100, grefar.WithWarmStart(true), grefar.WithAwaySteps(true))
 	})
+	// The large-instance arms: a 200-site, 100-job-type synthetic cluster at
+	// ~10% active-pair density, where the sparse index and block decomposition
+	// earn their keep. All arms share the same instance and the same per-slot
+	// input drift; compare against "dense" for the sparse/decomposed win.
+	for _, arm := range []struct {
+		name string
+		kind grefar.SolverKind
+	}{
+		{"dense", grefar.SolverMonolithic},
+		{"sparse", grefar.SolverSparse},
+		{"decomposed", grefar.SolverDecomposed},
+		{"decomposed-pool", grefar.SolverDecomposed},
+	} {
+		workers := 1
+		if arm.name == "decomposed-pool" {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		b.Run("N=200/J=100/"+arm.name, func(b *testing.B) {
+			b.ReportAllocs()
+			benchmarkLargeSlotDecision(b, arm.kind, workers)
+		})
+	}
+}
+
+// benchmarkLargeSlotDecision times Decide on the solver-scale large instance:
+// 200 sites x 100 job types at 10% density, warm-started, with small input
+// drift each iteration so the incremental coefficient refresh is on its
+// steady-state path rather than replaying one frozen slot.
+func benchmarkLargeSlotDecision(b *testing.B, kind grefar.SolverKind, workers int) {
+	in, err := experiments.NewSolverScaleInstance(2012, 200, 100, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := grefar.New(in.Cluster,
+		grefar.Config{V: 7.5, Beta: 100},
+		grefar.WithWarmStart(true),
+		grefar.WithSolver(kind),
+		grefar.WithSolverWorkers(workers),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := g.Decide(0, in.State, in.Lengths); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		b.StopTimer()
+		in.Mutate()
+		b.StartTimer()
+		if _, err := g.Decide(n+1, in.State, in.Lengths); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -14,10 +14,14 @@
 // the minimum is the most reproducible summary.
 //
 // In -compare mode the exit status is nonzero when any benchmark matching
-// -guard (default: the beta=100 slot-decision cases, the solver hot path)
-// regresses more than -max-regress in ns/op or allocs/op against the
-// recorded baseline. Other shared benchmarks are reported but do not fail
-// the run, and benchmarks present on only one side are ignored.
+// -guard (default: the beta=100 and large-instance slot-decision cases, the
+// solver hot paths) regresses more than -max-regress in ns/op or allocs/op
+// against the recorded baseline. Other shared benchmarks are reported but do
+// not fail the run, and benchmarks present on only one side are ignored.
+//
+// -filter restricts the parsed results to names matching a regexp before
+// anything else happens — useful for recording or guarding one benchmark
+// family out of a wider run. An input with no matching results is an error.
 package main
 
 import (
@@ -154,7 +158,8 @@ func run(in io.Reader, out io.Writer, args []string) error {
 	outPath := fs.String("out", "", "write parsed results as JSON to this file")
 	comparePath := fs.String("compare", "", "baseline JSON to compare against; exit nonzero on guarded regression")
 	maxRegress := fs.Float64("max-regress", 0.15, "allowed fractional regression for guarded benchmarks")
-	guardExpr := fs.String("guard", `^BenchmarkSlotDecision/beta=100`, "regexp of benchmark names that fail the run on regression")
+	guardExpr := fs.String("guard", `^BenchmarkSlotDecision/(beta=100|N=)`, "regexp of benchmark names that fail the run on regression")
+	filterExpr := fs.String("filter", "", "regexp restricting which parsed benchmarks are recorded or compared (empty = all)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -168,6 +173,20 @@ func run(in io.Reader, out io.Writer, args []string) error {
 	current, err := parseBench(in)
 	if err != nil {
 		return err
+	}
+	if *filterExpr != "" {
+		filter, err := regexp.Compile(*filterExpr)
+		if err != nil {
+			return fmt.Errorf("bad -filter: %v", err)
+		}
+		for name := range current {
+			if !filter.MatchString(name) {
+				delete(current, name)
+			}
+		}
+		if len(current) == 0 {
+			return fmt.Errorf("-filter %q matched no benchmark results", *filterExpr)
+		}
 	}
 	if *outPath != "" {
 		// json.Marshal emits map keys in sorted order, so the committed

@@ -140,3 +140,46 @@ func TestRunNeedsAction(t *testing.T) {
 		t.Fatal("want error when neither -out nor -compare is given")
 	}
 }
+
+func TestRunFilter(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_filtered.json")
+
+	var out strings.Builder
+	if err := run(strings.NewReader(sampleBench), &out,
+		[]string{"-out", path, "-filter", `^BenchmarkSlotDecision/`}); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]Result
+	if err := json.Unmarshal(buf, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 3 {
+		t.Fatalf("filtered baseline has %d entries, want 3: %v", len(decoded), decoded)
+	}
+	if _, ok := decoded["BenchmarkDistributedSlot"]; ok {
+		t.Error("filtered-out benchmark recorded anyway")
+	}
+
+	// A filtered compare ignores regressions outside the filter.
+	slow := strings.ReplaceAll(sampleBench, "146000 ns/op", "946000 ns/op")
+	out.Reset()
+	if err := run(strings.NewReader(slow), &out,
+		[]string{"-compare", path, "-filter", `^BenchmarkSlotDecision/`}); err != nil {
+		t.Fatalf("filtered self-compare failed: %v\n%s", err, out.String())
+	}
+
+	// Filters that match nothing or fail to compile are errors.
+	if err := run(strings.NewReader(sampleBench), &strings.Builder{},
+		[]string{"-out", path, "-filter", "^BenchmarkNoSuch"}); err == nil {
+		t.Fatal("empty filter result accepted")
+	}
+	if err := run(strings.NewReader(sampleBench), &strings.Builder{},
+		[]string{"-out", path, "-filter", "("}); err == nil {
+		t.Fatal("invalid filter regexp accepted")
+	}
+}

@@ -54,6 +54,52 @@ type Config struct {
 	// V*g(t) penalty decomposition of the chosen action, and solver
 	// statistics. Nil costs nothing on the decision path.
 	Observer telemetry.SlotObserver
+	// Solver selects the slot-solver implementation. SolverAuto (the zero
+	// value) keeps the monolithic dense path and its byte-identical golden
+	// traces; SolverSparse runs the same algorithms on the active-pair
+	// compact representation; SolverDecomposed additionally splits the
+	// beta > 0 solve into per-data-center blocks coordinated by sharing ADMM.
+	// The sparse kinds require a cluster without auxiliary resources and a
+	// linear (or absent) tariff; New rejects other combinations.
+	Solver SolverKind
+	// SolverWorkers bounds the concurrency of the decomposed solver's block
+	// stage: <= 1 solves blocks serially on the calling goroutine, larger
+	// values pool them on internal/runner. Results are byte-identical at any
+	// worker count. Ignored by the monolithic and sparse solvers.
+	SolverWorkers int
+}
+
+// SolverKind selects the slot-solver implementation (Config.Solver).
+type SolverKind int
+
+const (
+	// SolverAuto picks the historical monolithic dense solver (the default).
+	SolverAuto SolverKind = iota
+	// SolverMonolithic pins the monolithic dense solver explicitly.
+	SolverMonolithic
+	// SolverSparse runs the slot solve on the active-pair compact
+	// representation: identical algorithms, bit-identical decisions,
+	// O(active) work instead of O(N*J).
+	SolverSparse
+	// SolverDecomposed runs the sparse representation with the beta > 0
+	// solve block-decomposed per data center (sharing ADMM + Frank-Wolfe
+	// polish), optionally pooling block solves across SolverWorkers.
+	SolverDecomposed
+)
+
+// String names the solver kind as it appears in telemetry and flags.
+func (k SolverKind) String() string {
+	switch k {
+	case SolverAuto:
+		return "auto"
+	case SolverMonolithic:
+		return "monolithic"
+	case SolverSparse:
+		return "sparse"
+	case SolverDecomposed:
+		return "decomposed"
+	}
+	return fmt.Sprintf("SolverKind(%d)", int(k))
 }
 
 // ApplyScheduler replaces the whole configuration with c, making a Config
@@ -139,9 +185,37 @@ func New(c *model.Cluster, cfg Config) (*GreFar, error) {
 		}
 		cfg.Fairness = quad
 	}
+	if cfg.Solver < SolverAuto || cfg.Solver > SolverDecomposed {
+		return nil, fmt.Errorf("%w: unknown solver kind %d", ErrBadConfig, int(cfg.Solver))
+	}
+	if cfg.SolverWorkers < 0 {
+		return nil, fmt.Errorf("%w: solver worker count %d is negative", ErrBadConfig, cfg.SolverWorkers)
+	}
 	g := &GreFar{cluster: c, cfg: cfg, weights: weights}
+	if g.useSparse() {
+		if c.Aux() > 0 {
+			return nil, fmt.Errorf("%w: solver %v requires a cluster without auxiliary resources", ErrBadConfig, cfg.Solver)
+		}
+		if cfg.Tariff != nil {
+			if _, isLinear := cfg.Tariff.(tariff.Linear); !isLinear {
+				return nil, fmt.Errorf("%w: solver %v requires a linear (or absent) tariff", ErrBadConfig, cfg.Solver)
+			}
+		}
+	}
 	g.ws = newDecideScratch(c, !g.linearSlot())
-	g.reportOpts = cfg.FW != (solve.FWOptions{}) || cfg.WarmStart
+	if g.useSparse() {
+		g.ws.sparse = newSparseSlot(c)
+		if g.ws.warm == nil {
+			// The sparse membership rule and state restore read the dense warm
+			// buffer even for linear slots.
+			g.ws.warm = make([]float64, g.ws.layout.total)
+		}
+	}
+	if cfg.Solver == SolverDecomposed {
+		g.ws.dec = newDecomposedScratch(c)
+	}
+	g.reportOpts = cfg.FW != (solve.FWOptions{}) || cfg.WarmStart ||
+		cfg.Solver != SolverAuto || cfg.SolverWorkers != 0
 	return g, nil
 }
 
@@ -314,6 +388,9 @@ func routeBudgetFor(jt model.JobType) int {
 // With beta > 0 it is a convex QP solved by Frank-Wolfe with the greedy as
 // its linear oracle and exact line search.
 func (g *GreFar) decideProcessing(st *model.State, q queue.Lengths, act *model.Action, stats *telemetry.SolveStats) error {
+	if g.useSparse() {
+		return g.decideProcessingSparse(st, q, act, stats)
+	}
 	c := g.cluster
 	ws := g.ws
 
@@ -493,21 +570,8 @@ func (g *GreFar) solveQuadraticSlot(st *model.State, cH, cB, hCap [][]float64, s
 		if res.Variant != solve.VariantVanilla {
 			stats.Variant = res.Variant
 		}
-		if g.cfg.WarmStart {
-			stats.Warm = warm
-			stats.WarmHits = g.warmHits
-			stats.WarmRepairs = g.warmRepairs
-			stats.WarmFallbacks = g.warmFallbacks
-		}
-		if g.reportOpts && !g.optsReported {
-			stats.Options = &telemetry.SolverOptions{
-				MaxIters:  opts.MaxIters,
-				Tol:       opts.Tol,
-				AwaySteps: opts.AwaySteps,
-				WarmStart: g.cfg.WarmStart,
-			}
-			g.optsReported = true
-		}
+		g.attachWarmStats(stats, warm)
+		g.attachSolverOptions(stats, opts)
 	}
 
 	process := ws.process

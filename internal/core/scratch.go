@@ -62,6 +62,11 @@ type decideScratch struct {
 	// repairWarmStart).
 	warm      []float64
 	warmValid bool
+
+	// Sparse representation (Config.Solver = SolverSparse / SolverDecomposed)
+	// and the decomposed solver's block scratch; nil on the monolithic path.
+	sparse *sparseSlot
+	dec    *decomposedScratch
 }
 
 // linearScratch holds the buffers of one greedy-exchange slot solve.

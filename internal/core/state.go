@@ -32,6 +32,12 @@ type SchedulerState struct {
 	// attached to a telemetry event, so a restored scheduler does not attach
 	// them a second time mid-stream.
 	OptsReported bool
+	// DecomposedU and DecomposedZ are the decomposed solver's carried ADMM
+	// dual state (one entry per account): the scaled coupling dual and the
+	// averaged coupling iterate. Nil for other solver kinds. The block
+	// iterates themselves are re-derived from Warm every slot, so these two
+	// vectors are the only extra memory a decomposed scheduler carries.
+	DecomposedU, DecomposedZ []float64
 }
 
 // ExportState captures the scheduler's resumable cross-slot state. The
@@ -47,6 +53,10 @@ func (g *GreFar) ExportState() *SchedulerState {
 	}
 	if g.ws.warm != nil {
 		st.Warm = append([]float64(nil), g.ws.warm...)
+	}
+	if g.ws.dec != nil && g.ws.dec.shw.U != nil {
+		st.DecomposedU = append([]float64(nil), g.ws.dec.shw.U...)
+		st.DecomposedZ = append([]float64(nil), g.ws.dec.shw.Z...)
 	}
 	return st
 }
@@ -78,6 +88,24 @@ func (g *GreFar) RestoreState(st *SchedulerState) error {
 	}
 	if st.WarmValid && st.Warm == nil {
 		return fmt.Errorf("%w: state marks a warm iterate valid but carries none", ErrBadConfig)
+	}
+	if st.DecomposedU != nil || st.DecomposedZ != nil {
+		if g.ws.dec == nil {
+			return fmt.Errorf("%w: state carries decomposed dual state but this configuration does not use the decomposed solver", ErrBadConfig)
+		}
+		m := g.cluster.M()
+		if len(st.DecomposedU) != m || len(st.DecomposedZ) != m {
+			return fmt.Errorf("%w: decomposed dual state has %d/%d entries, cluster has %d accounts",
+				ErrBadConfig, len(st.DecomposedU), len(st.DecomposedZ), m)
+		}
+		for i := 0; i < m; i++ {
+			if u, z := st.DecomposedU[i], st.DecomposedZ[i]; math.IsNaN(u) || math.IsInf(u, 0) || math.IsNaN(z) || math.IsInf(z, 0) {
+				return fmt.Errorf("%w: decomposed dual state entry %d is not finite", ErrBadConfig, i)
+			}
+		}
+		g.ws.dec.shw.Resize(g.cluster.N(), m)
+		copy(g.ws.dec.shw.U, st.DecomposedU)
+		copy(g.ws.dec.shw.Z, st.DecomposedZ)
 	}
 	g.ws.warmValid = st.WarmValid
 	g.warmHits = st.WarmHits

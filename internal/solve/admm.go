@@ -1,0 +1,227 @@
+package solve
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the consensus-sharing form of ADMM (Boyd et al.,
+// "Distributed Optimization and Statistical Learning via ADMM", §7.3) used by
+// the decomposed slot solver: n blocks, each with its own feasible set and
+// linear cost, coupled only through a shared M-dimensional sum of per-block
+// contributions on which a convex coupling function is charged.
+//
+//	minimize  sum_i f_i(x_i) + g(sum_i A_i x_i)
+//	subject to x_i in P_i
+//
+// In scaled form with block averages (abar = mean_i A_i x_i, z the averaged
+// coupling iterate, u the scaled dual):
+//
+//	x_i^{k+1} = argmin_{P_i} f_i(x_i) + (rho/2) ||A_i x_i - v_i||^2
+//	            with v_i = A_i x_i^k - abar^k + z^k - u^k
+//	z^{k+1}   = argmin_z g(n z) + (n rho/2) ||z - (abar^{k+1} + u^k)||^2
+//	u^{k+1}   = u^k + abar^{k+1} - z^{k+1}
+//
+// The driver is generic: block subproblems and the coupling prox are supplied
+// as callbacks, and the caller decides how (or whether) block solves run in
+// parallel. Reductions — the averaging of block contributions and the dual
+// update — always run serially in block order, which makes the iteration
+// byte-stable for any parallelism degree of the block stage.
+
+// SharingBlockSolver solves block i's subproblem
+//
+//	argmin_{x_i in P_i} f_i(x_i) + (rho/2) ||A_i x_i - v||^2
+//
+// for the m-dimensional target v, updating the caller's block iterate in
+// place and writing the new contribution A_i x_i into contrib (len m). The v
+// slice is owned by the driver and valid only for the duration of the call.
+type SharingBlockSolver func(i int, v []float64, rho float64, contrib []float64) error
+
+// SharingProx solves the coupling update: given t = abar + u it writes into z
+// the minimizer of g(n*z_m) + (n*rho/2)(z_m - t_m)^2 per coordinate (or the
+// joint minimizer for non-separable g).
+type SharingProx func(t []float64, rho float64, z []float64)
+
+// SharingOptions tunes SharingADMM. Zero values select defaults.
+type SharingOptions struct {
+	// Rho is the starting penalty parameter (required > 0).
+	Rho float64
+	// MaxIters caps the outer iterations (default 25).
+	MaxIters int
+	// AbsTol and RelTol build the primal/dual stopping thresholds in the
+	// usual Boyd §3.3 form (defaults 1e-10 and 1e-8).
+	AbsTol, RelTol float64
+	// Adaptive enables residual-balancing rho adaptation: rho doubles when
+	// the primal residual dominates the dual by 10x and halves in the
+	// opposite case, rescaling the scaled dual to match.
+	Adaptive bool
+}
+
+func (o SharingOptions) withDefaults() SharingOptions {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 25
+	}
+	if o.AbsTol <= 0 {
+		o.AbsTol = 1e-10
+	}
+	if o.RelTol <= 0 {
+		o.RelTol = 1e-8
+	}
+	return o
+}
+
+// SharingResult reports one SharingADMM run.
+type SharingResult struct {
+	// Iters is the number of outer iterations performed.
+	Iters int
+	// PriRes and DualRes are the final primal (||abar - z||) and dual
+	// (rho*||z - z_prev||) residual norms.
+	PriRes, DualRes float64
+	// Converged reports whether both residual thresholds were met.
+	Converged bool
+	// Rho is the final penalty parameter (differs from the starting value
+	// only under Adaptive).
+	Rho float64
+}
+
+// SharingWorkspace carries the dual state of the sharing iteration across
+// calls, so consecutive solves of a slowly drifting problem warm-start from
+// the previous slot's prices. U and Z are exported: they are the part of the
+// iteration a caller must persist to make a restored run continue exactly.
+type SharingWorkspace struct {
+	// U is the scaled dual on the coupling constraint; Z the averaged
+	// coupling iterate. Both have the coupling dimension m.
+	U, Z []float64
+
+	abar, zprev, t []float64
+	vbuf           [][]float64
+}
+
+// Resize shapes the workspace for n blocks and coupling dimension m,
+// preserving U and Z when the dimension is unchanged and zeroing them
+// otherwise.
+func (ws *SharingWorkspace) Resize(n, m int) {
+	if len(ws.U) != m {
+		ws.U = make([]float64, m)
+		ws.Z = make([]float64, m)
+	}
+	if len(ws.abar) != m {
+		ws.abar = make([]float64, m)
+		ws.zprev = make([]float64, m)
+		ws.t = make([]float64, m)
+	}
+	if len(ws.vbuf) < n || (len(ws.vbuf) > 0 && len(ws.vbuf[0]) != m) {
+		ws.vbuf = make([][]float64, n)
+		for i := range ws.vbuf {
+			ws.vbuf[i] = make([]float64, m)
+		}
+	}
+}
+
+// Reset zeroes the carried dual state, restarting the iteration cold.
+func (ws *SharingWorkspace) Reset() {
+	for j := range ws.U {
+		ws.U[j] = 0
+		ws.Z[j] = 0
+	}
+}
+
+// SharingADMM runs the scaled sharing iteration over n blocks with coupling
+// dimension m. contribs[i] must hold A_i x_i for the caller's current block
+// iterates on entry and is kept up to date by the block solver; parallel runs
+// the block stage (call f for every i in [0, n), any order or concurrency)
+// and must return the first error by block index. The dual state carried in
+// ws is used as-is; callers that want a cold start call ws.Reset first.
+func SharingADMM(n, m int, ws *SharingWorkspace, solveBlock SharingBlockSolver, prox SharingProx, contribs [][]float64, parallel func(n int, f func(i int) error) error, opts SharingOptions) (SharingResult, error) {
+	if opts.Rho <= 0 || math.IsNaN(opts.Rho) {
+		return SharingResult{}, fmt.Errorf("solve: sharing ADMM rho = %v is not positive", opts.Rho)
+	}
+	opts = opts.withDefaults()
+	ws.Resize(n, m)
+	res := SharingResult{Rho: opts.Rho}
+	rho := opts.Rho
+	sqrtM := math.Sqrt(float64(m))
+
+	// abar from the caller's starting iterates, serial in block order.
+	average := func() {
+		for j := range ws.abar {
+			ws.abar[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			ci := contribs[i]
+			for j := range ws.abar {
+				ws.abar[j] += ci[j]
+			}
+		}
+		inv := 1 / float64(n)
+		for j := range ws.abar {
+			ws.abar[j] *= inv
+		}
+	}
+	average()
+
+	for k := 0; k < opts.MaxIters; k++ {
+		res.Iters = k + 1
+
+		// Block stage: each block gets its own target buffer so the stage
+		// can run concurrently; the targets are built from the same abar/Z/U
+		// snapshot regardless of execution order.
+		err := parallel(n, func(i int) error {
+			v := ws.vbuf[i]
+			ci := contribs[i]
+			for j := range v {
+				v[j] = ci[j] - ws.abar[j] + ws.Z[j] - ws.U[j]
+			}
+			return solveBlock(i, v, rho, ci)
+		})
+		if err != nil {
+			return res, err
+		}
+		average()
+
+		copy(ws.zprev, ws.Z)
+		for j := range ws.t {
+			ws.t[j] = ws.abar[j] + ws.U[j]
+		}
+		prox(ws.t, rho, ws.Z)
+
+		var pri, dual, nAbar, nZ, nU float64
+		for j := range ws.U {
+			r := ws.abar[j] - ws.Z[j]
+			ws.U[j] += r
+			pri += r * r
+			s := ws.Z[j] - ws.zprev[j]
+			dual += s * s
+			nAbar += ws.abar[j] * ws.abar[j]
+			nZ += ws.Z[j] * ws.Z[j]
+			nU += ws.U[j] * ws.U[j]
+		}
+		res.PriRes = math.Sqrt(pri)
+		res.DualRes = rho * math.Sqrt(dual)
+		epsPri := opts.AbsTol*sqrtM + opts.RelTol*math.Max(math.Sqrt(nAbar), math.Sqrt(nZ))
+		epsDual := opts.AbsTol*sqrtM + opts.RelTol*rho*math.Sqrt(nU)
+		if res.PriRes <= epsPri && res.DualRes <= epsDual {
+			res.Converged = true
+			break
+		}
+
+		if opts.Adaptive {
+			// Residual balancing (Boyd §3.4.1): rescaling rho also rescales
+			// the scaled dual u = y/rho so the underlying multiplier y is
+			// unchanged.
+			if res.PriRes > 10*res.DualRes {
+				rho *= 2
+				for j := range ws.U {
+					ws.U[j] /= 2
+				}
+			} else if res.DualRes > 10*res.PriRes {
+				rho /= 2
+				for j := range ws.U {
+					ws.U[j] *= 2
+				}
+			}
+		}
+	}
+	res.Rho = rho
+	return res, nil
+}

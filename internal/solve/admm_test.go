@@ -1,0 +1,164 @@
+package solve
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// sharingTestProblem is the two-block scalar sharing program
+//
+//	min c1*x1 + c2*x2 + (x1 + x2 - target)^2,  x_i in [0, 1]
+//
+// whose block update and prox both have closed forms, so the test exercises
+// the driver's iteration rather than inner solvers.
+type sharingTestProblem struct {
+	c      []float64
+	target float64
+	x      []float64
+}
+
+func (p *sharingTestProblem) blockSolver() SharingBlockSolver {
+	return func(i int, v []float64, rho float64, contrib []float64) error {
+		// argmin_{x in [0,1]} c_i x + (rho/2)(x - v)^2 = clamp(v - c_i/rho).
+		x := v[0] - p.c[i]/rho
+		if x < 0 {
+			x = 0
+		}
+		if x > 1 {
+			x = 1
+		}
+		p.x[i] = x
+		contrib[0] = x
+		return nil
+	}
+}
+
+func (p *sharingTestProblem) prox(n int) SharingProx {
+	nf := float64(n)
+	return func(t []float64, rho float64, z []float64) {
+		// argmin_z (n z - target)^2 + (n rho/2)(z - t)^2:
+		// 2n(nz - target) + n rho (z - t) = 0.
+		z[0] = (2*p.target + rho*t[0]) / (2*nf + rho)
+	}
+}
+
+func serialPar(n int, f func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := f(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *sharingTestProblem) value() float64 {
+	s := 0.0
+	v := 0.0
+	for i, x := range p.x {
+		v += p.c[i] * x
+		s += x
+	}
+	d := s - p.target
+	return v + d*d
+}
+
+func TestSharingADMMConvergesToOptimum(t *testing.T) {
+	// Optimum: x2 = 0 (more expensive), x1 from 1 + 2(x1 - 1) = 0 => 0.5,
+	// value 0.75.
+	p := &sharingTestProblem{c: []float64{1, 3}, target: 1, x: make([]float64, 2)}
+	contribs := [][]float64{make([]float64, 1), make([]float64, 1)}
+	var ws SharingWorkspace
+	res, err := SharingADMM(2, 1, &ws, p.blockSolver(), p.prox(2), contribs,
+		serialPar, SharingOptions{Rho: 1, MaxIters: 400, AbsTol: 1e-12, RelTol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	if math.Abs(p.x[0]-0.5) > 1e-6 || math.Abs(p.x[1]) > 1e-6 {
+		t.Errorf("iterate (%v, %v), want (0.5, 0)", p.x[0], p.x[1])
+	}
+	if v := p.value(); math.Abs(v-0.75) > 1e-6 {
+		t.Errorf("objective %v, want 0.75", v)
+	}
+}
+
+// TestSharingADMMOrderIndependent runs the block stage in reverse order and
+// requires bit-identical iterates: the driver snapshots abar/Z/U before the
+// stage and reduces serially in block order, so execution order of the block
+// solves must not matter.
+func TestSharingADMMOrderIndependent(t *testing.T) {
+	run := func(par func(n int, f func(i int) error) error) ([]float64, SharingResult) {
+		p := &sharingTestProblem{c: []float64{1, 3}, target: 1, x: make([]float64, 2)}
+		contribs := [][]float64{make([]float64, 1), make([]float64, 1)}
+		var ws SharingWorkspace
+		res, err := SharingADMM(2, 1, &ws, p.blockSolver(), p.prox(2), contribs,
+			par, SharingOptions{Rho: 2, MaxIters: 30, Adaptive: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append([]float64(nil), p.x...), res
+	}
+	reversePar := func(n int, f func(i int) error) error {
+		for i := n - 1; i >= 0; i-- {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	xa, ra := run(serialPar)
+	xb, rb := run(reversePar)
+	for i := range xa {
+		if xa[i] != xb[i] {
+			t.Errorf("block %d: forward %v vs reverse %v", i, xa[i], xb[i])
+		}
+	}
+	if ra != rb {
+		t.Errorf("results differ: %+v vs %+v", ra, rb)
+	}
+}
+
+// TestSharingADMMWarmDuals verifies the workspace carries dual state: a second
+// solve of the same problem starting from the converged duals finishes in far
+// fewer iterations than the cold solve.
+func TestSharingADMMWarmDuals(t *testing.T) {
+	p := &sharingTestProblem{c: []float64{1, 3}, target: 1, x: make([]float64, 2)}
+	contribs := [][]float64{make([]float64, 1), make([]float64, 1)}
+	var ws SharingWorkspace
+	opts := SharingOptions{Rho: 1, MaxIters: 400, AbsTol: 1e-10, RelTol: 1e-10}
+	cold, err := SharingADMM(2, 1, &ws, p.blockSolver(), p.prox(2), contribs, serialPar, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := SharingADMM(2, 1, &ws, p.blockSolver(), p.prox(2), contribs, serialPar, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Converged || warm.Iters >= cold.Iters {
+		t.Errorf("warm solve took %d iterations, cold took %d", warm.Iters, cold.Iters)
+	}
+}
+
+func TestSharingADMMValidation(t *testing.T) {
+	var ws SharingWorkspace
+	if _, err := SharingADMM(1, 1, &ws, nil, nil, nil, serialPar, SharingOptions{Rho: 0}); err == nil {
+		t.Error("rho = 0 accepted")
+	}
+	if _, err := SharingADMM(1, 1, &ws, nil, nil, nil, serialPar, SharingOptions{Rho: math.NaN()}); err == nil {
+		t.Error("rho = NaN accepted")
+	}
+
+	// Block errors propagate.
+	boom := errors.New("boom")
+	p := &sharingTestProblem{c: []float64{1}, target: 1, x: make([]float64, 1)}
+	contribs := [][]float64{make([]float64, 1)}
+	_, err := SharingADMM(1, 1, &ws,
+		func(i int, v []float64, rho float64, contrib []float64) error { return boom },
+		p.prox(1), contribs, serialPar, SharingOptions{Rho: 1})
+	if !errors.Is(err, boom) {
+		t.Errorf("block error not propagated: %v", err)
+	}
+}

@@ -137,9 +137,14 @@ type FWWorkspace struct {
 	nAtoms  int
 }
 
-// resize makes every buffer exactly n long, reallocating only on growth.
+// resize makes every buffer exactly n long. It reallocates on growth, and
+// also releases capacity when the requested size drops below a quarter of
+// what is held: without that, a single large-instance solve would pin
+// peak-sized scratch vectors (and, via resetAtoms, the atom pool) for the
+// lifetime of the scheduler that owns the workspace. The 4x hysteresis keeps
+// steady-state solves of equal or mildly varying size allocation-free.
 func (ws *FWWorkspace) resize(n int) {
-	if cap(ws.x) < n {
+	if c := cap(ws.x); c < n || (n > 0 && c >= 4*n) {
 		ws.x = make([]float64, n)
 		ws.grad = make([]float64, n)
 		ws.v = make([]float64, n)
@@ -157,10 +162,15 @@ func (ws *FWWorkspace) resize(n int) {
 const weightEps = 1e-12
 
 // resetAtoms empties the active set, dropping the reuse pool when its entries
-// were sized for a different dimension.
+// were sized for a different dimension. Dropped entries are nilled out before
+// the pool is truncated: atoms[:0] keeps the backing array alive, so a stale
+// reference there would otherwise pin every peak-sized atom vector.
 func (ws *FWWorkspace) resetAtoms(n int) {
 	ws.nAtoms = 0
 	if len(ws.atoms) > 0 && len(ws.atoms[0]) != n {
+		for s := range ws.atoms {
+			ws.atoms[s] = nil
+		}
 		ws.atoms = ws.atoms[:0]
 	}
 }

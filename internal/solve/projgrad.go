@@ -196,9 +196,20 @@ func ProjectWeightedCapBox(y, w, hi []float64, cap float64) {
 	}
 }
 
+// goldenMaxIters caps a golden-section search. The bracket shrinks by the
+// golden ratio every iteration, so 200 iterations cover any tolerance
+// representable in float64 (0.618^200 ~ 1e-42 of the initial width); the cap
+// only ever fires when tol is below the floating-point resolution of the
+// interval and the width test alone would spin forever.
+const goldenMaxIters = 200
+
 // GoldenSection minimizes a unimodal function on [a, b] to within tol and
 // returns the minimizing point. It is used as a generic line-search fallback
-// and in tests as an independent check on exact line searches.
+// and in tests as an independent check on exact line searches. The search
+// exits as soon as the bracket width reaches tol; if the width stalls at the
+// floating-point resolution of the interval before that (tol below one ulp of
+// the endpoints), the stall is detected and the search returns instead of
+// iterating to the cap.
 func GoldenSection(f func(float64) float64, a, b, tol float64) float64 {
 	const invPhi = 0.6180339887498949
 	if tol <= 0 {
@@ -207,7 +218,8 @@ func GoldenSection(f func(float64) float64, a, b, tol float64) float64 {
 	x1 := b - invPhi*(b-a)
 	x2 := a + invPhi*(b-a)
 	f1, f2 := f(x1), f(x2)
-	for b-a > tol {
+	for it := 0; b-a > tol && it < goldenMaxIters; it++ {
+		prev := b - a
 		if f1 < f2 {
 			b, x2, f2 = x2, x1, f1
 			x1 = b - invPhi*(b-a)
@@ -216,6 +228,12 @@ func GoldenSection(f func(float64) float64, a, b, tol float64) float64 {
 			a, x1, f1 = x1, x2, f2
 			x2 = a + invPhi*(b-a)
 			f2 = f(x2)
+		}
+		if !(b-a < prev) {
+			// The bracket stopped shrinking: endpoints are adjacent floats
+			// (or f returned NaN and poisoned the comparisons). More
+			// iterations cannot improve the answer.
+			break
 		}
 	}
 	return (a + b) / 2
